@@ -1,0 +1,98 @@
+// Package repro's benchmark harness: one testing.B per table and figure of
+// "RowPress: Amplifying Read Disturbance in Modern DRAM Chips" (ISCA 2023).
+// Each benchmark regenerates its experiment at a reduced scale and prints
+// the resulting rows/series once, so `go test -bench=. -benchmem` both
+// times the regenerators and emits the paper-shaped outputs.
+//
+// Full-scale runs: `go run ./cmd/rowpress run <id> -scale 1`.
+package repro
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// benchScale keeps the whole suite within minutes. Figure shape is
+// preserved (the anchor tAggON points and module diversity are kept).
+const benchScale = 0.05
+
+// benchModules is the module subset used by characterization benches: one
+// vulnerable and one resistant die per manufacturer.
+var benchModules = []string{"S0", "S3", "H0", "H4", "M0", "M3"}
+
+var printOnce sync.Map
+
+func benchExperiment(b *testing.B, id string, modules []string) {
+	b.Helper()
+	o := core.Options{Scale: benchScale, Seed: 1, Modules: modules}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err := core.Run(id, o)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if _, done := printOnce.LoadOrStore(id, true); !done {
+			fmt.Printf("\n%s\n", out)
+		}
+	}
+}
+
+func benchChar(b *testing.B, id string)  { benchExperiment(b, id, benchModules) }
+func benchOther(b *testing.B, id string) { benchExperiment(b, id, nil) }
+
+// Characterization figures (§4, §5).
+
+func BenchmarkFig01ACminBoxes(b *testing.B)         { benchChar(b, "fig1") }
+func BenchmarkFig06ACminSweep(b *testing.B)         { benchChar(b, "fig6") }
+func BenchmarkFig07ACminLinear(b *testing.B)        { benchChar(b, "fig7") }
+func BenchmarkFig08RowFraction(b *testing.B)        { benchChar(b, "fig8") }
+func BenchmarkFig09TAggONmin(b *testing.B)          { benchChar(b, "fig9") }
+func BenchmarkFig10OverlapACmin(b *testing.B)       { benchChar(b, "fig10") }
+func BenchmarkFig11OverlapACmax(b *testing.B)       { benchChar(b, "fig11") }
+func BenchmarkFig12Direction(b *testing.B)          { benchChar(b, "fig12") }
+func BenchmarkFig13TempNormalized(b *testing.B)     { benchChar(b, "fig13") }
+func BenchmarkFig14RowFraction80C(b *testing.B)     { benchChar(b, "fig14") }
+func BenchmarkFig15TempSweepAC1(b *testing.B)       { benchChar(b, "fig15") }
+func BenchmarkFig17DoubleSided(b *testing.B)        { benchChar(b, "fig17") }
+func BenchmarkFig18SingleMinusDouble(b *testing.B)  { benchChar(b, "fig18") }
+func BenchmarkFig19DataPatterns(b *testing.B)       { benchChar(b, "fig19") }
+func BenchmarkFig20DataPatternsDouble(b *testing.B) { benchChar(b, "fig20") }
+func BenchmarkFig22ONOFF(b *testing.B)              { benchChar(b, "fig22") }
+func BenchmarkFigAppCONOFFAll(b *testing.B)         { benchChar(b, "appC") }
+func BenchmarkFigAppERepeatability(b *testing.B)    { benchChar(b, "appE") }
+func BenchmarkFigAppF65C(b *testing.B)              { benchChar(b, "appF") }
+
+// Real-system demonstration (§6, Appendix G).
+
+func BenchmarkFig23RealSystem(b *testing.B)       { benchOther(b, "fig23") }
+func BenchmarkFig24LatencyHistogram(b *testing.B) { benchOther(b, "fig24") }
+func BenchmarkFig49Algorithm2(b *testing.B)       { benchOther(b, "fig49") }
+
+// ECC analysis (§7.1).
+
+func BenchmarkFig25ECCWords(b *testing.B)     { benchChar(b, "fig25") }
+func BenchmarkFig26ECCWords70us(b *testing.B) { benchChar(b, "fig26") }
+
+// Mitigation study (§7.3, §7.4, Appendix D).
+
+func BenchmarkTable03Mitigation(b *testing.B)   { benchOther(b, "table3") }
+func BenchmarkFig38RowACTIncrease(b *testing.B) { benchOther(b, "fig38") }
+func BenchmarkFig39MinOpenIPC(b *testing.B)     { benchOther(b, "fig39") }
+func BenchmarkFig40SingleCore(b *testing.B)     { benchOther(b, "fig40") }
+func BenchmarkFig41MultiCore(b *testing.B)      { benchOther(b, "fig41") }
+
+// Inventory tables.
+
+func BenchmarkTable01Inventory(b *testing.B)  { benchOther(b, "table1") }
+func BenchmarkTable05Summary(b *testing.B)    { benchChar(b, "table5") }
+func BenchmarkTable06BERSummary(b *testing.B) { benchChar(b, "table6") }
+
+// Extensions beyond the paper's evaluated set.
+
+func BenchmarkSec63AdaptivePolicy(b *testing.B)     { benchOther(b, "sec63") }
+func BenchmarkSec72RowBufferDecoupled(b *testing.B) { benchOther(b, "sec72") }
+
+func BenchmarkSummaryHeadline(b *testing.B) { benchChar(b, "summary") }

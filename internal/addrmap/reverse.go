@@ -1,0 +1,81 @@
+package addrmap
+
+import "fmt"
+
+// DisturbProbe is the experiment primitive ReverseEngineer needs: hammer
+// the given logical row hard and return the logical rows that exhibited
+// bitflips. The characterization infrastructure provides this against a
+// simulated module (the paper runs the same probe on real chips, following
+// the methodology of prior works [43, 67, 103, 164]).
+type DisturbProbe func(logicalRow int) ([]int, error)
+
+// ReverseEngineer infers the in-DRAM row mapping kind by probing sample
+// rows: it hammers logical rows and checks which logical rows flip. For
+// each candidate scheme it verifies that every observed victim is a
+// physical neighbor (distance ≤ maxDist) of the aggressor under that
+// scheme; the unique surviving scheme wins.
+func ReverseEngineer(rows int, probe DisturbProbe, sampleRows []int, maxDist int) (RowMapKind, error) {
+	candidates := []RowMapKind{RowDirect, RowXOR3, RowTwist}
+	alive := make(map[RowMapKind]bool, len(candidates))
+	for _, k := range candidates {
+		alive[k] = true
+	}
+	observedAny := false
+	for _, agg := range sampleRows {
+		victims, err := probe(agg)
+		if err != nil {
+			return RowDirect, fmt.Errorf("addrmap: probe row %d: %w", agg, err)
+		}
+		if len(victims) == 0 {
+			continue
+		}
+		observedAny = true
+		for _, k := range candidates {
+			if !alive[k] {
+				continue
+			}
+			m, err := NewRowMap(k, rows)
+			if err != nil {
+				alive[k] = false
+				continue
+			}
+			pAgg := m.Physical(agg)
+			for _, v := range victims {
+				d := m.Physical(v) - pAgg
+				if d < 0 {
+					d = -d
+				}
+				if d == 0 || d > maxDist {
+					alive[k] = false
+					break
+				}
+			}
+		}
+	}
+	if !observedAny {
+		return RowDirect, fmt.Errorf("addrmap: no bitflips observed; cannot reverse-engineer mapping")
+	}
+	var winner RowMapKind
+	n := 0
+	for _, k := range candidates {
+		if alive[k] {
+			winner = k
+			n++
+		}
+	}
+	switch n {
+	case 1:
+		return winner, nil
+	case 0:
+		return RowDirect, fmt.Errorf("addrmap: no candidate scheme explains the observed victims")
+	default:
+		// Ambiguity (e.g. all probes hit rows where schemes coincide):
+		// prefer the simplest candidate still alive, reported as such.
+		for _, k := range candidates {
+			if alive[k] {
+				return k, fmt.Errorf("addrmap: %d schemes remain consistent; returning simplest", n)
+			}
+		}
+		panic("unreachable")
+	}
+}

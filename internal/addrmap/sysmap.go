@@ -1,0 +1,98 @@
+package addrmap
+
+import "fmt"
+
+// SysCoords locates a physical address on the DRAM bus.
+type SysCoords struct {
+	Bank int
+	Row  int
+	Col  int // cache-block index within the row
+}
+
+// SysMap is the processor memory controller's physical-address → DRAM
+// mapping, modeled as XOR-folded bit fields the way DRAMA [112] recovers
+// them on real Intel parts. The real-system demonstration (§6.1) depends on
+// knowing this mapping to place aggressors and victims in adjacent rows.
+type SysMap struct {
+	BlockBits int   // log2(cache block size) = 6
+	ColBits   int   // column (block index) bits above the block offset
+	BankBits  int   // bank-index bits
+	BankXOR   []int // per bank bit: row-bit index XORed in (rank/bank hashing), -1 = none
+	RowBits   int
+}
+
+// NewCometLakeMap returns a mapping shaped like the Intel Comet Lake system
+// of §6.1 (reverse-engineered with DRAMA in the paper), scaled to the given
+// geometry: addr = [row | bank^rowhash | col | 6-bit block offset].
+func NewCometLakeMap(banks, rowsPerBank, blocksPerRow int) (SysMap, error) {
+	colBits, err := log2exact(blocksPerRow, "blocks per row")
+	if err != nil {
+		return SysMap{}, err
+	}
+	bankBits, err := log2exact(banks, "banks")
+	if err != nil {
+		return SysMap{}, err
+	}
+	rowBits, err := log2exact(rowsPerBank, "rows per bank")
+	if err != nil {
+		return SysMap{}, err
+	}
+	// Intel-style bank hashing: bank bit i is XORed with row bit i.
+	xor := make([]int, bankBits)
+	for i := range xor {
+		if i < rowBits {
+			xor[i] = i
+		} else {
+			xor[i] = -1
+		}
+	}
+	return SysMap{BlockBits: 6, ColBits: colBits, BankBits: bankBits, BankXOR: xor, RowBits: rowBits}, nil
+}
+
+// Decode maps a physical address to DRAM coordinates.
+func (m SysMap) Decode(paddr uint64) SysCoords {
+	col := int(paddr >> m.BlockBits & mask(m.ColBits))
+	bankField := int(paddr >> (m.BlockBits + m.ColBits) & mask(m.BankBits))
+	row := int(paddr >> (m.BlockBits + m.ColBits + m.BankBits) & mask(m.RowBits))
+	bank := bankField
+	for i, rb := range m.BankXOR {
+		if rb >= 0 && row&(1<<rb) != 0 {
+			bank ^= 1 << i
+		}
+	}
+	return SysCoords{Bank: bank, Row: row, Col: col}
+}
+
+// Encode maps DRAM coordinates back to a physical address (inverse of
+// Decode). The attack program uses it to craft pointers into specific rows
+// of its hugepage.
+func (m SysMap) Encode(c SysCoords) uint64 {
+	bankField := c.Bank
+	for i, rb := range m.BankXOR {
+		if rb >= 0 && c.Row&(1<<rb) != 0 {
+			bankField ^= 1 << i
+		}
+	}
+	return uint64(c.Row)<<(m.BlockBits+m.ColBits+m.BankBits) |
+		uint64(bankField)<<(m.BlockBits+m.ColBits) |
+		uint64(c.Col)<<m.BlockBits
+}
+
+// Span returns the number of addressable bytes under the mapping.
+func (m SysMap) Span() uint64 {
+	return 1 << (m.BlockBits + m.ColBits + m.BankBits + m.RowBits)
+}
+
+func mask(bits int) uint64 { return 1<<bits - 1 }
+
+func log2exact(v int, what string) (int, error) {
+	if v <= 0 || v&(v-1) != 0 {
+		return 0, fmt.Errorf("addrmap: %s must be a power of two, got %d", what, v)
+	}
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n, nil
+}

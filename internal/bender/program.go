@@ -1,0 +1,193 @@
+package bender
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+)
+
+// Op is one step of a test program — the unit the real DRAM Bender
+// infrastructure compiles to its FPGA instruction set. Programs are
+// validated before execution so a malformed experiment fails loudly
+// instead of silently measuring nothing.
+type Op interface {
+	// run executes the op against the bench.
+	run(b *Bench, out *ProgramResult) error
+	// validate checks the op against the bench configuration.
+	validate(b *Bench) error
+	// String names the op for program listings.
+	String() string
+}
+
+// ProgramResult accumulates a program's observations.
+type ProgramResult struct {
+	Flips    []Flip
+	Checked  int         // rows checked
+	Duration dram.TimePS // bench time consumed
+}
+
+// Program is an ordered list of ops.
+type Program struct {
+	Name string
+	Ops  []Op
+}
+
+// Validate checks every op.
+func (p Program) Validate(b *Bench) error {
+	if len(p.Ops) == 0 {
+		return fmt.Errorf("bender: program %q has no ops", p.Name)
+	}
+	for i, op := range p.Ops {
+		if err := op.validate(b); err != nil {
+			return fmt.Errorf("bender: program %q op %d (%s): %w", p.Name, i, op, err)
+		}
+	}
+	return nil
+}
+
+// Run validates and executes the program, returning its observations.
+func (p Program) Run(b *Bench) (ProgramResult, error) {
+	if err := p.Validate(b); err != nil {
+		return ProgramResult{}, err
+	}
+	var out ProgramResult
+	start := b.Now()
+	for i, op := range p.Ops {
+		if err := op.run(b, &out); err != nil {
+			return out, fmt.Errorf("bender: program %q op %d (%s): %w", p.Name, i, op, err)
+		}
+	}
+	out.Duration = b.Now() - start
+	return out, nil
+}
+
+// SetTempOp drives the thermal rig to a target temperature.
+type SetTempOp struct{ TempC float64 }
+
+func (o SetTempOp) String() string { return fmt.Sprintf("set-temp %g°C", o.TempC) }
+func (o SetTempOp) validate(b *Bench) error {
+	if o.TempC < b.Thermal.Plant.Ambient || o.TempC > b.Thermal.Plant.Ambient+b.Thermal.Plant.Gain {
+		return fmt.Errorf("temperature %g°C outside rig range", o.TempC)
+	}
+	return nil
+}
+func (o SetTempOp) run(b *Bench, _ *ProgramResult) error { return b.SetTemperature(o.TempC) }
+
+// FillOp writes a byte pattern into a set of logical rows.
+type FillOp struct {
+	Rows []int
+	Byte byte
+}
+
+func (o FillOp) String() string { return fmt.Sprintf("fill %d rows with %#02x", len(o.Rows), o.Byte) }
+func (o FillOp) validate(b *Bench) error {
+	return checkRows(b, o.Rows)
+}
+func (o FillOp) run(b *Bench, _ *ProgramResult) error {
+	for _, r := range o.Rows {
+		if err := b.WriteRow(r, o.Byte); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HammerOp runs the paper's access-pattern loop (Figs. 5/16/21).
+type HammerOp struct {
+	Rows     []int
+	Count    int
+	OnTime   dram.TimePS
+	ExtraOff dram.TimePS
+}
+
+func (o HammerOp) String() string {
+	return fmt.Sprintf("hammer %v x%d on=%s", o.Rows, o.Count, dram.FormatTime(o.OnTime))
+}
+func (o HammerOp) validate(b *Bench) error {
+	if err := checkRows(b, o.Rows); err != nil {
+		return err
+	}
+	phys := make([]int, len(o.Rows))
+	for i, r := range o.Rows {
+		phys[i] = b.RowMap.Physical(r)
+	}
+	return dram.HammerSpec{
+		Bank: b.Bank(), Rows: phys, Count: o.Count, OnTime: o.OnTime, ExtraOff: o.ExtraOff,
+	}.Validate(b.Mod)
+}
+func (o HammerOp) run(b *Bench, _ *ProgramResult) error {
+	return b.Hammer(o.Rows, o.Count, o.OnTime, o.ExtraOff)
+}
+
+// WaitOp idles the bench clock (retention windows, refresh-off stretches).
+type WaitOp struct{ D dram.TimePS }
+
+func (o WaitOp) String() string { return "wait " + dram.FormatTime(o.D) }
+func (o WaitOp) validate(*Bench) error {
+	if o.D <= 0 {
+		return fmt.Errorf("non-positive wait")
+	}
+	return nil
+}
+func (o WaitOp) run(b *Bench, _ *ProgramResult) error {
+	b.Advance(o.D)
+	return nil
+}
+
+// CheckOp reads rows and records bitflips against the expected byte.
+type CheckOp struct {
+	Rows     []int
+	Expected byte
+}
+
+func (o CheckOp) String() string {
+	return fmt.Sprintf("check %d rows vs %#02x", len(o.Rows), o.Expected)
+}
+func (o CheckOp) validate(b *Bench) error {
+	return checkRows(b, o.Rows)
+}
+func (o CheckOp) run(b *Bench, out *ProgramResult) error {
+	for _, r := range o.Rows {
+		flips, err := b.CheckRow(r, o.Expected)
+		if err != nil {
+			return err
+		}
+		out.Flips = append(out.Flips, flips...)
+		out.Checked++
+	}
+	return nil
+}
+
+func checkRows(b *Bench, rows []int) error {
+	if len(rows) == 0 {
+		return fmt.Errorf("no rows")
+	}
+	for _, r := range rows {
+		if r < 0 || r >= b.Mod.Geo.RowsPerBank {
+			return fmt.Errorf("row %d out of range [0,%d)", r, b.Mod.Geo.RowsPerBank)
+		}
+	}
+	return nil
+}
+
+// SingleSidedRowPress builds the canonical §4.1 test program around one
+// aggressor: fill victims and aggressor with the data pattern, hammer, and
+// check all six victims.
+func SingleSidedRowPress(b *Bench, aggressor, count int, onTime dram.TimePS, pattern dram.DataPattern) Program {
+	var victims []int
+	for d := 1; d <= dram.BlastRadius; d++ {
+		below, above, ok := b.RowMap.PhysicalNeighbors(aggressor, d)
+		if ok {
+			victims = append(victims, below, above)
+		}
+	}
+	return Program{
+		Name: "single-sided-rowpress",
+		Ops: []Op{
+			FillOp{Rows: victims, Byte: pattern.VictimByte()},
+			FillOp{Rows: []int{aggressor}, Byte: pattern.AggressorByte()},
+			HammerOp{Rows: []int{aggressor}, Count: count, OnTime: onTime},
+			CheckOp{Rows: victims, Expected: pattern.VictimByte()},
+		},
+	}
+}

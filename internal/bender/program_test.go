@@ -1,0 +1,102 @@
+package bender
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dram"
+)
+
+func TestProgramSingleSidedRowPress(t *testing.T) {
+	b := newTestBench(t, "S3")
+	prog := SingleSidedRowPress(b, 500, 7000, 7800*dram.Nanosecond, dram.CheckerBoard)
+	res, err := prog.Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checked != 6 {
+		t.Fatalf("checked %d rows, want 6", res.Checked)
+	}
+	if res.Duration <= 0 {
+		t.Fatal("program consumed no time")
+	}
+}
+
+func TestProgramValidateRejectsEmpty(t *testing.T) {
+	b := newTestBench(t, "S0")
+	if err := (Program{Name: "empty"}).Validate(b); err == nil {
+		t.Fatal("empty program should not validate")
+	}
+}
+
+func TestProgramValidateRejectsBadOps(t *testing.T) {
+	b := newTestBench(t, "S0")
+	bad := []Program{
+		{Name: "badrow", Ops: []Op{FillOp{Rows: []int{-1}, Byte: 0}}},
+		{Name: "norows", Ops: []Op{CheckOp{Rows: nil}}},
+		{Name: "badtemp", Ops: []Op{SetTempOp{TempC: 500}}},
+		{Name: "badwait", Ops: []Op{WaitOp{D: 0}}},
+		{Name: "badhammer", Ops: []Op{HammerOp{Rows: []int{5}, Count: 0, OnTime: 36 * dram.Nanosecond}}},
+		{Name: "shorton", Ops: []Op{HammerOp{Rows: []int{5}, Count: 1, OnTime: dram.Nanosecond}}},
+	}
+	for _, p := range bad {
+		if err := p.Validate(b); err == nil {
+			t.Errorf("program %q should not validate", p.Name)
+		}
+	}
+}
+
+func TestProgramRetentionStyle(t *testing.T) {
+	// A retention test as a program: fill, heat, wait 4s with refresh
+	// disabled, check.
+	b := newTestBench(t, "S0")
+	rows := []int{100, 101, 102, 103, 104, 105, 106, 107, 108, 109}
+	prog := Program{
+		Name: "retention-4s-80C",
+		Ops: []Op{
+			SetTempOp{TempC: 80},
+			FillOp{Rows: rows, Byte: 0xFF},
+			WaitOp{D: 4 * dram.Second},
+			CheckOp{Rows: rows, Expected: 0xFF},
+		},
+	}
+	res, err := prog.Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Flips) == 0 {
+		t.Fatal("4s at 80C with refresh disabled should leak some cells")
+	}
+	for _, f := range res.Flips {
+		if !f.From {
+			t.Fatal("retention flips must discharge (1->0 on true cells)")
+		}
+	}
+}
+
+func TestProgramOpStrings(t *testing.T) {
+	ops := []Op{
+		SetTempOp{TempC: 80},
+		FillOp{Rows: []int{1, 2}, Byte: 0xAA},
+		HammerOp{Rows: []int{3}, Count: 10, OnTime: 36 * dram.Nanosecond},
+		WaitOp{D: dram.Millisecond},
+		CheckOp{Rows: []int{1}, Expected: 0xAA},
+	}
+	for _, op := range ops {
+		if strings.TrimSpace(op.String()) == "" {
+			t.Errorf("op %T has empty String()", op)
+		}
+	}
+}
+
+func TestProgramErrorMentionsOpIndex(t *testing.T) {
+	b := newTestBench(t, "S0")
+	p := Program{Name: "p", Ops: []Op{
+		FillOp{Rows: []int{1}, Byte: 0},
+		HammerOp{Rows: []int{99999}, Count: 1, OnTime: 36 * dram.Nanosecond},
+	}}
+	err := p.Validate(b)
+	if err == nil || !strings.Contains(err.Error(), "op 1") {
+		t.Fatalf("error should point at op 1: %v", err)
+	}
+}

@@ -1,0 +1,175 @@
+package characterize
+
+import (
+	"fmt"
+
+	"repro/internal/bender"
+	"repro/internal/chipgen"
+	"repro/internal/dram"
+)
+
+// RowResult is the outcome of an ACmin search at one tested location.
+type RowResult struct {
+	Loc   int  // tested physical location
+	ACmin int  // minimum total aggressor activations causing ≥1 bitflip
+	Found bool // false: no bitflip within the time budget
+	Flips []bender.Flip
+}
+
+// SweepPoint aggregates the per-row results at one tAggON value.
+type SweepPoint struct {
+	TAggON  dram.TimePS
+	Results []RowResult
+}
+
+// ACminValues returns the ACmin of every row that flipped.
+func (p SweepPoint) ACminValues() []float64 {
+	var vs []float64
+	for _, r := range p.Results {
+		if r.Found {
+			vs = append(vs, float64(r.ACmin))
+		}
+	}
+	return vs
+}
+
+// FractionWithFlips returns the fraction of tested rows with ≥1 bitflip
+// (the y-axis of Figs. 8/14).
+func (p SweepPoint) FractionWithFlips() float64 {
+	if len(p.Results) == 0 {
+		return 0
+	}
+	n := 0
+	for _, r := range p.Results {
+		if r.Found {
+			n++
+		}
+	}
+	return float64(n) / float64(len(p.Results))
+}
+
+// FractionOneToZero returns the fraction of 1→0 bitflips among all flips
+// at this point (the y-axis of Fig. 12).
+func (p SweepPoint) FractionOneToZero() float64 {
+	ones, total := 0, 0
+	for _, r := range p.Results {
+		for _, f := range r.Flips {
+			total++
+			if f.From {
+				ones++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(ones) / float64(total)
+}
+
+// maxActivations is the largest total activation count that fits the time
+// budget at the given slot time, never below one slot per aggressor so the
+// pattern is at least executable.
+func maxActivations(budget dram.TimePS, slot dram.TimePS, aggressors int) int {
+	n := int(budget / slot)
+	if n < aggressors {
+		n = aggressors
+	}
+	return n
+}
+
+// SearchACmin finds the minimum total aggressor activation count that
+// induces at least one bitflip at the site, with the paper's modified
+// bisection (§4.1): terminate when the bracket is within Accuracy of the
+// current estimate; report not-found when even the budget-limited maximum
+// produces no flips. One trial.
+func SearchACmin(b *bender.Bench, s site, onTime dram.TimePS, cfg Config) (RowResult, error) {
+	slot := onTime + b.Mod.Timing.TRP
+	hi := maxActivations(cfg.TimeBudget, slot, len(s.aggressors))
+
+	probe := func(ac int) ([]bender.Flip, error) {
+		if err := s.prepare(b, cfg.Pattern); err != nil {
+			return nil, err
+		}
+		if err := s.hammer(b, ac, onTime, 0); err != nil {
+			return nil, err
+		}
+		return s.check(b, cfg.Pattern)
+	}
+
+	flips, err := probe(hi)
+	if err != nil {
+		return RowResult{}, fmt.Errorf("characterize: probe(%d): %w", hi, err)
+	}
+	if len(flips) == 0 {
+		return RowResult{Loc: s.loc}, nil
+	}
+	lo := 0
+	best := flips
+	for hi-lo > 1 && float64(hi-lo) > cfg.Accuracy*float64(hi) {
+		mid := lo + (hi-lo)/2
+		flips, err := probe(mid)
+		if err != nil {
+			return RowResult{}, fmt.Errorf("characterize: probe(%d): %w", mid, err)
+		}
+		if len(flips) > 0 {
+			hi, best = mid, flips
+		} else {
+			lo = mid
+		}
+	}
+	return RowResult{Loc: s.loc, ACmin: hi, Found: true, Flips: best}, nil
+}
+
+// searchACminTrials repeats SearchACmin over cfg.Trials measurement
+// repetitions and keeps the minimum observed ACmin, as the paper does.
+func searchACminTrials(b *bender.Bench, s site, onTime dram.TimePS, cfg Config) (RowResult, error) {
+	result := RowResult{Loc: s.loc}
+	for trial := 1; trial <= cfg.Trials; trial++ {
+		b.SetTrial(uint64(trial))
+		r, err := SearchACmin(b, s, onTime, cfg)
+		if err != nil {
+			return RowResult{}, err
+		}
+		if r.Found && (!result.Found || r.ACmin < result.ACmin) {
+			result = r
+		}
+	}
+	b.SetTrial(0)
+	return result, nil
+}
+
+// NewBench builds the standard characterization bench for a module spec.
+func NewBench(spec chipgen.ModuleSpec, cfg Config, tempC float64) (*bender.Bench, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return bender.New(spec,
+		bender.WithGeometry(cfg.Geometry),
+		bender.WithBank(cfg.Bank),
+		bender.WithTemperature(tempC),
+	)
+}
+
+// ACminSweep measures the ACmin distribution of one module over the given
+// tAggON values at temperature tempC — the core experiment behind
+// Figs. 1, 6, 7, 13, 17, and 18.
+func ACminSweep(spec chipgen.ModuleSpec, cfg Config, tempC float64, tAggONs []dram.TimePS) ([]SweepPoint, error) {
+	b, err := NewBench(spec, cfg, tempC)
+	if err != nil {
+		return nil, err
+	}
+	locs := testedLocations(cfg.Geometry, cfg.RowsToTest)
+	points := make([]SweepPoint, 0, len(tAggONs))
+	for _, on := range tAggONs {
+		pt := SweepPoint{TAggON: on}
+		for _, loc := range locs {
+			r, err := searchACminTrials(b, siteFor(loc, cfg.Sided), on, cfg)
+			if err != nil {
+				return nil, err
+			}
+			pt.Results = append(pt.Results, r)
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}

@@ -1,0 +1,246 @@
+package characterize
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/chipgen"
+	"repro/internal/dram"
+	"repro/internal/stats"
+)
+
+// quickConfig is a scaled-down configuration for fast tests.
+func quickConfig(rows int) Config {
+	cfg := DefaultConfig()
+	cfg.Geometry = dram.Geometry{Banks: 2, RowsPerBank: 2048, RowBytes: 8192}
+	cfg.RowsToTest = rows
+	cfg.Trials = 2
+	return cfg
+}
+
+func mustSpec(t *testing.T, id string) chipgen.ModuleSpec {
+	t.Helper()
+	spec, ok := chipgen.ByID(id)
+	if !ok {
+		t.Fatalf("unknown module %s", id)
+	}
+	return spec
+}
+
+func TestTestedLocationsSpacing(t *testing.T) {
+	geo := dram.Geometry{Banks: 1, RowsPerBank: 4096, RowBytes: 8192}
+	locs := testedLocations(geo, 64)
+	if len(locs) == 0 {
+		t.Fatal("no locations")
+	}
+	for i := 1; i < len(locs); i++ {
+		if locs[i]-locs[i-1] < 16 {
+			t.Fatalf("locations %d and %d too close", locs[i-1], locs[i])
+		}
+	}
+	for _, l := range locs {
+		if l < 8 || l >= geo.RowsPerBank-8 {
+			t.Fatalf("location %d too close to array edge", l)
+		}
+	}
+}
+
+func TestSiteGeometry(t *testing.T) {
+	ss := siteFor(100, SingleSided)
+	if len(ss.aggressors) != 1 || ss.aggressors[0] != 100 {
+		t.Fatalf("single-sided aggressors = %v", ss.aggressors)
+	}
+	if len(ss.victims) != 6 {
+		t.Fatalf("single-sided victims = %v", ss.victims)
+	}
+	ds := siteFor(100, DoubleSided)
+	if len(ds.aggressors) != 2 || ds.aggressors[0] != 99 || ds.aggressors[1] != 101 {
+		t.Fatalf("double-sided aggressors = %v", ds.aggressors)
+	}
+	if len(ds.victims) != 7 || ds.victims[0] != 100 {
+		t.Fatalf("double-sided victims = %v", ds.victims)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, mod := range []func(*Config){
+		func(c *Config) { c.RowsToTest = 0 },
+		func(c *Config) { c.TimeBudget = 0 },
+		func(c *Config) { c.Trials = 0 },
+		func(c *Config) { c.Accuracy = 0 },
+		func(c *Config) { c.Accuracy = 1 },
+	} {
+		c := DefaultConfig()
+		mod(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v should be invalid", c)
+		}
+	}
+}
+
+// TestACminDecreasesWithTAggON checks the paper's central result (Obsv. 1):
+// ACmin reduces by orders of magnitude as tAggON grows.
+func TestACminDecreasesWithTAggON(t *testing.T) {
+	cfg := quickConfig(10)
+	sweep, err := ACminSweep(mustSpec(t, "S3"), cfg, 50, []dram.TimePS{
+		36 * dram.Nanosecond, 7800 * dram.Nanosecond, 70200 * dram.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	means := make([]float64, len(sweep))
+	for i, pt := range sweep {
+		vs := pt.ACminValues()
+		if len(vs) == 0 {
+			t.Fatalf("no rows flipped at %s", dram.FormatTime(pt.TAggON))
+		}
+		means[i] = stats.Mean(vs)
+	}
+	// Obsv. 1: ~21x reduction from 36 ns to 7.8 µs, ~190x to 70.2 µs.
+	if r := means[0] / means[1]; r < 4 || r > 100 {
+		t.Errorf("ACmin(36ns)/ACmin(7.8us) = %.1f, want order ~21x", r)
+	}
+	if r := means[0] / means[2]; r < 40 || r > 1000 {
+		t.Errorf("ACmin(36ns)/ACmin(70.2us) = %.1f, want order ~190x", r)
+	}
+}
+
+// TestACminLogLogSlope checks Obsv. 3: for tAggON ≥ 7.8 µs the ACmin trend
+// in log-log space has slope ≈ −1.
+func TestACminLogLogSlope(t *testing.T) {
+	cfg := quickConfig(8)
+	taggons := []dram.TimePS{
+		7800 * dram.Nanosecond, 15 * dram.Microsecond, 30 * dram.Microsecond,
+		70200 * dram.Nanosecond, 300 * dram.Microsecond,
+	}
+	sweep, err := ACminSweep(mustSpec(t, "S0"), cfg, 50, taggons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var xs, ys []float64
+	for _, pt := range sweep {
+		if m := stats.Mean(pt.ACminValues()); !math.IsNaN(m) {
+			xs = append(xs, dram.Seconds(pt.TAggON))
+			ys = append(ys, m)
+		}
+	}
+	fit := stats.FitLogLog(xs, ys)
+	if fit.Slope < -1.15 || fit.Slope > -0.85 {
+		t.Errorf("log-log slope = %.3f, want ≈ −1 (paper: −1.02)", fit.Slope)
+	}
+}
+
+// TestACminSingleActivationAt30ms checks Obsv. 2: at tAggON = 30 ms some
+// rows need only one activation.
+func TestACminSingleActivationAt30ms(t *testing.T) {
+	cfg := quickConfig(24)
+	sweep, err := ACminSweep(mustSpec(t, "S3"), cfg, 50, []dram.TimePS{30 * dram.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneCount, flipped := 0, 0
+	for _, r := range sweep[0].Results {
+		if r.Found {
+			flipped++
+			if r.ACmin == 1 {
+				oneCount++
+			}
+		}
+	}
+	if flipped == 0 {
+		t.Fatal("no rows flipped at 30ms")
+	}
+	if oneCount == 0 {
+		t.Errorf("no rows with ACmin=1 at 30ms (paper: 13.1%% of rows at 50C)")
+	}
+}
+
+// TestACminTemperatureEffect checks Obsv. 9: ACmin at 80 °C is lower than
+// at 50 °C for the same tAggON.
+func TestACminTemperatureEffect(t *testing.T) {
+	cfg := quickConfig(8)
+	spec := mustSpec(t, "H0")
+	on := []dram.TimePS{7800 * dram.Nanosecond}
+	s50, err := ACminSweep(spec, cfg, 50, on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s80, err := ACminSweep(spec, cfg, 80, on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m50 := stats.Mean(s50[0].ACminValues())
+	m80 := stats.Mean(s80[0].ACminValues())
+	if math.IsNaN(m50) || math.IsNaN(m80) {
+		t.Fatal("missing data")
+	}
+	ratio := m80 / m50
+	if ratio >= 0.9 {
+		t.Errorf("ACmin(80C)/ACmin(50C) = %.2f, want < 0.9 (paper H: 0.32)", ratio)
+	}
+}
+
+// TestACminDirectionality checks Obsv. 8: with the checkerboard pattern,
+// RowHammer flips are predominantly 0→1 and RowPress flips 1→0 on
+// true-cell dies.
+func TestACminDirectionality(t *testing.T) {
+	cfg := quickConfig(10)
+	sweep, err := ACminSweep(mustSpec(t, "S3"), cfg, 50, []dram.TimePS{
+		36 * dram.Nanosecond, 70200 * dram.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhOneToZero := sweep[0].FractionOneToZero()
+	rpOneToZero := sweep[1].FractionOneToZero()
+	if rhOneToZero > 0.2 {
+		t.Errorf("RowHammer 1→0 fraction = %.2f, want ≈0", rhOneToZero)
+	}
+	if rpOneToZero < 0.8 {
+		t.Errorf("RowPress 1→0 fraction = %.2f, want ≈1", rpOneToZero)
+	}
+}
+
+// TestDoubleSidedCrossover checks Obsv. 13: double-sided wins at RowHammer
+// conditions; single-sided wins at large tAggON.
+func TestDoubleSidedCrossover(t *testing.T) {
+	spec := mustSpec(t, "S0")
+	small := []dram.TimePS{36 * dram.Nanosecond}
+	large := []dram.TimePS{70200 * dram.Nanosecond}
+
+	run := func(sided Sidedness, ts []dram.TimePS) float64 {
+		cfg := quickConfig(8)
+		cfg.Sided = sided
+		sweep, err := ACminSweep(spec, cfg, 50, ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.Mean(sweep[0].ACminValues())
+	}
+
+	ssSmall := run(SingleSided, small)
+	dsSmall := run(DoubleSided, small)
+	if !(dsSmall < ssSmall) {
+		t.Errorf("at 36ns double-sided (%.0f) should beat single-sided (%.0f)", dsSmall, ssSmall)
+	}
+	ssLarge := run(SingleSided, large)
+	dsLarge := run(DoubleSided, large)
+	if !(ssLarge < dsLarge) {
+		t.Errorf("at 70.2us single-sided (%.0f) should beat double-sided (%.0f)", ssLarge, dsLarge)
+	}
+}
+
+func TestPressImmuneModuleNoFlips(t *testing.T) {
+	cfg := quickConfig(6)
+	sweep, err := ACminSweep(mustSpec(t, "M0"), cfg, 50, []dram.TimePS{30 * dram.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(sweep[0].ACminValues()); n != 0 {
+		t.Errorf("M0 (press-immune) flipped %d rows at 30ms", n)
+	}
+}

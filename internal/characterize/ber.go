@@ -1,0 +1,132 @@
+package characterize
+
+import (
+	"repro/internal/bender"
+	"repro/internal/chipgen"
+	"repro/internal/dram"
+)
+
+// BERResult is one bit-error-rate measurement: the maximum fraction of
+// flipped cells across victim rows and trials, as §5.4 reports.
+type BERResult struct {
+	TAggON   dram.TimePS
+	TAggOFF  dram.TimePS
+	Count    int // activations issued
+	MaxBER   float64
+	MeanBER  float64
+	StdBER   float64
+	AllFlips int
+}
+
+// MeasureBER hammers the site with as many activations as fit in the time
+// budget at the given on/extra-off times and reports the bit error rate
+// over the distance-1 victim rows, repeated over trials (max taken).
+func MeasureBER(b *bender.Bench, s site, onTime, extraOff dram.TimePS, cfg Config) (BERResult, error) {
+	slot := onTime + b.Mod.Timing.TRP + extraOff
+	count := maxActivations(cfg.TimeBudget, slot, len(s.aggressors))
+	bitsPerRow := float64(b.Mod.Geo.BitsPerRow())
+
+	res := BERResult{
+		TAggON:  onTime,
+		TAggOFF: b.Mod.Timing.TRP + extraOff,
+		Count:   count,
+	}
+	var bers []float64
+	for trial := 1; trial <= cfg.Trials; trial++ {
+		b.SetTrial(uint64(trial))
+		if err := s.prepare(b, cfg.Pattern); err != nil {
+			return BERResult{}, err
+		}
+		if err := s.hammer(b, count, onTime, extraOff); err != nil {
+			return BERResult{}, err
+		}
+		flips, err := s.check(b, cfg.Pattern)
+		if err != nil {
+			return BERResult{}, err
+		}
+		res.AllFlips += len(flips)
+		// Per-victim-row BER; the paper reports the per-row fraction.
+		perRow := make(map[int]int)
+		for _, f := range flips {
+			perRow[f.LogicalRow]++
+		}
+		for _, n := range perRow {
+			bers = append(bers, float64(n)/bitsPerRow)
+		}
+		if len(perRow) == 0 {
+			bers = append(bers, 0)
+		}
+	}
+	b.SetTrial(0)
+	for _, v := range bers {
+		if v > res.MaxBER {
+			res.MaxBER = v
+		}
+		res.MeanBER += v
+	}
+	res.MeanBER /= float64(len(bers))
+	return res, nil
+}
+
+// MeasureBERAt measures BER for the access pattern anchored at one tested
+// location (public wrapper over the site machinery).
+func MeasureBERAt(b *bender.Bench, loc int, onTime, extraOff dram.TimePS, cfg Config) (BERResult, error) {
+	return MeasureBER(b, siteFor(loc, cfg.Sided), onTime, extraOff, cfg)
+}
+
+// ONOFFPoint is one cell of the Fig. 22 grid: a ΔtA2A value and the
+// fraction of it contributing to tAggON.
+type ONOFFPoint struct {
+	DeltaA2A dram.TimePS
+	OnFrac   float64 // 0, 0.25, 0.5, 0.75, 1.0
+	BER      BERResult
+}
+
+// DeltaA2As is the §5.4 lattice of extra activation-to-activation times.
+var DeltaA2As = []dram.TimePS{
+	240 * dram.Nanosecond,
+	600 * dram.Nanosecond,
+	1200 * dram.Nanosecond,
+	2400 * dram.Nanosecond,
+	6000 * dram.Nanosecond,
+}
+
+// OnFracs is the §5.4 split lattice.
+var OnFracs = []float64{0, 0.25, 0.5, 0.75, 1.0}
+
+// ONOFFSweep runs the RowPress-ONOFF experiment (Fig. 21/22, Appendix C):
+// fix tA2A = tRC + ΔtA2A, sweep the fraction of ΔtA2A that extends the
+// row-open time (the rest extends the off time), and measure BER with the
+// maximum activation count that fits the budget.
+func ONOFFSweep(spec chipgen.ModuleSpec, cfg Config, tempC float64) ([]ONOFFPoint, error) {
+	b, err := NewBench(spec, cfg, tempC)
+	if err != nil {
+		return nil, err
+	}
+	tRAS := b.Mod.Timing.TRAS
+	locs := testedLocations(cfg.Geometry, min(cfg.RowsToTest, 8))
+	var out []ONOFFPoint
+	for _, delta := range DeltaA2As {
+		for _, frac := range OnFracs {
+			onTime := tRAS + dram.TimePS(frac*float64(delta))
+			extraOff := delta - (onTime - tRAS)
+			// Aggregate the worst BER across the sampled locations.
+			var agg BERResult
+			for _, loc := range locs {
+				r, err := MeasureBER(b, siteFor(loc, cfg.Sided), onTime, extraOff, cfg)
+				if err != nil {
+					return nil, err
+				}
+				if r.MaxBER > agg.MaxBER {
+					agg.MaxBER = r.MaxBER
+				}
+				agg.MeanBER += r.MeanBER
+				agg.AllFlips += r.AllFlips
+				agg.TAggON, agg.TAggOFF, agg.Count = r.TAggON, r.TAggOFF, r.Count
+			}
+			agg.MeanBER /= float64(len(locs))
+			out = append(out, ONOFFPoint{DeltaA2A: delta, OnFrac: frac, BER: agg})
+		}
+	}
+	return out, nil
+}

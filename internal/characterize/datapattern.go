@@ -1,0 +1,68 @@
+package characterize
+
+import (
+	"math"
+
+	"repro/internal/chipgen"
+	"repro/internal/dram"
+	"repro/internal/stats"
+)
+
+// PatternCell is one cell of the Fig. 19/20 heatmaps: the average ACmin of
+// a data pattern at one tAggON, normalized to the CheckerBoard pattern.
+// NoBitflip marks patterns that cannot flip anything within the budget.
+type PatternCell struct {
+	Pattern    dram.DataPattern
+	TAggON     dram.TimePS
+	Normalized float64
+	NoBitflip  bool
+}
+
+// DataPatternStudy measures the §5.3 data-pattern sensitivity for one
+// module: average ACmin per (pattern, tAggON), normalized to CheckerBoard.
+// A value below 1 means the pattern is more effective than CB.
+func DataPatternStudy(spec chipgen.ModuleSpec, cfg Config, tempC float64, tAggONs []dram.TimePS) ([]PatternCell, error) {
+	// Baseline CB means per tAggON.
+	base := cfg
+	base.Pattern = dram.CheckerBoard
+	cbSweep, err := ACminSweep(spec, base, tempC, tAggONs)
+	if err != nil {
+		return nil, err
+	}
+	cbMean := make(map[dram.TimePS]float64, len(cbSweep))
+	for _, pt := range cbSweep {
+		cbMean[pt.TAggON] = stats.Mean(pt.ACminValues())
+	}
+
+	var out []PatternCell
+	appendSweep := func(p dram.DataPattern, sweep []SweepPoint) {
+		for _, pt := range sweep {
+			cell := PatternCell{Pattern: p, TAggON: pt.TAggON}
+			mean := stats.Mean(pt.ACminValues())
+			cb := cbMean[pt.TAggON]
+			switch {
+			case math.IsNaN(mean):
+				cell.NoBitflip = true
+			case math.IsNaN(cb) || cb == 0:
+				cell.NoBitflip = true
+			default:
+				cell.Normalized = mean / cb
+			}
+			out = append(out, cell)
+		}
+	}
+	appendSweep(dram.CheckerBoard, cbSweep)
+	for _, p := range dram.AllDataPatterns {
+		if p == dram.CheckerBoard {
+			continue
+		}
+		c := cfg
+		c.Pattern = p
+		sweep, err := ACminSweep(spec, c, tempC, tAggONs)
+		if err != nil {
+			return nil, err
+		}
+		appendSweep(p, sweep)
+	}
+	return out, nil
+}

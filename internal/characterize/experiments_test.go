@@ -1,0 +1,203 @@
+package characterize
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/stats"
+)
+
+// TestTAggONminDecreasesWithAC checks Obsv. 5: tAggONmin falls roughly as
+// 1/AC (slope ≈ −1 in log-log).
+func TestTAggONminDecreasesWithAC(t *testing.T) {
+	cfg := quickConfig(8)
+	points, err := TAggONminSweep(mustSpec(t, "S3"), cfg, 50, []int{1, 10, 100, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var xs, ys []float64
+	for _, pt := range points {
+		if m := stats.Mean(pt.Values()); !math.IsNaN(m) && m > 0 {
+			xs = append(xs, float64(pt.AC))
+			ys = append(ys, m)
+		}
+	}
+	if len(xs) < 3 {
+		t.Fatalf("too few flipping points: %d", len(xs))
+	}
+	fit := stats.FitLogLog(xs, ys)
+	if fit.Slope < -1.1 || fit.Slope > -0.9 {
+		t.Errorf("tAggONmin slope = %.3f, want ≈ −1 (paper: −1.000)", fit.Slope)
+	}
+	// Obsv. 5 magnitude: ~43 ms at AC=1 down to microseconds at large AC.
+	first := stats.Mean(points[0].Values()) // µs at AC=1
+	if first < 5e3 || first > 1e5 {
+		t.Errorf("tAggONmin @AC=1 = %.0f µs, want tens of ms", first)
+	}
+}
+
+// TestTAggONminTempSweep checks Obsv. 11: tAggONmin at AC=1 decreases as
+// temperature rises from 50 to 80 °C.
+func TestTAggONminTempSweep(t *testing.T) {
+	cfg := quickConfig(6)
+	out, err := TAggONminTempSweep(mustSpec(t, "H0"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m50 := stats.Mean(out[50].Values())
+	m80 := stats.Mean(out[80].Values())
+	if math.IsNaN(m80) {
+		t.Fatal("no flips at 80C")
+	}
+	if !math.IsNaN(m50) && m80 >= m50 {
+		t.Errorf("tAggONmin did not decrease with temperature: 50C=%.0fus 80C=%.0fus", m50, m80)
+	}
+	// H 16Gb A: avg 47.4 ms at 50 °C → 13.0 ms at 80 °C (≈3.6x).
+	if !math.IsNaN(m50) {
+		ratio := m50 / m80
+		if ratio < 1.5 {
+			t.Errorf("tAggONmin 50C/80C ratio = %.2f, want > 1.5 (paper H: ~3.6)", ratio)
+		}
+	}
+}
+
+// TestONOFFTrends checks Obsv. 16/18 on the representative S 8Gb D-die:
+// single-sided BER falls with %on at small ΔtA2A and rises at large
+// ΔtA2A; double-sided BER rises with %on everywhere.
+func TestONOFFTrends(t *testing.T) {
+	cfg := quickConfig(4)
+	cfg.Trials = 2
+	pts, err := ONOFFSweep(mustSpec(t, "S3"), cfg, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ber := make(map[[2]int64]float64) // {delta, frac*100} -> max BER
+	for _, p := range pts {
+		ber[[2]int64{int64(p.DeltaA2A), int64(p.OnFrac * 100)}] = p.BER.MaxBER
+	}
+	small := int64(240 * dram.Nanosecond)
+	large := int64(6000 * dram.Nanosecond)
+	if ber[[2]int64{small, 0}] < ber[[2]int64{small, 100}] {
+		t.Errorf("small ΔtA2A: BER should fall as on-time grows: %g -> %g",
+			ber[[2]int64{small, 0}], ber[[2]int64{small, 100}])
+	}
+	if ber[[2]int64{large, 100}] <= ber[[2]int64{large, 0}] {
+		t.Errorf("large ΔtA2A: BER should rise as on-time grows: %g -> %g",
+			ber[[2]int64{large, 0}], ber[[2]int64{large, 100}])
+	}
+}
+
+// TestOverlapSweep checks Obsv. 7: at tAggON = tRAS the RowPress set IS the
+// RowHammer set (overlap 1); at large tAggON the overlap collapses.
+func TestOverlapSweep(t *testing.T) {
+	cfg := quickConfig(12)
+	pts, err := OverlapSweep(mustSpec(t, "S3"), cfg, 50, []dram.TimePS{
+		36 * dram.Nanosecond, 70200 * dram.Nanosecond, 30 * dram.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].WithHammer < 0.99 {
+		t.Errorf("overlap at tRAS = %.3f, want 1.0 (same experiment)", pts[0].WithHammer)
+	}
+	for _, pt := range pts[1:] {
+		if pt.Cells == 0 {
+			t.Errorf("no cells at %s", dram.FormatTime(pt.TAggON))
+			continue
+		}
+		if pt.WithHammer > 0.05 {
+			t.Errorf("overlap with RowHammer at %s = %.3f, want ≈0 (paper <0.013%%)",
+				dram.FormatTime(pt.TAggON), pt.WithHammer)
+		}
+		if pt.WithRetention > 0.05 {
+			t.Errorf("overlap with retention at %s = %.3f, want ≈0 (paper <0.34%%)",
+				dram.FormatTime(pt.TAggON), pt.WithRetention)
+		}
+	}
+}
+
+// TestRetentionTestProducesFlips: the 4 s @80 °C refresh-off experiment
+// flips the retention-weak population.
+func TestRetentionTestProducesFlips(t *testing.T) {
+	cfg := quickConfig(16)
+	b, err := NewBench(mustSpec(t, "S0"), cfg, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := RetentionTest(b, testedLocations(cfg.Geometry, 16), cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) == 0 {
+		t.Fatal("no retention failures after 4s @ 80C")
+	}
+}
+
+// TestDataPatternStudy checks Obsv. 14/15 essentials: RowStripe cannot
+// flip anything at large tAggON (no charged victim cells on a true-cell
+// die), while CheckerBoard always can.
+func TestDataPatternStudy(t *testing.T) {
+	cfg := quickConfig(8)
+	cells, err := DataPatternStudy(mustSpec(t, "S3"), cfg, 50, []dram.TimePS{
+		36 * dram.Nanosecond, 7800 * dram.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := make(map[string]PatternCell)
+	for _, c := range cells {
+		byKey[c.Pattern.String()+"@"+dram.FormatTime(c.TAggON)] = c
+	}
+	if c := byKey["RS@7.8us"]; !c.NoBitflip {
+		t.Errorf("RowStripe at 7.8us should be NoBitflip, got %.2f", c.Normalized)
+	}
+	if c := byKey["CB@7.8us"]; c.NoBitflip || math.Abs(c.Normalized-1) > 1e-9 {
+		t.Errorf("CB at 7.8us should normalize to 1.0, got %+v", c)
+	}
+	if c := byKey["RS@36ns"]; c.NoBitflip {
+		t.Error("RowStripe at 36ns (RowHammer) should flip")
+	}
+	if c := byKey["CSI@7.8us"]; c.NoBitflip {
+		t.Error("CSI at 7.8us should flip")
+	}
+}
+
+// TestRepeatability checks Appendix E: the majority of flips recur in all
+// trials.
+func TestRepeatability(t *testing.T) {
+	cfg := quickConfig(8)
+	cfg.Trials = 5
+	res, err := RepeatabilityStudy(mustSpec(t, "S3"), cfg, 50, []dram.TimePS{7800 * dram.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res[0]
+	if r.TotalFlips == 0 {
+		t.Fatal("no flips observed")
+	}
+	if p := r.Percent(5); p < 50 {
+		t.Errorf("only %.1f%% of flips occurred in all 5 trials, want ≥50%% (Obsv. 22)", p)
+	}
+	if p := r.Percent(1) + r.Percent(2); p > 40 {
+		t.Errorf("%.1f%% of flips are low-repeatability, too noisy", p)
+	}
+}
+
+// TestAntiCellDieDirection checks the Mfr. M 16Gb E-die exception of
+// Obsv. 8: with anti-cell-dominant layout the 1→0 fraction decreases as
+// tAggON grows.
+func TestAntiCellDieDirection(t *testing.T) {
+	cfg := quickConfig(10)
+	sweep, err := ACminSweep(mustSpec(t, "M3"), cfg, 50, []dram.TimePS{
+		36 * dram.Nanosecond, 70200 * dram.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh := sweep[0].FractionOneToZero()
+	rp := sweep[1].FractionOneToZero()
+	if rp >= rh {
+		t.Errorf("anti-cell die: 1→0 fraction should drop with tAggON (got %.2f -> %.2f)", rh, rp)
+	}
+}

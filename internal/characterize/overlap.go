@@ -1,0 +1,147 @@
+package characterize
+
+import (
+	"repro/internal/bender"
+	"repro/internal/chipgen"
+	"repro/internal/dram"
+)
+
+// CellKey identifies one DRAM cell within the bank under test.
+type CellKey struct {
+	Row  int // physical row
+	Byte int
+	Bit  uint8
+}
+
+// cellSet collects flips into a set of cells.
+func cellSet(flips []bender.Flip) map[CellKey]bool {
+	s := make(map[CellKey]bool, len(flips))
+	for _, f := range flips {
+		s[CellKey{Row: f.LogicalRow, Byte: f.Byte, Bit: f.Bit}] = true
+	}
+	return s
+}
+
+// OverlapRatio returns |a ∩ b| / |a| (zero when a is empty).
+func OverlapRatio(a, b map[CellKey]bool) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	n := 0
+	for k := range a {
+		if b[k] {
+			n++
+		}
+	}
+	return float64(n) / float64(len(a))
+}
+
+// OverlapPoint reports, at one tAggON, the fraction of RowPress-vulnerable
+// cells that also appear in the RowHammer set (tAggON = tRAS) and in the
+// retention-failure set (Fig. 10/11).
+type OverlapPoint struct {
+	TAggON        dram.TimePS
+	Cells         int
+	WithHammer    float64
+	WithRetention float64
+}
+
+// RetentionTest reproduces the §4.3 retention experiment: initialize the
+// tested rows with the data pattern, disable refresh for holdSeconds at
+// 80 °C, and collect the cells that flipped.
+func RetentionTest(b *bender.Bench, locs []int, cfg Config, holdSeconds float64) (map[CellKey]bool, error) {
+	if err := b.SetTemperature(80); err != nil {
+		return nil, err
+	}
+	sites := make([]site, 0, len(locs))
+	for _, loc := range locs {
+		s := siteFor(loc, cfg.Sided)
+		if err := s.prepare(b, cfg.Pattern); err != nil {
+			return nil, err
+		}
+		sites = append(sites, s)
+	}
+	b.Advance(dram.FromSeconds(holdSeconds))
+	set := make(map[CellKey]bool)
+	for _, s := range sites {
+		flips, err := s.check(b, cfg.Pattern)
+		if err != nil {
+			return nil, err
+		}
+		for k := range cellSet(flips) {
+			set[k] = true
+		}
+	}
+	return set, nil
+}
+
+// OverlapSweep runs the Fig. 10 experiment for one module: for each
+// tAggON, collect the cells that flip at ACmin, and compare against the
+// RowHammer-vulnerable set (the tAggON = tRAS column of the same sweep)
+// and the retention-failure set.
+func OverlapSweep(spec chipgen.ModuleSpec, cfg Config, tempC float64, tAggONs []dram.TimePS) ([]OverlapPoint, error) {
+	sweep, err := ACminSweep(spec, cfg, tempC, tAggONs)
+	if err != nil {
+		return nil, err
+	}
+	// Retention set on a fresh bench of the same module.
+	bret, err := NewBench(spec, cfg, tempC)
+	if err != nil {
+		return nil, err
+	}
+	retSet, err := RetentionTest(bret, testedLocations(cfg.Geometry, cfg.RowsToTest), cfg, 4)
+	if err != nil {
+		return nil, err
+	}
+
+	// RowHammer set: flips observed at the smallest tAggON (= tRAS).
+	hammerSet := make(map[CellKey]bool)
+	if len(sweep) > 0 {
+		for _, r := range sweep[0].Results {
+			for k := range cellSet(r.Flips) {
+				hammerSet[k] = true
+			}
+		}
+	}
+	out := make([]OverlapPoint, 0, len(sweep))
+	for _, pt := range sweep {
+		set := make(map[CellKey]bool)
+		for _, r := range pt.Results {
+			for k := range cellSet(r.Flips) {
+				set[k] = true
+			}
+		}
+		out = append(out, OverlapPoint{
+			TAggON:        pt.TAggON,
+			Cells:         len(set),
+			WithHammer:    OverlapRatio(set, hammerSet),
+			WithRetention: OverlapRatio(set, retSet),
+		})
+	}
+	return out, nil
+}
+
+// MaxACFlips collects the cells that flip when the aggressors are
+// activated as many times as the budget allows (the @ACmax variant of
+// Fig. 11 and the ECC analysis of §7.1). It returns the flip list so
+// callers can analyze per-word error multiplicities.
+func MaxACFlips(b *bender.Bench, locs []int, onTime dram.TimePS, cfg Config) ([]bender.Flip, error) {
+	slot := onTime + b.Mod.Timing.TRP
+	var all []bender.Flip
+	for _, loc := range locs {
+		s := siteFor(loc, cfg.Sided)
+		count := maxActivations(cfg.TimeBudget, slot, len(s.aggressors))
+		if err := s.prepare(b, cfg.Pattern); err != nil {
+			return nil, err
+		}
+		if err := s.hammer(b, count, onTime, 0); err != nil {
+			return nil, err
+		}
+		flips, err := s.check(b, cfg.Pattern)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, flips...)
+	}
+	return all, nil
+}

@@ -1,0 +1,69 @@
+package characterize
+
+import (
+	"repro/internal/chipgen"
+	"repro/internal/dram"
+)
+
+// RepeatabilityResult is the Appendix E histogram: how many observed
+// bitflips occurred in exactly k of the repeated trials (k = 1..Trials).
+type RepeatabilityResult struct {
+	TAggON      dram.TimePS
+	Occurrences []int // index k-1: flips seen in exactly k trials
+	TotalFlips  int
+}
+
+// Percent returns the percentage of flips with exactly k occurrences.
+func (r RepeatabilityResult) Percent(k int) float64 {
+	if r.TotalFlips == 0 || k < 1 || k > len(r.Occurrences) {
+		return 0
+	}
+	return 100 * float64(r.Occurrences[k-1]) / float64(r.TotalFlips)
+}
+
+// RepeatabilityStudy hammers each tested location cfg.Trials times at a
+// fixed activation count (the budget-limited maximum, as the bitflip-
+// coverage experiments use) and histograms per-cell occurrence counts
+// (Figs. 42–45).
+func RepeatabilityStudy(spec chipgen.ModuleSpec, cfg Config, tempC float64, tAggONs []dram.TimePS) ([]RepeatabilityResult, error) {
+	b, err := NewBench(spec, cfg, tempC)
+	if err != nil {
+		return nil, err
+	}
+	locs := testedLocations(cfg.Geometry, cfg.RowsToTest)
+	out := make([]RepeatabilityResult, 0, len(tAggONs))
+	for _, on := range tAggONs {
+		res := RepeatabilityResult{TAggON: on, Occurrences: make([]int, cfg.Trials)}
+		counts := make(map[CellKey]int)
+		slot := on + b.Mod.Timing.TRP
+		for _, loc := range locs {
+			s := siteFor(loc, cfg.Sided)
+			count := maxActivations(cfg.TimeBudget, slot, len(s.aggressors))
+			for trial := 1; trial <= cfg.Trials; trial++ {
+				b.SetTrial(uint64(trial))
+				if err := s.prepare(b, cfg.Pattern); err != nil {
+					return nil, err
+				}
+				if err := s.hammer(b, count, on, 0); err != nil {
+					return nil, err
+				}
+				flips, err := s.check(b, cfg.Pattern)
+				if err != nil {
+					return nil, err
+				}
+				for k := range cellSet(flips) {
+					counts[k]++
+				}
+			}
+		}
+		b.SetTrial(0)
+		for _, n := range counts {
+			if n >= 1 && n <= cfg.Trials {
+				res.Occurrences[n-1]++
+				res.TotalFlips++
+			}
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -1,0 +1,149 @@
+package characterize
+
+import (
+	"fmt"
+
+	"repro/internal/bender"
+	"repro/internal/chipgen"
+	"repro/internal/dram"
+)
+
+// TAggONminResult is the outcome of a tAggONmin search at one location.
+type TAggONminResult struct {
+	Loc       int
+	TAggONmin dram.TimePS // minimum per-activation row-open time causing ≥1 bitflip
+	Found     bool
+}
+
+// TAggONminPoint aggregates the per-row tAggONmin results at one
+// activation count (Fig. 9's x-axis).
+type TAggONminPoint struct {
+	AC      int
+	Results []TAggONminResult
+}
+
+// Values returns the tAggONmin of every row that flipped, in microseconds.
+func (p TAggONminPoint) Values() []float64 {
+	var vs []float64
+	for _, r := range p.Results {
+		if r.Found {
+			vs = append(vs, dram.Seconds(r.TAggONmin)*1e6)
+		}
+	}
+	return vs
+}
+
+// SearchTAggONmin bisects over the row-open time to find the minimum
+// tAggON that induces at least one bitflip at the given total activation
+// count. The upper bound is the time budget divided across the activations
+// (the paper bounds every measurement within the refresh window).
+func SearchTAggONmin(b *bender.Bench, s site, ac int, cfg Config) (TAggONminResult, error) {
+	tRAS, tRP := b.Mod.Timing.TRAS, b.Mod.Timing.TRP
+	hi := cfg.TimeBudget/dram.TimePS(ac) - tRP
+	if hi <= tRAS {
+		return TAggONminResult{Loc: s.loc}, nil
+	}
+
+	probe := func(on dram.TimePS) (bool, error) {
+		if err := s.prepare(b, cfg.Pattern); err != nil {
+			return false, err
+		}
+		if err := s.hammer(b, ac, on, 0); err != nil {
+			return false, err
+		}
+		flips, err := s.check(b, cfg.Pattern)
+		return len(flips) > 0, err
+	}
+
+	ok, err := probe(hi)
+	if err != nil {
+		return TAggONminResult{}, fmt.Errorf("characterize: tAggONmin probe(%s): %w", dram.FormatTime(hi), err)
+	}
+	if !ok {
+		return TAggONminResult{Loc: s.loc}, nil
+	}
+	lo := tRAS
+	for hi-lo > 1 && float64(hi-lo) > cfg.Accuracy*float64(hi) {
+		mid := lo + (hi-lo)/2
+		ok, err := probe(mid)
+		if err != nil {
+			return TAggONminResult{}, err
+		}
+		if ok {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return TAggONminResult{Loc: s.loc, TAggONmin: hi, Found: true}, nil
+}
+
+func searchTAggONminTrials(b *bender.Bench, s site, ac int, cfg Config) (TAggONminResult, error) {
+	result := TAggONminResult{Loc: s.loc}
+	for trial := 1; trial <= cfg.Trials; trial++ {
+		b.SetTrial(uint64(trial))
+		r, err := SearchTAggONmin(b, s, ac, cfg)
+		if err != nil {
+			return TAggONminResult{}, err
+		}
+		if r.Found && (!result.Found || r.TAggONmin < result.TAggONmin) {
+			result = r
+		}
+	}
+	b.SetTrial(0)
+	return result, nil
+}
+
+// StandardACs is the activation-count lattice of Fig. 9 (1 to 10 K).
+var StandardACs = []int{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000}
+
+// TAggONminSweep measures tAggONmin as the activation count grows (Fig. 9)
+// or, with acs = {1} and several temperatures, the Fig. 15 temperature
+// sweep.
+func TAggONminSweep(spec chipgen.ModuleSpec, cfg Config, tempC float64, acs []int) ([]TAggONminPoint, error) {
+	b, err := NewBench(spec, cfg, tempC)
+	if err != nil {
+		return nil, err
+	}
+	locs := testedLocations(cfg.Geometry, cfg.RowsToTest)
+	points := make([]TAggONminPoint, 0, len(acs))
+	for _, ac := range acs {
+		pt := TAggONminPoint{AC: ac}
+		for _, loc := range locs {
+			r, err := searchTAggONminTrials(b, siteFor(loc, cfg.Sided), ac, cfg)
+			if err != nil {
+				return nil, err
+			}
+			pt.Results = append(pt.Results, r)
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// TAggONminTempSweep runs the Fig. 15 experiment: tAggONmin at AC = 1 as
+// the chip temperature steps from 50 °C to 80 °C in 5 °C increments, on a
+// single bench whose heater rig is re-settled between steps.
+func TAggONminTempSweep(spec chipgen.ModuleSpec, cfg Config) (map[float64]TAggONminPoint, error) {
+	b, err := NewBench(spec, cfg, 50)
+	if err != nil {
+		return nil, err
+	}
+	locs := testedLocations(cfg.Geometry, cfg.RowsToTest)
+	out := make(map[float64]TAggONminPoint)
+	for temp := 50.0; temp <= 80; temp += 5 {
+		if err := b.SetTemperature(temp); err != nil {
+			return nil, err
+		}
+		pt := TAggONminPoint{AC: 1}
+		for _, loc := range locs {
+			r, err := searchTAggONminTrials(b, siteFor(loc, cfg.Sided), 1, cfg)
+			if err != nil {
+				return nil, err
+			}
+			pt.Results = append(pt.Results, r)
+		}
+		out[temp] = pt
+	}
+	return out, nil
+}

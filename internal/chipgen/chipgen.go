@@ -1,0 +1,126 @@
+// Package chipgen materializes the paper's tested DRAM chip population
+// (Table 1 / Table 5): three manufacturers, twelve die revisions, and
+// twenty-one DIMMs, each with a disturbance-model parameter set calibrated
+// so the simulated modules land near the paper's per-module RowHammer and
+// RowPress summary numbers (ACmin at representative tAggON values,
+// tAggONmin at AC = 1, at 50 °C and 80 °C).
+package chipgen
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/disturb"
+	"repro/internal/dram"
+	"repro/internal/stats"
+)
+
+// Manufacturer is one of the three major DRAM manufacturers the paper
+// anonymizes as S, H, and M.
+type Manufacturer string
+
+// The three manufacturers.
+const (
+	MfrS Manufacturer = "S" // Samsung
+	MfrH Manufacturer = "H" // SK Hynix
+	MfrM Manufacturer = "M" // Micron
+)
+
+// AllManufacturers in the paper's presentation order.
+var AllManufacturers = []Manufacturer{MfrS, MfrH, MfrM}
+
+// DieRevision identifies one (manufacturer, density, revision) technology
+// point and carries its calibrated disturbance parameters.
+type DieRevision struct {
+	Mfr       Manufacturer
+	DensityGb int
+	Rev       string // die revision letter; "X" = unknown (removed markings)
+	Params    disturb.Params
+}
+
+// Name returns the paper's die label, e.g. "8Gb B-Die".
+func (d DieRevision) Name() string {
+	return fmt.Sprintf("%dGb %s-Die", d.DensityGb, d.Rev)
+}
+
+// ModuleSpec describes one tested DIMM of Table 5.
+type ModuleSpec struct {
+	ID       string // paper module id: S0..S7, H0..H5, M0..M6
+	DIMMPart string
+	DRAMPart string
+	Die      DieRevision
+	Org      string // chip organization (x4/x8/x16)
+	DateCode string
+}
+
+// Seed returns the deterministic per-module seed (chip-to-chip variation).
+func (s ModuleSpec) Seed() uint64 {
+	h := uint64(0)
+	for _, c := range s.ID {
+		h = stats.Combine(h, uint64(c))
+	}
+	return h
+}
+
+// NewModule instantiates the simulated module at the given geometry and
+// initial temperature, wired to its calibrated disturbance model.
+func (s ModuleSpec) NewModule(geo dram.Geometry, tempC float64) (*dram.Module, *disturb.Model) {
+	model := disturb.NewModel(s.Die.Params, geo, s.Seed())
+	model.SetEvalTemperature(tempC)
+	mod := dram.NewModule(geo, dram.DDR4(), tempC, model)
+	return mod, model
+}
+
+// rowsCharacterized is the paper's tested-row count per module (the first,
+// middle, and last 1024 rows of bank 1, §4.1). The global-minimum
+// calibration quantile is anchored to it.
+const rowsCharacterized = 3072
+
+// calibrateLogNormal inverts two observed order statistics of a per-row
+// minimum into log-normal parameters: avgMin is the mean per-row minimum
+// threshold and globalMin the minimum across all characterized rows, for a
+// population with lambda vulnerable cells per (reference-size) row.
+func calibrateLogNormal(avgMin, globalMin, lambda float64) (logMedian, logSigma float64) {
+	if avgMin <= 0 || globalMin <= 0 || globalMin >= avgMin {
+		panic(fmt.Sprintf("chipgen: bad calibration anchors avg=%v min=%v", avgMin, globalMin))
+	}
+	// The per-row minimum of ~lambda draws sits near the 1/(lambda+1)
+	// quantile; the global minimum across R rows near 1/(R*lambda).
+	z1 := invPhi(1 / (lambda + 1))
+	z2 := invPhi(1 / (rowsCharacterized * lambda))
+	logSigma = math.Log(avgMin/globalMin) / (z1 - z2)
+	logMedian = math.Log(avgMin) - z1*logSigma
+	return logMedian, logSigma
+}
+
+// invPhi is the inverse standard normal CDF (Acklam's rational
+// approximation; |relative error| < 1.2e-9, far beyond calibration needs).
+func invPhi(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic("chipgen: invPhi domain")
+	}
+	a := []float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := []float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := []float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := []float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const pLow, pHigh = 0.02425, 1 - 0.02425
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p > pHigh:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	default:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	}
+}

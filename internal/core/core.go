@@ -1,0 +1,132 @@
+// Package core is the public façade of the RowPress reproduction: a
+// registry of experiment regenerators, one per table and figure of the
+// paper, each returning a rendered textual report. The CLI
+// (cmd/rowpress), the examples, and the benchmark harness all go through
+// this package.
+//
+// Usage:
+//
+//	out, err := core.Run("fig6", core.Options{Scale: 0.5})
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/characterize"
+	"repro/internal/chipgen"
+	"repro/internal/dram"
+)
+
+// Options scales and seeds an experiment run. The zero value is not
+// valid; start from DefaultOptions.
+type Options struct {
+	// Scale in (0, 1] multiplies the expensive dimensions (tested rows,
+	// victim counts, simulated instructions). 1.0 is the full configured
+	// run; benches use small scales.
+	Scale float64
+	// Modules restricts characterization experiments to the given Table 5
+	// module IDs; empty = one representative module per die revision.
+	Modules []string
+	// Seed perturbs randomized components (PARA, workload mixes).
+	Seed uint64
+}
+
+// DefaultOptions returns the full-scale configuration.
+func DefaultOptions() Options { return Options{Scale: 1, Seed: 1} }
+
+func (o Options) validate() error {
+	if o.Scale <= 0 || o.Scale > 1 {
+		return fmt.Errorf("core: Scale must be in (0,1], got %v", o.Scale)
+	}
+	return nil
+}
+
+// scaled returns max(lo, round(n*Scale)).
+func (o Options) scaled(n, lo int) int {
+	v := int(float64(n) * o.Scale)
+	if v < lo {
+		return lo
+	}
+	return v
+}
+
+// modules resolves the module set for characterization experiments.
+func (o Options) modules() ([]chipgen.ModuleSpec, error) {
+	if len(o.Modules) == 0 {
+		return chipgen.Representative(), nil
+	}
+	var out []chipgen.ModuleSpec
+	for _, id := range o.Modules {
+		spec, ok := chipgen.ByID(id)
+		if !ok {
+			return nil, fmt.Errorf("core: unknown module id %q", id)
+		}
+		out = append(out, spec)
+	}
+	return out, nil
+}
+
+// charConfig derives the characterization config at this scale.
+func (o Options) charConfig() characterize.Config {
+	cfg := characterize.DefaultConfig()
+	cfg.RowsToTest = o.scaled(cfg.RowsToTest, 3)
+	cfg.Trials = o.scaled(cfg.Trials, 2)
+	return cfg
+}
+
+// Experiment is one registered regenerator.
+type Experiment struct {
+	ID    string // figure/table id, e.g. "fig6", "table3"
+	Title string
+	Run   func(Options) (string, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(id, title string, run func(Options) (string, error)) {
+	if _, dup := registry[id]; dup {
+		panic("core: duplicate experiment id " + id)
+	}
+	registry[id] = Experiment{ID: id, Title: title, Run: run}
+}
+
+// List returns all experiments sorted by id.
+func List() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, o Options) (string, error) {
+	if err := o.validate(); err != nil {
+		return "", err
+	}
+	e, ok := registry[id]
+	if !ok {
+		return "", fmt.Errorf("core: unknown experiment %q (use List)", id)
+	}
+	return e.Run(o)
+}
+
+// sweepTAggONs trims the standard lattice at small scales so quick runs
+// stay quick but always keep the anchor points (36 ns, 7.8 µs, 70.2 µs,
+// 30 ms).
+func sweepTAggONs(o Options) []dram.TimePS {
+	if o.Scale >= 0.5 {
+		return characterize.StandardTAggONs
+	}
+	return []dram.TimePS{
+		36 * dram.Nanosecond,
+		186 * dram.Nanosecond,
+		1536 * dram.Nanosecond,
+		7800 * dram.Nanosecond,
+		70200 * dram.Nanosecond,
+		6 * dram.Millisecond,
+		30 * dram.Millisecond,
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestListIsSortedAndComplete(t *testing.T) {
+	es := List()
+	if len(es) < 30 {
+		t.Fatalf("only %d experiments registered", len(es))
+	}
+	for i := 1; i < len(es); i++ {
+		if es[i-1].ID >= es[i].ID {
+			t.Fatalf("list not sorted: %s >= %s", es[i-1].ID, es[i].ID)
+		}
+	}
+	want := []string{
+		"fig1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+		"fig13", "fig14", "fig15", "fig17", "fig18", "fig19", "fig20",
+		"fig22", "fig23", "fig24", "fig25", "fig26", "fig38", "fig39",
+		"fig40", "fig41", "fig49", "table1", "table3", "table5", "table6",
+		"appC", "appE", "appF", "sec63", "sec72",
+	}
+	ids := map[string]bool{}
+	for _, e := range es {
+		ids[e.ID] = true
+		if e.Title == "" {
+			t.Errorf("experiment %s has no title", e.ID)
+		}
+	}
+	for _, id := range want {
+		if !ids[id] {
+			t.Errorf("experiment %s missing from registry", id)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := Run("fig999", DefaultOptions()); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}
+
+func TestRunValidatesOptions(t *testing.T) {
+	if _, err := Run("table1", Options{Scale: 0}); err == nil {
+		t.Fatal("zero scale should error")
+	}
+	if _, err := Run("table1", Options{Scale: 2}); err == nil {
+		t.Fatal("scale > 1 should error")
+	}
+}
+
+func TestRunUnknownModule(t *testing.T) {
+	_, err := Run("fig6", Options{Scale: 0.05, Modules: []string{"Z9"}})
+	if err == nil || !strings.Contains(err.Error(), "Z9") {
+		t.Fatalf("unknown module should be named in error: %v", err)
+	}
+}
+
+func TestScaledHelper(t *testing.T) {
+	o := Options{Scale: 0.1}
+	if got := o.scaled(100, 3); got != 10 {
+		t.Errorf("scaled(100) = %d", got)
+	}
+	if got := o.scaled(10, 3); got != 3 {
+		t.Errorf("scaled floor = %d", got)
+	}
+}
+
+func TestSweepTrimsAtSmallScale(t *testing.T) {
+	small := sweepTAggONs(Options{Scale: 0.1})
+	full := sweepTAggONs(Options{Scale: 1})
+	if len(small) >= len(full) {
+		t.Fatal("small scale should trim the lattice")
+	}
+	// Anchor points stay.
+	for _, anchor := range []int64{36_000, 7_800_000, 70_200_000, 30_000_000_000} {
+		found := false
+		for _, t2 := range small {
+			if int64(t2) == anchor*1 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("anchor %d ps missing from trimmed lattice", anchor)
+		}
+	}
+}

@@ -1,0 +1,328 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/characterize"
+	"repro/internal/chipgen"
+	"repro/internal/dram"
+	"repro/internal/ecc"
+	"repro/internal/report"
+)
+
+func init() {
+	register("fig10", "Overlap of RowPress cells @ACmin with RowHammer and retention cells", overlapRunner(false))
+	register("fig11", "Overlap of RowPress cells @ACmax with RowHammer and retention cells", runFig11)
+	register("fig19", "Normalized ACmin per data pattern (single-sided)", runFig19)
+	register("fig20", "Normalized ACmin per data pattern (double-sided, Mfr. S 8Gb B-die)", runFig20)
+	register("fig22", "BER of the RowPress-ONOFF pattern (representative die)", runFig22)
+	register("appC", "ONOFF BER for all die revisions", runAppC)
+	register("appE", "Repeatability of bitflips across 5 trials", runAppE)
+	register("fig25", "64-bit words by bitflip count @tAggON=7.8µs + ECC outcomes", eccRunner(7800*dram.Nanosecond))
+	register("fig26", "64-bit words by bitflip count @tAggON=70.2µs + ECC outcomes", eccRunner(70200*dram.Nanosecond))
+	register("table1", "Tested DDR4 chips (Table 1)", runTable1)
+	register("table5", "Per-module RowHammer/RowPress summary (Table 5)", runTable5)
+	register("table6", "Per-module maximum bit error rate (Table 6)", runTable6)
+}
+
+func overlapRunner(atMax bool) func(Options) (string, error) {
+	return func(o Options) (string, error) {
+		specs, err := o.modules()
+		if err != nil {
+			return "", err
+		}
+		cfg := o.charConfig()
+		taggons := sweepTAggONs(o)
+		headers := []string{"module", "tAggON", "cells", "overlap w/ RowHammer", "overlap w/ retention"}
+		var rows [][]string
+		for _, spec := range specs {
+			pts, err := characterize.OverlapSweep(spec, cfg, 50, taggons)
+			if err != nil {
+				return "", err
+			}
+			for _, pt := range pts {
+				rows = append(rows, []string{
+					spec.ID, dram.FormatTime(pt.TAggON),
+					fmt.Sprint(pt.Cells), report.Pct(pt.WithHammer), report.Pct(pt.WithRetention),
+				})
+			}
+		}
+		mode := "@ACmin"
+		if atMax {
+			mode = "@ACmax"
+		}
+		return report.Section("RowPress-vulnerable cell overlap "+mode+" (Obsv. 7: ≈0 beyond tRAS)",
+			report.Table(headers, rows)), nil
+	}
+}
+
+// runFig11 compares the cells flipped at the budget-limited maximum
+// activation count per tAggON against the @ACmax RowHammer set and the
+// retention-failure set.
+func runFig11(o Options) (string, error) {
+	specs, err := o.modules()
+	if err != nil {
+		return "", err
+	}
+	cfg := o.charConfig()
+	taggons := sweepTAggONs(o)
+	headers := []string{"module", "tAggON", "cells", "overlap w/ RowHammer@ACmax", "overlap w/ retention"}
+	var rows [][]string
+	for _, spec := range specs {
+		locs := characterize.TestedLocations(cfg.Geometry, cfg.RowsToTest)
+		flipSets := make([]map[characterize.CellKey]bool, len(taggons))
+		for i, tg := range taggons {
+			b, err := characterize.NewBench(spec, cfg, 50)
+			if err != nil {
+				return "", err
+			}
+			flips, err := characterize.MaxACFlips(b, locs, tg, cfg)
+			if err != nil {
+				return "", err
+			}
+			set := make(map[characterize.CellKey]bool, len(flips))
+			for _, f := range flips {
+				set[characterize.CellKey{Row: f.LogicalRow, Byte: f.Byte, Bit: f.Bit}] = true
+			}
+			flipSets[i] = set
+		}
+		bret, err := characterize.NewBench(spec, cfg, 50)
+		if err != nil {
+			return "", err
+		}
+		retSet, err := characterize.RetentionTest(bret, locs, cfg, 4)
+		if err != nil {
+			return "", err
+		}
+		hammerSet := flipSets[0] // tAggON = tRAS column
+		for i, tg := range taggons {
+			rows = append(rows, []string{
+				spec.ID, dram.FormatTime(tg), fmt.Sprint(len(flipSets[i])),
+				report.Pct(characterize.OverlapRatio(flipSets[i], hammerSet)),
+				report.Pct(characterize.OverlapRatio(flipSets[i], retSet)),
+			})
+		}
+	}
+	return report.Section("RowPress-vulnerable cell overlap @ACmax (Fig. 11)",
+		report.Table(headers, rows)), nil
+}
+
+func dataPatternReport(spec chipgen.ModuleSpec, o Options, sided characterize.Sidedness, tempC float64) (string, error) {
+	cfg := o.charConfig()
+	cfg.Sided = sided
+	taggons := characterize.DataPatternTAggONs
+	if o.Scale < 0.5 {
+		taggons = taggons[:4]
+	}
+	cells, err := characterize.DataPatternStudy(spec, cfg, tempC, taggons)
+	if err != nil {
+		return "", err
+	}
+	byPattern := map[string][]string{}
+	for _, c := range cells {
+		v := report.Num(c.Normalized)
+		if c.NoBitflip {
+			v = "NoBitflip"
+		}
+		byPattern[c.Pattern.String()] = append(byPattern[c.Pattern.String()], v)
+	}
+	headers := []string{"pattern"}
+	for _, t := range taggons {
+		headers = append(headers, dram.FormatTime(t))
+	}
+	var rows [][]string
+	for _, p := range dram.AllDataPatterns {
+		rows = append(rows, append([]string{p.String()}, byPattern[p.String()]...))
+	}
+	title := fmt.Sprintf("ACmin normalized to CheckerBoard: %s %s, %s, %g°C", spec.ID, spec.Die.Name(), sided, tempC)
+	return report.Section(title, report.Table(headers, rows)), nil
+}
+
+func runFig19(o Options) (string, error) {
+	var sections []string
+	// The paper's three representative dies: S 8Gb B, H 16Gb A, M 16Gb F.
+	for _, id := range []string{"S0", "H0", "M6"} {
+		spec, _ := chipgen.ByID(id)
+		for _, tempC := range []float64{50, 80} {
+			s, err := dataPatternReport(spec, o, characterize.SingleSided, tempC)
+			if err != nil {
+				return "", err
+			}
+			sections = append(sections, s)
+		}
+	}
+	return strings.Join(sections, "\n"), nil
+}
+
+func runFig20(o Options) (string, error) {
+	spec, _ := chipgen.ByID("S0")
+	var sections []string
+	for _, tempC := range []float64{50, 80} {
+		s, err := dataPatternReport(spec, o, characterize.DoubleSided, tempC)
+		if err != nil {
+			return "", err
+		}
+		sections = append(sections, s)
+	}
+	return strings.Join(sections, "\n"), nil
+}
+
+func onoffReport(spec chipgen.ModuleSpec, o Options, sided characterize.Sidedness, tempC float64) (string, error) {
+	cfg := o.charConfig()
+	cfg.Sided = sided
+	pts, err := characterize.ONOFFSweep(spec, cfg, tempC)
+	if err != nil {
+		return "", err
+	}
+	headers := []string{"ΔtA2A"}
+	for _, f := range characterize.OnFracs {
+		headers = append(headers, report.Pct(f)+"→on")
+	}
+	byDelta := map[dram.TimePS][]string{}
+	for _, pt := range pts {
+		byDelta[pt.DeltaA2A] = append(byDelta[pt.DeltaA2A], report.Num(pt.BER.MaxBER))
+	}
+	var rows [][]string
+	for _, d := range characterize.DeltaA2As {
+		rows = append(rows, append([]string{dram.FormatTime(d)}, byDelta[d]...))
+	}
+	title := fmt.Sprintf("Max BER, RowPress-ONOFF: %s %s, %s, %g°C", spec.ID, spec.Die.Name(), sided, tempC)
+	return report.Section(title, report.Table(headers, rows)), nil
+}
+
+func runFig22(o Options) (string, error) {
+	spec, _ := chipgen.ByID("S3") // representative 8Gb D-die
+	var sections []string
+	for _, sided := range []characterize.Sidedness{characterize.SingleSided, characterize.DoubleSided} {
+		for _, tempC := range []float64{50, 80} {
+			s, err := onoffReport(spec, o, sided, tempC)
+			if err != nil {
+				return "", err
+			}
+			sections = append(sections, s)
+		}
+	}
+	return strings.Join(sections, "\n"), nil
+}
+
+func runAppC(o Options) (string, error) {
+	specs, err := o.modules()
+	if err != nil {
+		return "", err
+	}
+	var sections []string
+	for _, spec := range specs {
+		s, err := onoffReport(spec, o, characterize.SingleSided, 50)
+		if err != nil {
+			return "", err
+		}
+		sections = append(sections, s)
+	}
+	return strings.Join(sections, "\n"), nil
+}
+
+func runAppE(o Options) (string, error) {
+	specs, err := o.modules()
+	if err != nil {
+		return "", err
+	}
+	cfg := o.charConfig()
+	cfg.Trials = 5
+	taggons := []dram.TimePS{36 * dram.Nanosecond, 7800 * dram.Nanosecond, 70200 * dram.Nanosecond, 30 * dram.Millisecond}
+	headers := []string{"module", "tAggON", "1x", "2x", "3x", "4x", "5x", "flips"}
+	var rows [][]string
+	for _, spec := range specs {
+		res, err := characterize.RepeatabilityStudy(spec, cfg, 50, taggons)
+		if err != nil {
+			return "", err
+		}
+		for _, r := range res {
+			row := []string{spec.ID, dram.FormatTime(r.TAggON)}
+			for k := 1; k <= 5; k++ {
+				row = append(row, report.Pct(r.Percent(k)/100))
+			}
+			row = append(row, fmt.Sprint(r.TotalFlips))
+			rows = append(rows, row)
+		}
+	}
+	return report.Section("Bitflip repeatability over 5 trials (Appendix E: majority occur in all 5)",
+		report.Table(headers, rows)), nil
+}
+
+func eccRunner(tAggON dram.TimePS) func(Options) (string, error) {
+	return func(o Options) (string, error) {
+		specs, err := o.modules()
+		if err != nil {
+			return "", err
+		}
+		cfg := o.charConfig()
+		headers := []string{"module", "sided", "words 1-2", "words 3-8", "words >8", "max/word",
+			"SECDED silent", "SECDED detected", "beyond Chipkill(x8)"}
+		var rows [][]string
+		for _, spec := range specs {
+			for _, sided := range []characterize.Sidedness{characterize.SingleSided, characterize.DoubleSided} {
+				c := cfg
+				c.Sided = sided
+				b, err := characterize.NewBench(spec, c, 80)
+				if err != nil {
+					return "", err
+				}
+				locs := characterize.TestedLocations(c.Geometry, c.RowsToTest)
+				flips, err := characterize.MaxACFlips(b, locs, tAggON, c)
+				if err != nil {
+					return "", err
+				}
+				st := ecc.AnalyzeFlips(flips)
+				codes := ecc.EvaluateCodes(flips, 8)
+				rows = append(rows, []string{
+					spec.ID, sided.String(),
+					fmt.Sprint(st.Words1to2), fmt.Sprint(st.Words3to8), fmt.Sprint(st.WordsOver8),
+					fmt.Sprint(st.MaxPerWord),
+					fmt.Sprint(codes.SECDEDSilent), fmt.Sprint(codes.SECDEDDetected),
+					fmt.Sprint(codes.ChipkillBeyond),
+				})
+			}
+		}
+		title := fmt.Sprintf("Erroneous 64-bit words at tAggON=%s, max activations, 80°C (§7.1)", dram.FormatTime(tAggON))
+		return report.Section(title, report.Table(headers, rows)), nil
+	}
+}
+
+func runTable1(Options) (string, error) {
+	headers := []string{"mfr", "die", "modules", "org", "date codes"}
+	type key struct {
+		mfr  chipgen.Manufacturer
+		name string
+	}
+	count := map[key]int{}
+	org := map[key]string{}
+	dates := map[key][]string{}
+	for _, s := range chipgen.Catalog() {
+		k := key{s.Die.Mfr, s.Die.Name()}
+		count[k]++
+		org[k] = s.Org
+		dates[k] = append(dates[k], s.DateCode)
+	}
+	var rows [][]string
+	for _, d := range chipgen.DieRevisions() {
+		k := key{d.Mfr, d.Name()}
+		rows = append(rows, []string{
+			"Mfr. " + string(d.Mfr), d.Name(), fmt.Sprint(count[k]), org[k], strings.Join(dedup(dates[k]), ","),
+		})
+	}
+	return report.Section("Tested DDR4 DRAM modules (Table 1/5 inventory)",
+		report.Table(headers, rows)), nil
+}
+
+func dedup(vs []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, v := range vs {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}

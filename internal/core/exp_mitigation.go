@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dram"
+	"repro/internal/report"
+	"repro/internal/simperf"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("table3", "Graphene-RP and PARA-RP performance overhead vs tmro", runTable3)
+	register("fig38", "Max per-row ACT-count increase under minimally-open-row", runFig38)
+	register("fig39", "Normalized IPC under minimally-open-row", runFig39)
+	register("fig40", "Per-workload single-core IPC of adapted mitigations vs tmro", runFig40)
+	register("fig41", "4-core weighted speedup of adapted mitigations (Table 9 groups)", runFig41)
+}
+
+func perfConfig(o Options) simperf.Config {
+	cfg := simperf.DefaultConfig()
+	cfg.InstrPerCore = o.scaled(cfg.InstrPerCore, 100_000)
+	return cfg
+}
+
+func fourCoreMixes(o Options, perGroup int) [][]workload.Profile {
+	groups := simperf.HeterogeneousMixes(perGroup, o.Seed)
+	var mixes [][]workload.Profile
+	var names []string
+	for g := range groups {
+		names = append(names, g)
+	}
+	sort.Strings(names)
+	for _, g := range names {
+		mixes = append(mixes, groups[g]...)
+	}
+	return mixes
+}
+
+func runTable3(o Options) (string, error) {
+	cfg := perfConfig(o)
+	mixes := fourCoreMixes(o, o.scaled(2, 1))
+	var sections []string
+	for _, kind := range []simperf.MitigationKind{simperf.KindGraphene, simperf.KindPARA} {
+		rows, err := simperf.MitigationStudy(kind, cfg, mixes, o.Seed)
+		if err != nil {
+			return "", err
+		}
+		headers := []string{"tmro", "T'RH", "avg overhead", "max overhead"}
+		var out [][]string
+		for _, r := range rows {
+			out = append(out, []string{
+				dram.FormatTime(r.TMro), fmt.Sprint(r.TPrime),
+				report.Pct(r.AvgOverhead), report.Pct(r.MaxOverhead),
+			})
+		}
+		sections = append(sections, report.Section(
+			fmt.Sprintf("%s-RP overhead over %s (Table 3)", kind, kind),
+			report.Table(headers, out)))
+	}
+	return strings.Join(sections, "\n"), nil
+}
+
+func minOpenRows(o Options) ([]simperf.MinOpenRowRow, error) {
+	cfg := perfConfig(o)
+	profiles := workload.Heavy()
+	if o.Scale < 0.5 {
+		profiles = profiles[:min(len(profiles), 6)]
+	}
+	return simperf.MinOpenRowStudy(cfg, profiles, o.Seed)
+}
+
+func runFig38(o Options) (string, error) {
+	rows, err := minOpenRows(o)
+	if err != nil {
+		return "", err
+	}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{r.Workload, report.Num(r.ACTIncrease) + "x"})
+	}
+	return report.Section("Max increase in per-row ACT count per tREFW, minimally-open-row vs open-row (Fig. 38)",
+		report.Table([]string{"workload", "ACT increase"}, out)), nil
+}
+
+func runFig39(o Options) (string, error) {
+	rows, err := minOpenRows(o)
+	if err != nil {
+		return "", err
+	}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{r.Workload, report.Num(r.NormalizedIPC)})
+	}
+	return report.Section("IPC under minimally-open-row, normalized to open-row (Fig. 39; paper min 0.66)",
+		report.Table([]string{"workload", "normalized IPC"}, out)), nil
+}
+
+func runFig40(o Options) (string, error) {
+	cfg := perfConfig(o)
+	profiles := workload.Heavy()
+	if o.Scale < 0.5 {
+		profiles = profiles[:min(len(profiles), 5)]
+	}
+	var sections []string
+	for _, kind := range []simperf.MitigationKind{simperf.KindGraphene, simperf.KindPARA} {
+		headers := []string{"workload"}
+		for _, tmro := range simperf.TmroLattice {
+			headers = append(headers, dram.FormatTime(tmro))
+		}
+		var out [][]string
+		geo := []float64{}
+		perTmro := make([][]float64, len(simperf.TmroLattice))
+		for _, p := range profiles {
+			mix := []workload.Profile{p}
+			baseCfg := cfg
+			baseCfg.NewMitigation = simperf.BaselineFactory(kind, o.Seed)
+			base, err := simperf.RunMix(baseCfg, mix, o.Seed)
+			if err != nil {
+				return "", err
+			}
+			row := []string{p.Name}
+			for i, tmro := range simperf.TmroLattice {
+				res, err := simperf.RunAdapted(kind, tmro, cfg, mix, o.Seed)
+				if err != nil {
+					return "", err
+				}
+				norm := res.Cores[0].IPC() / base.Cores[0].IPC()
+				perTmro[i] = append(perTmro[i], norm)
+				row = append(row, report.Num(norm))
+			}
+			out = append(out, row)
+		}
+		gm := []string{"GeoMean"}
+		for _, vs := range perTmro {
+			gm = append(gm, report.Num(stats.GeoMean(vs)))
+		}
+		out = append(out, gm)
+		_ = geo
+		sections = append(sections, report.Section(
+			fmt.Sprintf("Single-core IPC of %s-RP normalized to %s (Fig. 40)", kind, kind),
+			report.Table(headers, out)))
+	}
+	return strings.Join(sections, "\n"), nil
+}
+
+func runFig41(o Options) (string, error) {
+	cfg := perfConfig(o)
+	groups := simperf.HeterogeneousMixes(o.scaled(2, 1), o.Seed)
+	var names []string
+	for g := range groups {
+		names = append(names, g)
+	}
+	sort.Strings(names)
+	var sections []string
+	for _, kind := range []simperf.MitigationKind{simperf.KindGraphene, simperf.KindPARA} {
+		headers := []string{"group"}
+		for _, tmro := range simperf.TmroLattice {
+			headers = append(headers, dram.FormatTime(tmro))
+		}
+		var out [][]string
+		for _, g := range names {
+			sums := make([]float64, len(simperf.TmroLattice))
+			var baseSum float64
+			for _, mix := range groups[g] {
+				alone, err := simperf.AloneIPCs(cfg, mix, o.Seed)
+				if err != nil {
+					return "", err
+				}
+				baseCfg := cfg
+				baseCfg.NewMitigation = simperf.BaselineFactory(kind, o.Seed)
+				base, err := simperf.RunMix(baseCfg, mix, o.Seed)
+				if err != nil {
+					return "", err
+				}
+				baseWS := base.WeightedSpeedup(alone)
+				baseSum += baseWS
+				for i, tmro := range simperf.TmroLattice {
+					res, err := simperf.RunAdapted(kind, tmro, cfg, mix, o.Seed)
+					if err != nil {
+						return "", err
+					}
+					sums[i] += res.WeightedSpeedup(alone) / baseWS
+				}
+			}
+			row := []string{g}
+			n := float64(len(groups[g]))
+			for _, s := range sums {
+				row = append(row, report.Num(s/n))
+			}
+			out = append(out, row)
+		}
+		sections = append(sections, report.Section(
+			fmt.Sprintf("4-core weighted speedup of %s-RP normalized to %s (Fig. 41/Table 9)", kind, kind),
+			report.Table(headers, out)))
+	}
+	return strings.Join(sections, "\n"), nil
+}

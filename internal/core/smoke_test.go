@@ -1,0 +1,22 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSmokeAllExperiments(t *testing.T) {
+	o := Options{Scale: 0.05, Seed: 1, Modules: []string{"S0", "S3", "M3"}}
+	for _, e := range List() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			out, err := e.Run(o)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if !strings.Contains(out, "==") {
+				t.Fatalf("%s: output lacks section header", e.ID)
+			}
+		})
+	}
+}

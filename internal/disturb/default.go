@@ -1,0 +1,54 @@
+package disturb
+
+import "math"
+
+// DefaultParams returns a representative calibrated parameter set (close to
+// the Mfr. S 8Gb C-die of the paper). internal/chipgen derives the full
+// per-die-revision catalogue from it.
+//
+// Calibration anchors (paper values in parentheses):
+//   - median per-cell press threshold K exp(−1.92) ≈ 146 ms, σ = 0.57, so a
+//     row's minimum K lands near 47 ms mean / 12 ms min across a tested
+//     population (Table 5: tAggONmin @AC=1 ≈ 47.3 ms avg, 12.4 ms min);
+//   - ACmin @ tAggON = 7.8 µs ≈ K/7.2 µs → ≈ 6.5 K mean (Table 5: 6.1 K);
+//   - press temperature factor 1.8× per 30 °C (Obsv. 9: ACmin at 80 °C is
+//     0.55× of 50 °C for Mfr. S);
+//   - hammer thresholds median exp(13.8) ≈ 1 M activations, σ = 0.7
+//     (Table 5: ACmin @36 ns ≈ 110–280 K avg, 24–47 K min).
+func DefaultParams() Params {
+	return Params{
+		HammerDistDecay:    [4]float64{0, 1, 0.015, 0.0008},
+		HammerOffTau:       30e-9,
+		HammerOnBoostPerS:  1.2e6,
+		HammerOnBoostCapS:  300e-9,
+		HammerOnDecayTau:   3e-6,
+		HammerCrossBoost:   0.75,
+		HammerTempFactor30: 1.05,
+		HammerCellsPerRow:  48,
+		HammerLogMedian:    math.Log(1.0e6),
+		HammerLogSigma:     0.7,
+		HammerCplCharged:   1.25,
+		HammerCplDischgd:   0.8,
+
+		PressKneeS:          640e-9,
+		PressCrossPenalty50: 0.25,
+		PressCrossPenalty80: 0.40,
+		PressTempFactor30:   1.8,
+		PressDistDecay:      [4]float64{0, 1, 0.01, 0.0005},
+		PressCellsPerRow:    40,
+		PressLogMedian:      math.Log(0.146),
+		PressLogSigma:       0.57,
+		PressCplCharged50:   1.35,
+		PressCplDischgd50:   0.95,
+		PressCplCharged80:   0.55,
+		PressCplDischgd80:   1.0,
+
+		RetCellsPerRow: 30,
+		RetLogMedian:   math.Log(64),
+		RetLogSigma:    0.8,
+
+		TrueCellFraction: 1.0,
+		TrialJitter:      0.05,
+		CellClusterProb:  0.55,
+	}
+}

@@ -1,0 +1,174 @@
+package disturb
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dram"
+)
+
+func testModel() *Model {
+	geo := dram.Geometry{Banks: 2, RowsPerBank: 256, RowBytes: 1024}
+	return NewModel(DefaultParams(), geo, 0xD1E5)
+}
+
+func TestPressKernelZeroBelowTRAS(t *testing.T) {
+	m := testModel()
+	if got := m.PressIncrement(36*dram.Nanosecond, 15*dram.Nanosecond, 50, 1); got != 0 {
+		t.Fatalf("press at tRAS = %v, want 0", got)
+	}
+	if got := m.PressIncrement(10*dram.Nanosecond, 15*dram.Nanosecond, 50, 1); got != 0 {
+		t.Fatalf("press below tRAS = %v, want 0", got)
+	}
+}
+
+func TestPressKernelMonotonicInOnTime(t *testing.T) {
+	m := testModel()
+	f := func(a, b uint32) bool {
+		ta := 36*dram.Nanosecond + dram.TimePS(a%1000000)*dram.Nanosecond
+		tb := 36*dram.Nanosecond + dram.TimePS(b%1000000)*dram.Nanosecond
+		if ta > tb {
+			ta, tb = tb, ta
+		}
+		return m.PressIncrement(ta, 15*dram.Nanosecond, 50, 1) <=
+			m.PressIncrement(tb, 15*dram.Nanosecond, 50, 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPressKernelAsymptoticallyLinear(t *testing.T) {
+	// Beyond the knee, damage/act ∝ tAggON, which is exactly the paper's
+	// ACmin×tAggON ≈ const observation (log-log slope −1, Obsv. 3).
+	m := testModel()
+	p1 := m.PressIncrement(7800*dram.Nanosecond, 15*dram.Nanosecond, 50, 1)
+	p2 := m.PressIncrement(70200*dram.Nanosecond, 15*dram.Nanosecond, 50, 1)
+	ratio := p2 / p1
+	if ratio < 8.5 || ratio > 9.8 { // 70.2/7.8 = 9, ±10% for the knee
+		t.Fatalf("press ratio 70.2us/7.8us = %v, want ≈9", ratio)
+	}
+}
+
+func TestPressCrossSideSubAdditive(t *testing.T) {
+	// The same total press exposure split across both sides flips no more
+	// (and typically fewer) cells than delivered single-sided — the root of
+	// Obsv. 13: single-sided RowPress overtakes double-sided at large
+	// tAggON.
+	m := testModel()
+	single := filled(1024, 0xFF)
+	double := filled(1024, 0xFF)
+	nSingle := m.ApplyFlips(0, 77, single, dram.NeighborData{}, dram.Exposure{PressAbove: 0.12})
+	nDouble := m.ApplyFlips(0, 77, double, dram.NeighborData{}, dram.Exposure{PressAbove: 0.06, PressBelow: 0.06})
+	if nDouble > nSingle {
+		t.Fatalf("double-sided press flipped more: %d > %d", nDouble, nSingle)
+	}
+}
+
+func TestPressTemperatureScaling(t *testing.T) {
+	m := testModel()
+	on := 7800 * dram.Nanosecond
+	p50 := m.PressIncrement(on, 15*dram.Nanosecond, 50, 1)
+	p80 := m.PressIncrement(on, 15*dram.Nanosecond, 80, 1)
+	ratio := p80 / p50
+	want := m.Params().PressTempFactor30
+	if math.Abs(ratio-want) > 0.05*want {
+		t.Fatalf("press 80C/50C = %v, want ≈%v", ratio, want)
+	}
+	// Monotone in temperature between and beyond calibration points.
+	p65 := m.PressIncrement(on, 15*dram.Nanosecond, 65, 1)
+	if !(p50 < p65 && p65 < p80) {
+		t.Fatalf("press not monotone in T: %v %v %v", p50, p65, p80)
+	}
+}
+
+func TestHammerKernelReferenceIsUnity(t *testing.T) {
+	m := testModel()
+	got := m.HammerIncrement(36*dram.Nanosecond, 15*dram.Nanosecond, 50, 1)
+	if math.Abs(got-1) > 1e-9 {
+		t.Fatalf("hammer at reference = %v, want 1", got)
+	}
+}
+
+func TestHammerKernelGrowsWithOffTime(t *testing.T) {
+	// Prior device-level works: read disturbance worsens with tAggOFF.
+	m := testModel()
+	h1 := m.HammerIncrement(36*dram.Nanosecond, 15*dram.Nanosecond, 50, 1)
+	h2 := m.HammerIncrement(36*dram.Nanosecond, 255*dram.Nanosecond, 50, 1)
+	h3 := m.HammerIncrement(36*dram.Nanosecond, 6*dram.Microsecond, 50, 1)
+	if !(h1 < h2 && h2 < h3) {
+		t.Fatalf("hammer not monotone in off time: %v %v %v", h1, h2, h3)
+	}
+}
+
+func TestHammerKernelFadesAtLargeOnTime(t *testing.T) {
+	m := testModel()
+	h36 := m.HammerIncrement(36*dram.Nanosecond, 15*dram.Nanosecond, 50, 1)
+	h78 := m.HammerIncrement(7800*dram.Nanosecond, 15*dram.Nanosecond, 50, 1)
+	if h78 > 0.2*h36 {
+		t.Fatalf("hammer at 7.8us = %v, should fade well below %v", h78, h36)
+	}
+}
+
+func TestHammerMildBoostAtSmallOnTime(t *testing.T) {
+	// The slow ACmin reduction between 36 ns and ~256 ns (Obsv. 3: only
+	// ~1.17x at 186 ns) comes from a mild hammer boost.
+	m := testModel()
+	h36 := m.HammerIncrement(36*dram.Nanosecond, 15*dram.Nanosecond, 50, 1)
+	h186 := m.HammerIncrement(186*dram.Nanosecond, 15*dram.Nanosecond, 50, 1)
+	ratio := h186 / h36
+	if ratio < 1.05 || ratio > 1.35 {
+		t.Fatalf("hammer boost at 186ns = %v, want mild (1.05..1.35)", ratio)
+	}
+}
+
+func TestDistanceDecay(t *testing.T) {
+	m := testModel()
+	on, off := 7800*dram.Nanosecond, 15*dram.Nanosecond
+	for _, inc := range []func(dram.TimePS, dram.TimePS, float64, int) float64{
+		m.PressIncrement, m.HammerIncrement,
+	} {
+		d1 := inc(on, off, 50, 1)
+		d2 := inc(on, off, 50, 2)
+		d3 := inc(on, off, 50, 3)
+		if !(d1 > d2 && d2 > d3 && d3 > 0) {
+			t.Fatalf("distance decay broken: %v %v %v", d1, d2, d3)
+		}
+		if inc(on, off, 50, 0) != 0 || inc(on, off, 50, 4) != 0 {
+			t.Fatal("out-of-radius distances must be 0")
+		}
+	}
+}
+
+func TestRetentionAccelDoublesPer10C(t *testing.T) {
+	m := testModel()
+	if got := m.RetentionAccel(50); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("accel(50) = %v", got)
+	}
+	if got := m.RetentionAccel(80); math.Abs(got-8) > 1e-9 {
+		t.Fatalf("accel(80) = %v, want 8", got)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	good := DefaultParams()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	bad := good
+	bad.TrueCellFraction = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Fatal("TrueCellFraction 1.5 should be invalid")
+	}
+	bad = good
+	bad.PressKneeS = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative knee should be invalid")
+	}
+	bad = good
+	bad.HammerCellsPerRow = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative density should be invalid")
+	}
+}

@@ -1,0 +1,31 @@
+package dram
+
+import "fmt"
+
+// TimingError reports a DRAM command that violates a timing parameter or
+// the bank state machine. The testing infrastructure surfaces these rather
+// than silently mis-executing, mirroring how a real module would misbehave.
+type TimingError struct {
+	Cmd    string
+	Bank   int
+	Detail string
+}
+
+func (e *TimingError) Error() string {
+	return fmt.Sprintf("dram: %s on bank %d: %s", e.Cmd, e.Bank, e.Detail)
+}
+
+func timingErr(cmd string, bank int, format string, args ...any) error {
+	return &TimingError{Cmd: cmd, Bank: bank, Detail: fmt.Sprintf(format, args...)}
+}
+
+// AddressError reports an out-of-range bank, row, or column.
+type AddressError struct {
+	What  string
+	Value int
+	Limit int
+}
+
+func (e *AddressError) Error() string {
+	return fmt.Sprintf("dram: %s %d out of range [0,%d)", e.What, e.Value, e.Limit)
+}

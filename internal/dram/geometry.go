@@ -1,0 +1,44 @@
+package dram
+
+import "fmt"
+
+// BlockBytes is the column-access granularity: one cache block, matching
+// the real-system demonstration where a DRAM row holds 128 cache blocks
+// (footnote 22).
+const BlockBytes = 64
+
+// Geometry describes the addressable shape of a simulated module. RowBytes
+// is a scaling knob: the paper's modules have 8 KiB rows; experiments here
+// default to smaller rows so that full figure sweeps complete quickly while
+// preserving per-bit statistics (densities are per-bit, so fractions and
+// distributions keep their shape).
+type Geometry struct {
+	Banks       int // banks per module (rank-level detail is flattened)
+	RowsPerBank int
+	RowBytes    int // bytes per row; must be a multiple of BlockBytes
+}
+
+// Validate reports whether the geometry is usable.
+func (g Geometry) Validate() error {
+	if g.Banks <= 0 || g.RowsPerBank <= 0 {
+		return fmt.Errorf("dram: geometry must have positive banks and rows, got %+v", g)
+	}
+	if g.RowBytes <= 0 || g.RowBytes%BlockBytes != 0 {
+		return fmt.Errorf("dram: RowBytes must be a positive multiple of %d, got %d", BlockBytes, g.RowBytes)
+	}
+	return nil
+}
+
+// BlocksPerRow returns the number of cache blocks in one row.
+func (g Geometry) BlocksPerRow() int { return g.RowBytes / BlockBytes }
+
+// BitsPerRow returns the number of cells in one row.
+func (g Geometry) BitsPerRow() int { return g.RowBytes * 8 }
+
+// DefaultGeometry is the experiment geometry: 4 banks, 4096 rows per bank,
+// and paper-faithful 8 KiB rows (so per-row vulnerable-cell statistics —
+// and with them the ACmin distributions — match the calibration anchors
+// without rescaling). Row storage is sparse, so unused rows cost nothing.
+func DefaultGeometry() Geometry {
+	return Geometry{Banks: 4, RowsPerBank: 4096, RowBytes: 8192}
+}

@@ -1,0 +1,207 @@
+package dram
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// probeDisturber is a deterministic toy model whose increments depend on
+// every input, so the batch-equivalence test cannot pass by accident.
+type probeDisturber struct{}
+
+func (probeDisturber) HammerIncrement(on, off TimePS, tempC float64, d int) float64 {
+	return (1 + Seconds(off)*1e3) * tempC / float64(d*d) * 1e-6
+}
+
+func (probeDisturber) PressIncrement(on, off TimePS, tempC float64, d int) float64 {
+	return Seconds(on) * tempC / float64(d) * 1e-3
+}
+
+func (probeDisturber) RetentionAccel(float64) float64 { return 0 }
+
+func (probeDisturber) ApplyFlips(_, _ int, _ []byte, _ NeighborData, _ Exposure) int { return 0 }
+
+func expClose(a, b Exposure) bool {
+	near := func(x, y float64) bool {
+		if x == y {
+			return true
+		}
+		diff := math.Abs(x - y)
+		scale := math.Max(math.Abs(x), math.Abs(y))
+		return diff <= 1e-9*scale
+	}
+	return near(a.HammerAbove, b.HammerAbove) && near(a.HammerBelow, b.HammerBelow) &&
+		near(a.PressAbove, b.PressAbove) && near(a.PressBelow, b.PressBelow)
+}
+
+// TestHammerBatchEquivalence is the core property test: for any small spec,
+// HammerBatch must leave every row's exposure equal to the command-path
+// Hammer loop.
+func TestHammerBatchEquivalence(t *testing.T) {
+	f := func(seed uint64) bool {
+		mkSpec := func(s uint64) HammerSpec {
+			rows := []int{10 + int(s%5)}
+			if s%3 == 0 {
+				rows = append(rows, rows[0]+2) // double-sided
+			}
+			return HammerSpec{
+				Bank:     int(s % 2),
+				Rows:     rows,
+				Count:    1 + int((s/7)%23),
+				OnTime:   36*Nanosecond + TimePS(s%11)*100*Nanosecond,
+				ExtraOff: TimePS((s/5)%3) * 200 * Nanosecond,
+			}
+		}
+		spec := mkSpec(seed)
+		ref := testModule(probeDisturber{})
+		bat := testModule(probeDisturber{})
+		if _, err := ref.Hammer(0, spec); err != nil {
+			t.Logf("hammer error: %v", err)
+			return false
+		}
+		if _, err := bat.HammerBatch(0, spec); err != nil {
+			t.Logf("batch error: %v", err)
+			return false
+		}
+		for row := 0; row < ref.Geo.RowsPerBank; row++ {
+			if !expClose(ref.PendingExposure(spec.Bank, row), bat.PendingExposure(spec.Bank, row)) {
+				t.Logf("row %d: ref=%+v batch=%+v spec=%+v",
+					row, ref.PendingExposure(spec.Bank, row), bat.PendingExposure(spec.Bank, row), spec)
+				return false
+			}
+		}
+		if ref.Counters() != bat.Counters() {
+			t.Logf("counters differ: %+v vs %+v", ref.Counters(), bat.Counters())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHammerBatchEquivalenceSequential(t *testing.T) {
+	// Two back-to-back hammer loops: the second loop's first-activation off
+	// time depends on state left by the first, which both paths must track.
+	specA := HammerSpec{Bank: 0, Rows: []int{20}, Count: 7, OnTime: 36 * Nanosecond}
+	specB := HammerSpec{Bank: 0, Rows: []int{20, 22}, Count: 9, OnTime: 500 * Nanosecond}
+
+	ref := testModule(probeDisturber{})
+	bat := testModule(probeDisturber{})
+	endR, err := ref.Hammer(0, specA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	endB, err := bat.HammerBatch(0, specA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if endR != endB {
+		t.Fatalf("end times differ: %d vs %d", endR, endB)
+	}
+	if _, err := ref.Hammer(endR+Microsecond, specB); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bat.HammerBatch(endB+Microsecond, specB); err != nil {
+		t.Fatal(err)
+	}
+	for row := 15; row < 30; row++ {
+		if !expClose(ref.PendingExposure(0, row), bat.PendingExposure(0, row)) {
+			t.Errorf("row %d: ref=%+v batch=%+v", row, ref.PendingExposure(0, row), bat.PendingExposure(0, row))
+		}
+	}
+}
+
+func TestHammerSpecValidation(t *testing.T) {
+	m := testModule(nil)
+	bad := []HammerSpec{
+		{Bank: 0, Rows: nil, Count: 1, OnTime: 36 * Nanosecond},
+		{Bank: 0, Rows: []int{1, 1}, Count: 1, OnTime: 36 * Nanosecond},
+		{Bank: 0, Rows: []int{1}, Count: 0, OnTime: 36 * Nanosecond},
+		{Bank: 0, Rows: []int{1}, Count: 1, OnTime: 35 * Nanosecond},
+		{Bank: 0, Rows: []int{1}, Count: 1, OnTime: 36 * Nanosecond, ExtraOff: -1},
+		{Bank: 9, Rows: []int{1}, Count: 1, OnTime: 36 * Nanosecond},
+		{Bank: 0, Rows: []int{-1}, Count: 1, OnTime: 36 * Nanosecond},
+	}
+	for i, s := range bad {
+		if err := s.Validate(m); err == nil {
+			t.Errorf("spec %d should be invalid: %+v", i, s)
+		}
+	}
+	good := HammerSpec{Bank: 0, Rows: []int{5, 7}, Count: 10, OnTime: 36 * Nanosecond}
+	if err := good.Validate(m); err != nil {
+		t.Errorf("good spec rejected: %v", err)
+	}
+}
+
+func TestHammerSpecTimes(t *testing.T) {
+	tm := DDR4()
+	s := HammerSpec{Rows: []int{1}, Count: 10, OnTime: 100 * Nanosecond, ExtraOff: 20 * Nanosecond}
+	slot := s.SlotTime(tm)
+	if slot != 100*Nanosecond+tm.TRP+20*Nanosecond {
+		t.Fatalf("slot = %d", slot)
+	}
+	if s.TotalTime(tm) != 10*slot {
+		t.Fatalf("total = %d", s.TotalTime(tm))
+	}
+}
+
+func TestHammerBlastRadiusReach(t *testing.T) {
+	m := testModule(probeDisturber{})
+	spec := HammerSpec{Bank: 0, Rows: []int{30}, Count: 100, OnTime: 36 * Nanosecond}
+	if _, err := m.HammerBatch(0, spec); err != nil {
+		t.Fatal(err)
+	}
+	for d := 1; d <= BlastRadius; d++ {
+		if m.PendingExposure(0, 30-d).IsZero() || m.PendingExposure(0, 30+d).IsZero() {
+			t.Errorf("victim at distance %d received no exposure", d)
+		}
+	}
+	if !m.PendingExposure(0, 30-BlastRadius-1).IsZero() {
+		t.Error("exposure beyond blast radius")
+	}
+	// Aggressor's own exposure must be clear (it was activated).
+	if !m.PendingExposure(0, 30).IsZero() {
+		t.Error("aggressor retained exposure")
+	}
+}
+
+func TestHammerSidedness(t *testing.T) {
+	m := testModule(probeDisturber{})
+	if _, err := m.HammerBatch(0, HammerSpec{Bank: 0, Rows: []int{30}, Count: 10, OnTime: 36 * Nanosecond}); err != nil {
+		t.Fatal(err)
+	}
+	below := m.PendingExposure(0, 29) // aggressor above it
+	above := m.PendingExposure(0, 31) // aggressor below it
+	if below.HammerAbove == 0 || below.HammerBelow != 0 {
+		t.Errorf("row 29 sides wrong: %+v", below)
+	}
+	if above.HammerBelow == 0 || above.HammerAbove != 0 {
+		t.Errorf("row 31 sides wrong: %+v", above)
+	}
+}
+
+func TestRefreshResetsExposure(t *testing.T) {
+	geo := Geometry{Banks: 1, RowsPerBank: 16, RowBytes: 64}
+	m := NewModule(geo, DDR4(), 50, probeDisturber{})
+	if _, err := m.HammerBatch(0, HammerSpec{Bank: 0, Rows: []int{8}, Count: 10, OnTime: 36 * Nanosecond}); err != nil {
+		t.Fatal(err)
+	}
+	if m.PendingExposure(0, 7).IsZero() {
+		t.Fatal("setup: no exposure")
+	}
+	// 16 rows / 8205 refreshes per window -> every REF covers all rows in
+	// chunk 0 (rowsPerChunk = 1); refresh them all.
+	now := m.Now() + Microsecond
+	for i := 0; i < 16; i++ {
+		if err := m.Refresh(now); err != nil {
+			t.Fatal(err)
+		}
+		now += m.Timing.TRFC + Microsecond
+	}
+	if !m.PendingExposure(0, 7).IsZero() {
+		t.Error("refresh did not clear exposure")
+	}
+}

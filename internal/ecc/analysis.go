@@ -1,0 +1,86 @@
+package ecc
+
+import "repro/internal/bender"
+
+// WordStats buckets erroneous 64-bit words by bitflip multiplicity, the
+// y-axis categories of Figs. 25 and 26: 1–2 flips (within SEC-DED's
+// detect guarantee), 3–8, and more than 8.
+type WordStats struct {
+	Words1to2  int
+	Words3to8  int
+	WordsOver8 int
+	MaxPerWord int
+	TotalWords int
+}
+
+// GroupFlipsByWord turns a flip list into per-64-bit-word error masks.
+func GroupFlipsByWord(flips []bender.Flip) map[[2]int]uint64 {
+	words := make(map[[2]int]uint64)
+	for _, f := range flips {
+		key := [2]int{f.LogicalRow, f.Byte / 8}
+		bit := uint(f.Byte%8)*8 + uint(f.Bit)
+		words[key] |= 1 << bit
+	}
+	return words
+}
+
+// AnalyzeFlips computes the Fig. 25/26 multiplicity statistics from a raw
+// flip list.
+func AnalyzeFlips(flips []bender.Flip) WordStats {
+	var st WordStats
+	for _, mask := range GroupFlipsByWord(flips) {
+		n := popcount64(mask)
+		st.TotalWords++
+		switch {
+		case n <= 2:
+			st.Words1to2++
+		case n <= 8:
+			st.Words3to8++
+		default:
+			st.WordsOver8++
+		}
+		if n > st.MaxPerWord {
+			st.MaxPerWord = n
+		}
+	}
+	return st
+}
+
+// CodeOutcomes summarizes how a set of erroneous words fares under
+// SEC-DED and Chipkill — the §7.1 argument that standard ECC cannot stop
+// RowPress.
+type CodeOutcomes struct {
+	SECDEDCorrected int
+	SECDEDDetected  int
+	SECDEDSilent    int
+	ChipkillBeyond  int // words beyond the Chipkill guarantee
+}
+
+// EvaluateCodes runs every erroneous word through SEC-DED (flipping the
+// corresponding data bits of an encoded all-data word) and through the
+// Chipkill classifier with the given symbol width.
+func EvaluateCodes(flips []bender.Flip, symbolBits int) CodeOutcomes {
+	var out CodeOutcomes
+	ck := Chipkill{SymbolBits: symbolBits}
+	for _, mask := range GroupFlipsByWord(flips) {
+		// Map data-bit flips to their codeword positions.
+		var flipBits []uint
+		for i := uint(0); i < 64; i++ {
+			if mask&(1<<i) != 0 {
+				flipBits = append(flipBits, dataPositions[i])
+			}
+		}
+		switch EvaluateSECDED(0xA5A5A5A5A5A5A5A5, flipBits) {
+		case OutcomeCorrected:
+			out.SECDEDCorrected++
+		case OutcomeDetected:
+			out.SECDEDDetected++
+		case OutcomeSilent:
+			out.SECDEDSilent++
+		}
+		if ck.Classify(mask) == OutcomeSilent {
+			out.ChipkillBeyond++
+		}
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+package ecc
+
+// Chipkill models a symbol-based code of the Chipkill-correct family
+// (footnote 24): it corrects any error confined to one DRAM chip's symbol
+// and detects errors spanning two symbols. The paper's argument needs only
+// the guarantee structure — with up to 25 bitflips in a 64-bit word, at
+// least two (x16), four (x8), or seven (x4) chips' symbols are erroneous,
+// beyond any Chipkill guarantee — so the model classifies by erroneous-
+// symbol count rather than running a full Reed-Solomon decoder.
+type Chipkill struct {
+	// SymbolBits is the per-chip data width (4 for x4 DRAM, 8 for x8,
+	// 16 for x16).
+	SymbolBits int
+}
+
+// Classify returns the decode outcome for a 64-bit data word whose error
+// pattern is errMask (bit i set = data bit i flipped). Symbols follow the
+// chip interleaving: consecutive SymbolBits-wide fields.
+func (c Chipkill) Classify(errMask uint64) WordOutcome {
+	if errMask == 0 {
+		return OutcomeClean
+	}
+	if c.SymbolBits <= 0 || 64%c.SymbolBits != 0 {
+		panic("ecc: invalid Chipkill symbol width")
+	}
+	symbols := c.ErroneousSymbols(errMask)
+	switch {
+	case symbols == 1:
+		return OutcomeCorrected
+	case symbols == 2:
+		return OutcomeDetected
+	default:
+		// Beyond the guarantee: the decoder may miscorrect silently.
+		return OutcomeSilent
+	}
+}
+
+// ErroneousSymbols counts the number of symbols containing at least one
+// flipped bit.
+func (c Chipkill) ErroneousSymbols(errMask uint64) int {
+	mask := uint64(1)<<uint(c.SymbolBits) - 1
+	n := 0
+	for s := 0; s < 64/c.SymbolBits; s++ {
+		if errMask>>(uint(s)*uint(c.SymbolBits))&mask != 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,66 @@
+package ecc
+
+// Hamming74 is the (7,4) Hamming code the paper uses as its extreme-
+// overhead strawman (§7.1): 3 parity bits per 4 data bits (75 % storage
+// overhead), correcting one bitflip per 4-bit nibble — and still unable to
+// correct the up-to-25 bitflips the paper observes in single 64-bit words.
+type Hamming74 struct{}
+
+// Encode maps a 4-bit nibble (low bits of data) to a 7-bit codeword
+// (low bits of the result), positions 1..7 with checks at 1, 2, 4.
+func (Hamming74) Encode(nibble byte) byte {
+	d := [5]bool{} // 1-indexed data positions 3,5,6,7
+	d[1] = nibble&1 != 0
+	d[2] = nibble&2 != 0
+	d[3] = nibble&4 != 0
+	d[4] = nibble&8 != 0
+	// Position layout: p1 p2 d1 p4 d2 d3 d4 (positions 1..7).
+	bit := [8]bool{}
+	bit[3], bit[5], bit[6], bit[7] = d[1], d[2], d[3], d[4]
+	bit[1] = bit[3] != bit[5] != bit[7]
+	bit[2] = bit[3] != bit[6] != bit[7]
+	bit[4] = bit[5] != bit[6] != bit[7]
+	var cw byte
+	for p := uint(1); p <= 7; p++ {
+		if bit[p] {
+			cw |= 1 << (p - 1)
+		}
+	}
+	return cw
+}
+
+// Decode recovers the nibble, correcting up to one flipped codeword bit.
+func (Hamming74) Decode(cw byte) (nibble byte, status DecodeStatus) {
+	bit := [8]bool{}
+	for p := uint(1); p <= 7; p++ {
+		bit[p] = cw&(1<<(p-1)) != 0
+	}
+	syndrome := uint(0)
+	if bit[1] != bit[3] != bit[5] != bit[7] {
+		syndrome |= 1
+	}
+	if bit[2] != bit[3] != bit[6] != bit[7] {
+		syndrome |= 2
+	}
+	if bit[4] != bit[5] != bit[6] != bit[7] {
+		syndrome |= 4
+	}
+	status = NoError
+	if syndrome != 0 {
+		bit[syndrome] = !bit[syndrome]
+		status = Corrected
+	}
+	if bit[3] {
+		nibble |= 1
+	}
+	if bit[5] {
+		nibble |= 2
+	}
+	if bit[6] {
+		nibble |= 4
+	}
+	if bit[7] {
+		nibble |= 8
+	}
+	return nibble, status
+}

@@ -1,0 +1,130 @@
+// Package memctrl provides the memory-controller building blocks shared by
+// the performance simulator and the mitigation study: row-buffer
+// management policies (§7.3) and the per-bank timing state the FR-FCFS
+// scheduler operates on.
+package memctrl
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+)
+
+// RowPolicy decides how long a row may stay open after a column access.
+type RowPolicy struct {
+	Kind RowPolicyKind
+	TMro dram.TimePS // maximum row-open time for KindTmro
+}
+
+// RowPolicyKind enumerates the §7.3 policies.
+type RowPolicyKind int
+
+// The three policies the paper evaluates: the baseline open-row policy,
+// the minimally-open-row policy (close right after the access — the
+// strawman of Appendix D.1), and the tmro-capped policy of the adapted
+// mitigations (§7.4).
+const (
+	KindOpenRow RowPolicyKind = iota
+	KindClosedRow
+	KindTmro
+	// KindDecoupled models the row-buffer decoupling proposal the paper
+	// examines in §7.2: the bitline sense amplifiers keep serving column
+	// accesses, but the wordline is de-asserted once charge restoration
+	// completes, so the *electrical* row-open time is pinned at tRAS
+	// regardless of how long the buffer stays hot. Performance-wise it
+	// behaves like the open-row policy; disturbance-wise it caps tAggON.
+	KindDecoupled
+)
+
+// OpenRow returns the baseline policy.
+func OpenRow() RowPolicy { return RowPolicy{Kind: KindOpenRow} }
+
+// ClosedRow returns the minimally-open-row policy.
+func ClosedRow() RowPolicy { return RowPolicy{Kind: KindClosedRow} }
+
+// TmroCap returns the capped policy with the given maximum open time.
+func TmroCap(tmro dram.TimePS) RowPolicy { return RowPolicy{Kind: KindTmro, TMro: tmro} }
+
+// Decoupled returns the row-buffer-decoupling policy (§7.2).
+func Decoupled() RowPolicy { return RowPolicy{Kind: KindDecoupled} }
+
+// String names the policy for reports.
+func (p RowPolicy) String() string {
+	switch p.Kind {
+	case KindClosedRow:
+		return "minimally-open-row"
+	case KindTmro:
+		return fmt.Sprintf("tmro=%s", dram.FormatTime(p.TMro))
+	case KindDecoupled:
+		return "row-buffer-decoupled"
+	default:
+		return "open-row"
+	}
+}
+
+// BankState tracks one bank's row buffer for scheduling purposes.
+type BankState struct {
+	Open      bool
+	Row       int
+	OpenedAt  dram.TimePS
+	BusyUntil dram.TimePS // command/refresh occupancy
+}
+
+// RowOpenFor reports whether the bank still has `row` usable at time now
+// under the policy (a tmro-capped row that exceeded its budget counts as
+// closed — the controller forces a precharge).
+func (b *BankState) RowOpenFor(row int, now dram.TimePS, p RowPolicy) bool {
+	if !b.Open || b.Row != row {
+		return false
+	}
+	if p.Kind == KindTmro && now-b.OpenedAt >= p.TMro {
+		return false
+	}
+	return true
+}
+
+// Access serves one column access at time earliest, updating the bank
+// state per the policy, and returns the completion time plus whether the
+// access needed an activation.
+func (b *BankState) Access(earliest dram.TimePS, row int, p RowPolicy, t dram.Timing) (done dram.TimePS, activated bool) {
+	now := earliest
+	if now < b.BusyUntil {
+		now = b.BusyUntil
+	}
+	switch {
+	case b.RowOpenFor(row, now, p):
+		done = now + t.TCL + t.TBL
+	case b.Open:
+		// Conflict (or tmro expiry): precharge then activate. Respect tRAS.
+		preAt := now
+		if min := b.OpenedAt + t.TRAS; preAt < min {
+			preAt = min
+		}
+		actAt := preAt + t.TRP
+		b.Row, b.OpenedAt = row, actAt
+		done = actAt + t.TRCD + t.TCL + t.TBL
+		activated = true
+	default:
+		b.Open = true
+		b.Row, b.OpenedAt = row, now
+		done = now + t.TRCD + t.TCL + t.TBL
+		activated = true
+	}
+	if p.Kind == KindClosedRow {
+		b.Open = false
+		done += t.TRP // auto-precharge on the critical path of the next access
+	} else {
+		b.Open = true
+	}
+	b.BusyUntil = done
+	return done, activated
+}
+
+// Preempt closes the bank (refresh, preventive refresh) and blocks it
+// until busyUntil.
+func (b *BankState) Preempt(busyUntil dram.TimePS) {
+	b.Open = false
+	if busyUntil > b.BusyUntil {
+		b.BusyUntil = busyUntil
+	}
+}

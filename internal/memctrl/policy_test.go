@@ -1,0 +1,95 @@
+package memctrl
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+)
+
+func TestPolicyNames(t *testing.T) {
+	if OpenRow().String() != "open-row" {
+		t.Error("open-row name")
+	}
+	if ClosedRow().String() != "minimally-open-row" {
+		t.Error("closed-row name")
+	}
+	if TmroCap(96*dram.Nanosecond).String() != "tmro=96ns" {
+		t.Errorf("tmro name = %s", TmroCap(96*dram.Nanosecond).String())
+	}
+}
+
+func TestOpenRowHitsAfterActivation(t *testing.T) {
+	var b BankState
+	tm := dram.DDR4()
+	pol := OpenRow()
+	done1, act1 := b.Access(0, 5, pol, tm)
+	if !act1 {
+		t.Fatal("first access must activate")
+	}
+	done2, act2 := b.Access(done1, 5, pol, tm)
+	if act2 {
+		t.Fatal("second access to same row must hit")
+	}
+	if done2-done1 != tm.TCL+tm.TBL {
+		t.Fatalf("hit latency = %d", done2-done1)
+	}
+}
+
+func TestOpenRowConflictRespectsTRAS(t *testing.T) {
+	var b BankState
+	tm := dram.DDR4()
+	pol := OpenRow()
+	done1, _ := b.Access(0, 5, pol, tm)
+	// Immediately conflicting access: the PRE cannot happen before
+	// openedAt+tRAS, so completion includes the wait.
+	done2, act := b.Access(done1, 9, pol, tm)
+	if !act {
+		t.Fatal("conflict must activate")
+	}
+	if done2 < tm.TRAS+tm.TRP+tm.TRCD {
+		t.Fatalf("conflict completed too early: %d", done2)
+	}
+}
+
+func TestClosedRowAlwaysActivates(t *testing.T) {
+	var b BankState
+	tm := dram.DDR4()
+	pol := ClosedRow()
+	done1, _ := b.Access(0, 5, pol, tm)
+	_, act2 := b.Access(done1+dram.Microsecond, 5, pol, tm)
+	if !act2 {
+		t.Fatal("minimally-open-row must re-activate every access")
+	}
+}
+
+func TestPreemptClosesAndBlocks(t *testing.T) {
+	var b BankState
+	tm := dram.DDR4()
+	done, _ := b.Access(0, 5, OpenRow(), tm)
+	b.Preempt(done + 10*dram.Microsecond)
+	if b.Open {
+		t.Fatal("preempt must close the row")
+	}
+	done2, _ := b.Access(done, 5, OpenRow(), tm)
+	if done2 < done+10*dram.Microsecond {
+		t.Fatalf("access ignored busy window: %d", done2)
+	}
+}
+
+func TestDecoupledBehavesLikeOpenRowForScheduling(t *testing.T) {
+	tm := dram.DDR4()
+	var a, b BankState
+	d1, act1 := a.Access(0, 5, OpenRow(), tm)
+	d2, act2 := b.Access(0, 5, Decoupled(), tm)
+	if d1 != d2 || act1 != act2 {
+		t.Fatal("decoupled first access differs from open-row")
+	}
+	d1, act1 = a.Access(d1+dram.Microsecond, 5, OpenRow(), tm)
+	d2, act2 = b.Access(d2+dram.Microsecond, 5, Decoupled(), tm)
+	if act1 || act2 || d1 != d2 {
+		t.Fatal("decoupled buffer hit differs from open-row hit")
+	}
+	if Decoupled().String() != "row-buffer-decoupled" {
+		t.Error("name")
+	}
+}

@@ -1,0 +1,92 @@
+package mitigate
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dram"
+)
+
+// ReductionPoint is one point of the device-characterized ACmin-reduction
+// curve: at row-open times up to TMro, ACmin is at most Factor of the
+// RowHammer baseline (Factor ≤ 1).
+type ReductionPoint struct {
+	TMro   dram.TimePS
+	Factor float64
+}
+
+// SamsungBDieCurve is the reduction curve of the Mfr. S 8Gb B-die the
+// paper uses to configure Graphene-RP and PARA-RP (Table 3): T'_RH/T_RH at
+// each evaluated tmro.
+var SamsungBDieCurve = []ReductionPoint{
+	{36 * dram.Nanosecond, 1.000},
+	{66 * dram.Nanosecond, 0.809},
+	{96 * dram.Nanosecond, 0.724},
+	{186 * dram.Nanosecond, 0.619},
+	{336 * dram.Nanosecond, 0.555},
+	{636 * dram.Nanosecond, 0.419},
+}
+
+// AdaptConfig is the output of the paper's adaptation methodology (§7.4):
+// run the original mitigation with a reduced threshold T' and have the
+// memory controller force rows closed after TMro.
+type AdaptConfig struct {
+	TMro      dram.TimePS
+	TPrimeRH  int
+	BaseTRH   int
+	Reduction float64
+}
+
+// Adapt applies the methodology: given the baseline RowHammer threshold
+// T_RH, the characterized reduction curve, and the chosen maximum row-open
+// time, compute T' = (1 − Y%)·T_RH where Y is the worst-case ACmin
+// reduction at tmro. The curve must cover tmro.
+func Adapt(baseTRH int, curve []ReductionPoint, tmro dram.TimePS) (AdaptConfig, error) {
+	if baseTRH <= 0 {
+		return AdaptConfig{}, fmt.Errorf("mitigate: baseline T_RH must be positive")
+	}
+	if len(curve) == 0 {
+		return AdaptConfig{}, fmt.Errorf("mitigate: empty reduction curve")
+	}
+	sorted := append([]ReductionPoint(nil), curve...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].TMro < sorted[j].TMro })
+	if tmro < sorted[0].TMro {
+		return AdaptConfig{}, fmt.Errorf("mitigate: tmro %s below characterized range", dram.FormatTime(tmro))
+	}
+	factor := 0.0
+	found := false
+	for _, p := range sorted {
+		if p.TMro <= tmro {
+			factor = p.Factor
+			found = true
+		}
+	}
+	if !found || tmro > sorted[len(sorted)-1].TMro {
+		return AdaptConfig{}, fmt.Errorf("mitigate: tmro %s beyond characterized range (max %s)",
+			dram.FormatTime(tmro), dram.FormatTime(sorted[len(sorted)-1].TMro))
+	}
+	tPrime := int(float64(baseTRH) * factor)
+	if tPrime < 1 {
+		tPrime = 1
+	}
+	return AdaptConfig{TMro: tmro, TPrimeRH: tPrime, BaseTRH: baseTRH, Reduction: factor}, nil
+}
+
+// GrapheneRP builds the adapted Graphene of Table 3: the tracker threshold
+// T follows the original sizing rule (T = T'/3, as the paper's Table 3
+// shows 1000→333, 809→269, …) against the reduced threshold.
+func GrapheneRP(cfg AdaptConfig, tableSize int) *Graphene {
+	return NewGraphene(cfg.TPrimeRH/3, tableSize)
+}
+
+// PARARP builds the adapted PARA of Table 3: the refresh probability p is
+// re-derived from T' using the original PARA sizing so the protection
+// guarantee holds at the reduced threshold (p grows as T' shrinks:
+// Table 3 shows 0.034 at T'=1000 up to 0.079 at T'=419).
+func PARARP(cfg AdaptConfig, seed uint64) *PARA {
+	p := 34.0 / float64(cfg.TPrimeRH)
+	if p > 1 {
+		p = 1
+	}
+	return NewPARA(p, seed)
+}

@@ -1,0 +1,87 @@
+package mitigate
+
+import "fmt"
+
+// Graphene is the Misra-Gries-based RowHammer mitigation of Park et al.
+// [109]: a per-bank table of (row, counter) entries plus a spillover
+// counter. When a row's estimated count reaches the table threshold T, its
+// neighbors are preventively refreshed and the counter rebases on the
+// spillover value. The Misra-Gries guarantee bounds undercounting by
+// (total activations)/(table size + 1), which sizes T = T_RH/(4·...) in
+// the original paper; here T is supplied by the configuration (Table 3).
+type Graphene struct {
+	Threshold int // T: estimated count triggering a preventive refresh
+	TableSize int
+
+	counts    map[int]int
+	spillover int
+	refreshes uint64
+}
+
+// NewGraphene builds a tracker with the given trigger threshold and table
+// size. It panics on non-positive parameters (configuration bug).
+func NewGraphene(threshold, tableSize int) *Graphene {
+	if threshold <= 0 || tableSize <= 0 {
+		panic(fmt.Sprintf("mitigate: bad Graphene config T=%d size=%d", threshold, tableSize))
+	}
+	return &Graphene{
+		Threshold: threshold,
+		TableSize: tableSize,
+		counts:    make(map[int]int, tableSize),
+	}
+}
+
+// Name implements Mitigation.
+func (g *Graphene) Name() string { return "Graphene" }
+
+// OnActivate implements Mitigation with the Misra-Gries update rule.
+func (g *Graphene) OnActivate(row int) []int {
+	if c, ok := g.counts[row]; ok {
+		c++
+		g.counts[row] = c
+		if c >= g.Threshold {
+			// Preventive refresh; rebase so continued hammering must earn
+			// another full threshold's worth of activations.
+			g.counts[row] = g.spillover
+			g.refreshes++
+			return victimsOf(row)
+		}
+		return nil
+	}
+	if len(g.counts) < g.TableSize {
+		g.counts[row] = g.spillover + 1
+		if g.counts[row] >= g.Threshold {
+			g.counts[row] = g.spillover
+			g.refreshes++
+			return victimsOf(row)
+		}
+		return nil
+	}
+	// Table full: Misra-Gries decrement — increment the spillover and evict
+	// any entry that falls to it.
+	g.spillover++
+	for r, c := range g.counts {
+		if c <= g.spillover {
+			delete(g.counts, r)
+		}
+	}
+	return nil
+}
+
+// OnRefreshWindow implements Mitigation: counters reset every tREFW.
+func (g *Graphene) OnRefreshWindow() {
+	clear(g.counts)
+	g.spillover = 0
+}
+
+// PreventiveRefreshes returns the cumulative preventive refresh count.
+func (g *Graphene) PreventiveRefreshes() uint64 { return g.refreshes }
+
+// EstimatedCount returns the Misra-Gries estimate for a row (for tests of
+// the undercount bound).
+func (g *Graphene) EstimatedCount(row int) int {
+	if c, ok := g.counts[row]; ok {
+		return c
+	}
+	return g.spillover
+}

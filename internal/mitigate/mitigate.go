@@ -1,0 +1,38 @@
+// Package mitigate implements the read-disturb mitigation mechanisms the
+// paper builds on and extends (§6, §7): the in-DRAM target row refresh
+// (TRR) samplers the attack must bypass, the PARA and Graphene RowHammer
+// mitigations, and the paper's adaptation methodology that re-configures
+// them (tighter threshold + capped row-open time) to also stop RowPress.
+package mitigate
+
+// Mitigation observes row activations in one bank and decides which rows
+// to preventively refresh. Implementations are per-bank; callers own one
+// instance per bank.
+type Mitigation interface {
+	// Name identifies the mechanism in reports.
+	Name() string
+	// OnActivate records an activation of row and returns the rows to
+	// preventively refresh right now (empty for most activations).
+	OnActivate(row int) []int
+	// OnRefreshWindow notifies that a refresh window (tREFW) completed;
+	// counter-based mechanisms reset here.
+	OnRefreshWindow()
+}
+
+// None is the no-mitigation baseline.
+type None struct{}
+
+// Name implements Mitigation.
+func (None) Name() string { return "none" }
+
+// OnActivate implements Mitigation.
+func (None) OnActivate(int) []int { return nil }
+
+// OnRefreshWindow implements Mitigation.
+func (None) OnRefreshWindow() {}
+
+// victimsOf returns the blast-radius-1..2 neighbors a preventive refresh
+// targets for an aggressor row.
+func victimsOf(row int) []int {
+	return []int{row - 2, row - 1, row + 1, row + 2}
+}

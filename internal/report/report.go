@@ -1,0 +1,90 @@
+// Package report renders experiment results as aligned ASCII tables and
+// series — the textual equivalent of the paper's figures. Every
+// regenerator (bench, CLI, example) prints through this package so outputs
+// are uniform and diffable.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Table renders rows under headers with aligned columns.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	var rule []string
+	for _, w := range widths {
+		rule = append(rule, strings.Repeat("-", w))
+	}
+	writeRow(rule)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Num formats a float compactly (3 significant-ish digits).
+func Num(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v != v: // NaN
+		return "-"
+	case abs(v) >= 1e5 || abs(v) < 1e-3:
+		return fmt.Sprintf("%.2e", v)
+	case abs(v) >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case abs(v) >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// Pct formats a fraction as a percentage.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// Box renders a five-number summary the way the paper's box-and-whiskers
+// plots present distributions.
+func Box(s stats.Summary) string {
+	if s.N == 0 {
+		return "no data"
+	}
+	return fmt.Sprintf("min=%s q1=%s med=%s q3=%s max=%s (n=%d)",
+		Num(s.Min), Num(s.Q1), Num(s.Median), Num(s.Q3), Num(s.Max), s.N)
+}
+
+// Section renders a titled block.
+func Section(title, body string) string {
+	return fmt.Sprintf("== %s ==\n%s", title, body)
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,70 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"a", "long-header"}, [][]string{
+		{"1", "2"},
+		{"333", "4"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	if !strings.Contains(lines[0], "long-header") {
+		t.Error("missing header")
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Error("missing rule")
+	}
+}
+
+func TestNum(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1234567: "1.23e+06",
+		123:     "123",
+		1.5:     "1.50",
+		0.25:    "0.2500",
+		2.5e-7:  "2.50e-07",
+	}
+	for in, want := range cases {
+		if got := Num(in); got != want {
+			t.Errorf("Num(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if Num(math.NaN()) != "-" {
+		t.Error("NaN should render as -")
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(0.123) != "12.3%" {
+		t.Errorf("Pct = %s", Pct(0.123))
+	}
+}
+
+func TestBox(t *testing.T) {
+	s := stats.Describe([]float64{1, 2, 3, 4, 5})
+	out := Box(s)
+	for _, want := range []string{"min=1", "med=3", "max=5", "n=5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Box missing %q in %q", want, out)
+		}
+	}
+	if Box(stats.Summary{}) != "no data" {
+		t.Error("empty box")
+	}
+}
+
+func TestSection(t *testing.T) {
+	if !strings.HasPrefix(Section("T", "body"), "== T ==\n") {
+		t.Error("section format")
+	}
+}

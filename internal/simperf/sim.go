@@ -1,0 +1,288 @@
+// Package simperf is the trace-driven multi-core DRAM performance
+// simulator standing in for Ramulator in the paper's mitigation study
+// (§7.3, §7.4, Appendix D): cores replay synthetic workload traces through
+// an FR-FCFS single-channel memory controller with configurable row
+// policies, periodic refresh, and pluggable RowHammer/RowPress mitigation
+// mechanisms whose preventive refreshes cost real bank time.
+package simperf
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+	"repro/internal/mitigate"
+	"repro/internal/workload"
+)
+
+// CPU clock: 4 GHz out-of-order core (§7.4 configuration), so one
+// instruction retires in 250 ps at peak.
+const (
+	cpuFreqGHz = 4
+	instrPS    = dram.TimePS(250)
+	// retireWidth approximates the core's non-memory IPC.
+	retireWidth = 4
+)
+
+// Config describes one simulation.
+type Config struct {
+	Banks       int
+	RowsPerBank int
+	BlocksRow   int
+	Policy      memctrl.RowPolicy
+	// NewMitigation builds a per-bank mitigation instance; nil = none.
+	NewMitigation func(bank int) mitigate.Mitigation
+	// InstrPerCore is the retirement target per core.
+	InstrPerCore int
+}
+
+// DefaultConfig mirrors the paper's simulated system scaled down: one
+// channel, 8 banks.
+func DefaultConfig() Config {
+	return Config{
+		Banks:        8,
+		RowsPerBank:  4096,
+		BlocksRow:    128,
+		Policy:       memctrl.OpenRow(),
+		InstrPerCore: 2_000_000,
+	}
+}
+
+// CoreStats reports one core's outcome.
+type CoreStats struct {
+	Workload     string
+	Instructions int
+	Cycles       int64
+	RowHits      int
+	RowMisses    int
+}
+
+// IPC returns instructions per cycle.
+func (c CoreStats) IPC() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.Instructions) / float64(c.Cycles)
+}
+
+// RowHitRate returns the fraction of requests that hit an open row.
+func (c CoreStats) RowHitRate() float64 {
+	total := c.RowHits + c.RowMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.RowHits) / float64(total)
+}
+
+// Result is a full simulation outcome.
+type Result struct {
+	Cores               []CoreStats
+	PreventiveRefreshes uint64
+	Activations         uint64
+	// MaxRowACTsPerWindow is the largest per-row activation count observed
+	// in any tREFW window (Fig. 38's metric).
+	MaxRowACTsPerWindow int
+}
+
+// WeightedSpeedup computes Σ IPC_shared(i)/IPC_alone(i) given the
+// standalone IPCs (§7.4 metric for multiprogrammed workloads).
+func (r Result) WeightedSpeedup(alone []float64) float64 {
+	ws := 0.0
+	for i, c := range r.Cores {
+		if i < len(alone) && alone[i] > 0 {
+			ws += c.IPC() / alone[i]
+		}
+	}
+	return ws
+}
+
+type core struct {
+	gen      *workload.Generator
+	stats    CoreStats
+	pending  *workload.Request
+	readyAt  dram.TimePS // when the pending request reaches the controller
+	doneInst int
+	finished bool
+}
+
+// Sim is the simulator instance.
+type Sim struct {
+	cfg    Config
+	timing dram.Timing
+	banks  []memctrl.BankState
+	mits   []mitigate.Mitigation
+	cores  []*core
+
+	now       dram.TimePS
+	nextREF   dram.TimePS
+	refCount  int
+	actCounts map[int64]int // (bank,row) -> ACTs in the current tREFW window
+
+	result Result
+}
+
+// New builds a simulator for the given workloads (one per core).
+func New(cfg Config, profiles []workload.Profile, seed uint64) (*Sim, error) {
+	if len(profiles) == 0 {
+		return nil, fmt.Errorf("simperf: need at least one workload")
+	}
+	s := &Sim{
+		cfg:       cfg,
+		timing:    dram.DDR4(),
+		banks:     make([]memctrl.BankState, cfg.Banks),
+		nextREF:   dram.DDR4().TREFI,
+		actCounts: make(map[int64]int),
+	}
+	if cfg.NewMitigation != nil {
+		s.mits = make([]mitigate.Mitigation, cfg.Banks)
+		for b := range s.mits {
+			s.mits[b] = cfg.NewMitigation(b)
+		}
+	}
+	for i, p := range profiles {
+		gen, err := workload.NewGenerator(p, cfg.Banks, cfg.RowsPerBank, cfg.BlocksRow, seed+uint64(i)*0x9E37)
+		if err != nil {
+			return nil, err
+		}
+		c := &core{gen: gen}
+		c.stats.Workload = p.Name
+		s.cores = append(s.cores, c)
+	}
+	return s, nil
+}
+
+// fetch loads the next request of a core and schedules its arrival.
+func (s *Sim) fetch(c *core, from dram.TimePS) {
+	if c.doneInst >= s.cfg.InstrPerCore {
+		c.finished = true
+		c.stats.Instructions = c.doneInst
+		c.stats.Cycles = int64((from / instrPS)) // cycles at 4 GHz
+		return
+	}
+	req := c.gen.Next()
+	c.pending = &req
+	c.readyAt = from + dram.TimePS(req.InstrGap)*instrPS/retireWidth
+	c.doneInst += req.InstrGap
+}
+
+// Run executes the simulation to completion.
+func (s *Sim) Run() Result {
+	for _, c := range s.cores {
+		s.fetch(c, 0)
+	}
+	for {
+		c := s.pickNext()
+		if c == nil {
+			break
+		}
+		s.serve(c)
+	}
+	for _, c := range s.cores {
+		s.result.Cores = append(s.result.Cores, c.stats)
+	}
+	return s.result
+}
+
+// pickNext implements FR-FCFS over the (at most one per core) pending
+// requests: among requests that have arrived, prefer row hits, then the
+// oldest; if none has arrived yet, take the earliest arrival.
+func (s *Sim) pickNext() *core {
+	var best *core
+	bestHit := false
+	for _, c := range s.cores {
+		if c.finished || c.pending == nil {
+			continue
+		}
+		if best == nil {
+			best = c
+			bestHit = s.isHit(c)
+			continue
+		}
+		arrived := c.readyAt <= s.now
+		bestArrived := best.readyAt <= s.now
+		switch {
+		case arrived && !bestArrived:
+			best, bestHit = c, s.isHit(c)
+		case arrived == bestArrived:
+			hit := s.isHit(c)
+			if (hit && !bestHit) || (hit == bestHit && c.readyAt < best.readyAt) {
+				best, bestHit = c, hit
+			}
+		}
+	}
+	return best
+}
+
+func (s *Sim) isHit(c *core) bool {
+	b := &s.banks[c.pending.Bank]
+	at := c.readyAt
+	if at < s.now {
+		at = s.now
+	}
+	return b.RowOpenFor(c.pending.Row, at, s.cfg.Policy)
+}
+
+// serve processes one request end to end.
+func (s *Sim) serve(c *core) {
+	req := *c.pending
+	c.pending = nil
+	start := c.readyAt
+	if start < s.now {
+		start = s.now
+	}
+	s.processRefreshes(start)
+
+	bank := &s.banks[req.Bank]
+	done, activated := bank.Access(start, req.Row, s.cfg.Policy, s.timing)
+	if activated {
+		c.stats.RowMisses++
+		s.result.Activations++
+		s.countACT(req.Bank, req.Row)
+		if s.mits != nil {
+			victims := s.mits[req.Bank].OnActivate(req.Row)
+			if len(victims) > 0 {
+				// Preventive refreshes occupy the bank for tRC each and
+				// close the row buffer — this is the mitigation's cost.
+				s.result.PreventiveRefreshes += uint64(len(victims))
+				bank.Preempt(done + dram.TimePS(len(victims))*s.timing.TRC())
+			}
+		}
+	} else {
+		c.stats.RowHits++
+	}
+	if done > s.now {
+		s.now = done
+	}
+	s.fetch(c, done)
+}
+
+// processRefreshes applies all REF commands due by time t: every tREFI all
+// banks lose tRFC and their row buffers close.
+func (s *Sim) processRefreshes(t dram.TimePS) {
+	for s.nextREF <= t {
+		for b := range s.banks {
+			s.banks[b].Preempt(s.nextREF + s.timing.TRFC)
+		}
+		s.refCount++
+		if s.refCount%s.timing.RefreshesPerWindow() == 0 {
+			// A full refresh window elapsed.
+			for _, m := range s.mits {
+				m.OnRefreshWindow()
+			}
+			s.flushACTWindow()
+		}
+		s.nextREF += s.timing.TREFI
+	}
+}
+
+func (s *Sim) countACT(bank, row int) {
+	key := int64(bank)<<32 | int64(row)
+	s.actCounts[key]++
+	if s.actCounts[key] > s.result.MaxRowACTsPerWindow {
+		s.result.MaxRowACTsPerWindow = s.actCounts[key]
+	}
+}
+
+func (s *Sim) flushACTWindow() {
+	clear(s.actCounts)
+}

@@ -1,0 +1,242 @@
+package simperf
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+	"repro/internal/mitigate"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// TmroLattice is the Table 3 sweep of maximum row-open times.
+var TmroLattice = []dram.TimePS{
+	36 * dram.Nanosecond,
+	66 * dram.Nanosecond,
+	96 * dram.Nanosecond,
+	186 * dram.Nanosecond,
+	336 * dram.Nanosecond,
+	636 * dram.Nanosecond,
+}
+
+// BaseTRH is the baseline RowHammer threshold of Table 3.
+const BaseTRH = 1000
+
+// GrapheneTableSize is the Misra-Gries table size (sized for T = T_RH/3
+// per the original Graphene configuration at the simulated scale).
+const GrapheneTableSize = 64
+
+// runOne simulates one workload set under a policy + mitigation factory
+// and returns per-core IPCs and the result.
+func runOne(cfg Config, profiles []workload.Profile, seed uint64) (Result, error) {
+	sim, err := New(cfg, profiles, seed)
+	if err != nil {
+		return Result{}, err
+	}
+	return sim.Run(), nil
+}
+
+// MitigationKind selects the mechanism family for the Table 3 study.
+type MitigationKind int
+
+// The two mitigations the paper adapts.
+const (
+	KindGraphene MitigationKind = iota
+	KindPARA
+)
+
+func (k MitigationKind) String() string {
+	if k == KindPARA {
+		return "PARA"
+	}
+	return "Graphene"
+}
+
+// AdaptedFactory builds the per-bank mitigation factory for the adapted
+// mechanism at one tmro configuration.
+func AdaptedFactory(kind MitigationKind, tmro dram.TimePS, seed uint64) (func(int) mitigate.Mitigation, error) {
+	ac, err := mitigate.Adapt(BaseTRH, mitigate.SamsungBDieCurve, tmro)
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case KindGraphene:
+		return func(bank int) mitigate.Mitigation {
+			return mitigate.GrapheneRP(ac, GrapheneTableSize)
+		}, nil
+	case KindPARA:
+		return func(bank int) mitigate.Mitigation {
+			return mitigate.PARARP(ac, seed+uint64(bank))
+		}, nil
+	default:
+		return nil, fmt.Errorf("simperf: unknown mitigation kind %d", kind)
+	}
+}
+
+// BaselineFactory builds the unadapted mechanism (tmro = tRAS column of
+// Table 3: T' = T_RH, open-row policy).
+func BaselineFactory(kind MitigationKind, seed uint64) func(int) mitigate.Mitigation {
+	f, err := AdaptedFactory(kind, 36*dram.Nanosecond, seed)
+	if err != nil {
+		panic(err) // 36 ns is always in the curve
+	}
+	return f
+}
+
+// OverheadRow is one tmro column of Table 3 for one mechanism.
+type OverheadRow struct {
+	TMro        dram.TimePS
+	TPrime      int
+	AvgOverhead float64 // mean slowdown vs the unadapted mechanism (fraction)
+	MaxOverhead float64
+}
+
+// MitigationStudy produces Table 3: for each tmro, the performance of the
+// adapted mechanism (reduced threshold + capped row-open time) normalized
+// to the original mechanism with the open-row policy, across 4-core
+// workload mixes.
+func MitigationStudy(kind MitigationKind, cfg Config, mixes [][]workload.Profile, seed uint64) ([]OverheadRow, error) {
+	baseCfg := cfg
+	baseCfg.Policy = memctrl.OpenRow()
+	baseCfg.NewMitigation = BaselineFactory(kind, seed)
+
+	baseWS := make([]float64, len(mixes))
+	alone := make([][]float64, len(mixes))
+	for i, mix := range mixes {
+		al, err := AloneIPCs(cfg, mix, seed)
+		if err != nil {
+			return nil, err
+		}
+		alone[i] = al
+		res, err := runOne(baseCfg, mix, seed)
+		if err != nil {
+			return nil, err
+		}
+		baseWS[i] = res.WeightedSpeedup(al)
+	}
+
+	var rows []OverheadRow
+	for _, tmro := range TmroLattice {
+		factory, err := AdaptedFactory(kind, tmro, seed)
+		if err != nil {
+			return nil, err
+		}
+		ac, _ := mitigate.Adapt(BaseTRH, mitigate.SamsungBDieCurve, tmro)
+		adCfg := cfg
+		adCfg.Policy = memctrl.TmroCap(tmro)
+		adCfg.NewMitigation = factory
+
+		row := OverheadRow{TMro: tmro, TPrime: ac.TPrimeRH}
+		var overheads []float64
+		for i, mix := range mixes {
+			res, err := runOne(adCfg, mix, seed)
+			if err != nil {
+				return nil, err
+			}
+			ws := res.WeightedSpeedup(alone[i])
+			overheads = append(overheads, 1-ws/baseWS[i])
+		}
+		row.AvgOverhead = stats.Mean(overheads)
+		row.MaxOverhead = stats.Max(overheads)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RunMix simulates one workload mix under the given configuration.
+func RunMix(cfg Config, mix []workload.Profile, seed uint64) (Result, error) {
+	return runOne(cfg, mix, seed)
+}
+
+// RunAdapted simulates a mix under the adapted mechanism (reduced
+// threshold + tmro-capped row policy) at one tmro point.
+func RunAdapted(kind MitigationKind, tmro dram.TimePS, cfg Config, mix []workload.Profile, seed uint64) (Result, error) {
+	factory, err := AdaptedFactory(kind, tmro, seed)
+	if err != nil {
+		return Result{}, err
+	}
+	c := cfg
+	c.Policy = memctrl.TmroCap(tmro)
+	c.NewMitigation = factory
+	return runOne(c, mix, seed)
+}
+
+// AloneIPCs simulates each profile alone (no mitigation, open-row) for the
+// weighted-speedup denominator.
+func AloneIPCs(cfg Config, mix []workload.Profile, seed uint64) ([]float64, error) {
+	out := make([]float64, len(mix))
+	for i, p := range mix {
+		c := cfg
+		c.Policy = memctrl.OpenRow()
+		c.NewMitigation = nil
+		res, err := runOne(c, []workload.Profile{p}, seed)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res.Cores[0].IPC()
+	}
+	return out, nil
+}
+
+// MinOpenRowStudy produces Fig. 38/39: per workload, the normalized IPC
+// and the max per-row ACT-count increase of the minimally-open-row policy
+// versus the open-row baseline.
+type MinOpenRowRow struct {
+	Workload      string
+	NormalizedIPC float64
+	ACTIncrease   float64 // max per-row ACTs per tREFW, minimally-open / open
+}
+
+// MinOpenRowStudy runs the Appendix D.1 comparison for the given profiles.
+func MinOpenRowStudy(cfg Config, profiles []workload.Profile, seed uint64) ([]MinOpenRowRow, error) {
+	var out []MinOpenRowRow
+	for _, p := range profiles {
+		open := cfg
+		open.Policy = memctrl.OpenRow()
+		ro, err := runOne(open, []workload.Profile{p}, seed)
+		if err != nil {
+			return nil, err
+		}
+		closed := cfg
+		closed.Policy = memctrl.ClosedRow()
+		rc, err := runOne(closed, []workload.Profile{p}, seed)
+		if err != nil {
+			return nil, err
+		}
+		row := MinOpenRowRow{Workload: p.Name}
+		if ipc := ro.Cores[0].IPC(); ipc > 0 {
+			row.NormalizedIPC = rc.Cores[0].IPC() / ipc
+		}
+		if ro.MaxRowACTsPerWindow > 0 {
+			row.ACTIncrease = float64(rc.MaxRowACTsPerWindow) / float64(ro.MaxRowACTsPerWindow)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// HeterogeneousMixes builds the Appendix D category mixes (HHHH, HHHL,
+// HHLL, HLLL, LLLL), n of each, deterministically.
+func HeterogeneousMixes(n int, seed uint64) map[string][][]workload.Profile {
+	heavy, light := workload.Heavy(), workload.Light()
+	rng := stats.NewRNG(seed)
+	pick := func(pool []workload.Profile) workload.Profile {
+		return pool[rng.Intn(len(pool))]
+	}
+	out := make(map[string][][]workload.Profile)
+	for _, group := range []string{"HHHH", "HHHL", "HHLL", "HLLL", "LLLL"} {
+		for i := 0; i < n; i++ {
+			var mix []workload.Profile
+			for _, ch := range group {
+				if ch == 'H' {
+					mix = append(mix, pick(heavy))
+				} else {
+					mix = append(mix, pick(light))
+				}
+			}
+			out[group] = append(out[group], mix)
+		}
+	}
+	return out
+}

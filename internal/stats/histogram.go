@@ -1,0 +1,84 @@
+package stats
+
+import "math"
+
+// Histogram is a fixed-bin-width histogram over [Lo, Hi) with overflow and
+// underflow buckets, used for the latency histogram of Fig. 24 and the
+// repeatability plots of Appendix E.
+type Histogram struct {
+	Lo, Hi    float64
+	BinWidth  float64
+	Counts    []int
+	Underflow int
+	Overflow  int
+	Total     int
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over [lo, hi).
+// It panics on a non-positive bin count or an empty range.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic("stats: invalid histogram configuration")
+	}
+	return &Histogram{
+		Lo:       lo,
+		Hi:       hi,
+		BinWidth: (hi - lo) / float64(bins),
+		Counts:   make([]int, bins),
+	}
+}
+
+// Add records a single observation.
+func (h *Histogram) Add(v float64) {
+	h.Total++
+	switch {
+	case v < h.Lo:
+		h.Underflow++
+	case v >= h.Hi:
+		h.Overflow++
+	default:
+		idx := int((v - h.Lo) / h.BinWidth)
+		if idx >= len(h.Counts) { // guard rounding at the upper edge
+			idx = len(h.Counts) - 1
+		}
+		h.Counts[idx]++
+	}
+}
+
+// Frequencies returns each bin count divided by the total observation count
+// (including under/overflow), or all zeros when empty.
+func (h *Histogram) Frequencies() []float64 {
+	fs := make([]float64, len(h.Counts))
+	if h.Total == 0 {
+		return fs
+	}
+	for i, c := range h.Counts {
+		fs[i] = float64(c) / float64(h.Total)
+	}
+	return fs
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.Lo + (float64(i)+0.5)*h.BinWidth
+}
+
+// Median returns an approximate median from binned data (midpoint of the
+// bin containing the 50th percentile); NaN when empty.
+func (h *Histogram) Median() float64 {
+	if h.Total == 0 {
+		return math.NaN()
+	}
+	target := (h.Total + 1) / 2
+	seen := h.Underflow
+	if seen >= target {
+		return h.Lo
+	}
+	for i, c := range h.Counts {
+		seen += c
+		if seen >= target {
+			return h.BinCenter(i)
+		}
+	}
+	return h.Hi
+}

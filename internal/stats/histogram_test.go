@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramBasic(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	for i, c := range h.Counts {
+		if c != 1 {
+			t.Fatalf("bin %d count = %d, want 1", i, c)
+		}
+	}
+	if h.Total != 10 {
+		t.Fatalf("total = %d", h.Total)
+	}
+}
+
+func TestHistogramOverUnderflow(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(-1)
+	h.Add(10) // hi edge is exclusive
+	h.Add(100)
+	if h.Underflow != 1 || h.Overflow != 2 {
+		t.Fatalf("under=%d over=%d", h.Underflow, h.Overflow)
+	}
+}
+
+func TestHistogramFrequenciesSumToOneMinusTails(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i%10) / 10)
+	}
+	var sum float64
+	for _, f := range h.Frequencies() {
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("frequencies sum = %v, want 1", sum)
+	}
+}
+
+func TestHistogramMedian(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 99; i++ {
+		h.Add(float64(i))
+	}
+	med := h.Median()
+	if math.Abs(med-49.5) > 1.0 {
+		t.Fatalf("median = %v, want ~49.5", med)
+	}
+	empty := NewHistogram(0, 1, 2)
+	if !math.IsNaN(empty.Median()) {
+		t.Fatal("empty histogram median should be NaN")
+	}
+}
+
+func TestHistogramPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(1, 0, 10)
+}
+
+func TestHistogramBinCenter(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	if h.BinCenter(0) != 0.5 || h.BinCenter(9) != 9.5 {
+		t.Fatalf("bin centers wrong: %v %v", h.BinCenter(0), h.BinCenter(9))
+	}
+}

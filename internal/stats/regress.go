@@ -1,0 +1,62 @@
+package stats
+
+import "math"
+
+// LinearFit holds an ordinary-least-squares line y = Slope*x + Intercept.
+type LinearFit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// FitLine fits y = a*x + b by least squares. It returns a zero fit when
+// fewer than two points are supplied or x has no variance.
+func FitLine(xs, ys []float64) LinearFit {
+	n := len(xs)
+	if n != len(ys) || n < 2 {
+		return LinearFit{}
+	}
+	var sx, sy, sxx, sxy, syy float64
+	for i := 0; i < n; i++ {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+		syy += ys[i] * ys[i]
+	}
+	fn := float64(n)
+	den := fn*sxx - sx*sx
+	if den == 0 {
+		return LinearFit{}
+	}
+	slope := (fn*sxy - sx*sy) / den
+	intercept := (sy - slope*sx) / fn
+
+	// Coefficient of determination.
+	meanY := sy / fn
+	var ssRes, ssTot float64
+	for i := 0; i < n; i++ {
+		pred := slope*xs[i] + intercept
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+		ssTot += (ys[i] - meanY) * (ys[i] - meanY)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return LinearFit{Slope: slope, Intercept: intercept, R2: r2}
+}
+
+// FitLogLog fits log10(y) = Slope*log10(x) + Intercept, skipping
+// non-positive points. This regenerates the paper's ACmin trend-line slopes
+// (≈ −1.02 for tAggON ≥ 7.8 µs, Obsv. 3).
+func FitLogLog(xs, ys []float64) LinearFit {
+	var lx, ly []float64
+	for i := range xs {
+		if i < len(ys) && xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log10(xs[i]))
+			ly = append(ly, math.Log10(ys[i]))
+		}
+	}
+	return FitLine(lx, ly)
+}

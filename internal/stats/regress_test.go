@@ -1,0 +1,68 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitLineExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{1, 3, 5, 7, 9} // y = 2x + 1
+	fit := FitLine(xs, ys)
+	if math.Abs(fit.Slope-2) > 1e-12 || math.Abs(fit.Intercept-1) > 1e-12 {
+		t.Fatalf("fit = %+v, want slope 2 intercept 1", fit)
+	}
+	if math.Abs(fit.R2-1) > 1e-12 {
+		t.Fatalf("R2 = %v, want 1", fit.R2)
+	}
+}
+
+func TestFitLineDegenerate(t *testing.T) {
+	if fit := FitLine([]float64{1}, []float64{2}); fit.Slope != 0 {
+		t.Error("single point should produce zero fit")
+	}
+	if fit := FitLine([]float64{2, 2, 2}, []float64{1, 2, 3}); fit.Slope != 0 {
+		t.Error("zero-variance x should produce zero fit")
+	}
+}
+
+func TestFitLogLogPowerLaw(t *testing.T) {
+	// y = 50/x should fit slope -1 in log-log space, mirroring the paper's
+	// ACmin ~ 1/tAggON trend.
+	var xs, ys []float64
+	for x := 1.0; x <= 1e6; x *= 10 {
+		xs = append(xs, x)
+		ys = append(ys, 50/x)
+	}
+	fit := FitLogLog(xs, ys)
+	if math.Abs(fit.Slope+1) > 1e-9 {
+		t.Fatalf("log-log slope = %v, want -1", fit.Slope)
+	}
+}
+
+func TestFitLogLogSkipsNonPositive(t *testing.T) {
+	fit := FitLogLog([]float64{-1, 0, 1, 10, 100}, []float64{5, 5, 100, 10, 1})
+	if math.Abs(fit.Slope+1) > 1e-9 {
+		t.Fatalf("slope = %v, want -1 after skipping bad points", fit.Slope)
+	}
+}
+
+func TestFitLineRecoversRandomLine(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		slope := (r.Float64() - 0.5) * 20
+		intercept := (r.Float64() - 0.5) * 100
+		xs := make([]float64, 50)
+		ys := make([]float64, 50)
+		for i := range xs {
+			xs[i] = float64(i)
+			ys[i] = slope*xs[i] + intercept
+		}
+		fit := FitLine(xs, ys)
+		return math.Abs(fit.Slope-slope) < 1e-6 && math.Abs(fit.Intercept-intercept) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

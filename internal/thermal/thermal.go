@@ -1,0 +1,130 @@
+// Package thermal simulates the temperature-control rig of the paper's
+// testing infrastructure (§3.1): heater pads pressed against the DRAM
+// chips, a thermocouple sensor, and a PID controller (the MaxWell FT200)
+// that holds the chips at a target temperature. Experiments ask the
+// controller to settle at a setpoint before testing, exactly as the real
+// infrastructure does.
+package thermal
+
+import (
+	"fmt"
+	"math"
+)
+
+// Plant is a first-order thermal model of the DIMM + heater-pad assembly:
+//
+//	dT/dt = (Gain·power − (T − Ambient)) / Tau
+type Plant struct {
+	Ambient float64 // °C
+	Gain    float64 // °C above ambient at full power, steady state
+	Tau     float64 // time constant, seconds
+	Temp    float64 // current chip temperature, °C
+}
+
+// DefaultPlant models a heater pad able to reach ~110 °C in a ~22 °C lab,
+// with a time constant of half a minute.
+func DefaultPlant() *Plant {
+	return &Plant{Ambient: 22, Gain: 90, Tau: 30, Temp: 22}
+}
+
+// Step advances the plant by dt seconds with the given heater power
+// (clamped to [0, 1]) and returns the new temperature.
+func (p *Plant) Step(dt, power float64) float64 {
+	power = clamp(power, 0, 1)
+	target := p.Ambient + p.Gain*power
+	// Exact integration of the linear ODE over dt.
+	alpha := 1 - math.Exp(-dt/p.Tau)
+	p.Temp += (target - p.Temp) * alpha
+	return p.Temp
+}
+
+// PID is a standard discrete PID controller with anti-windup via
+// integrator clamping.
+type PID struct {
+	Kp, Ki, Kd float64
+	integral   float64
+	lastErr    float64
+	hasLast    bool
+}
+
+// DefaultPID returns gains tuned for DefaultPlant.
+func DefaultPID() *PID { return &PID{Kp: 0.08, Ki: 0.004, Kd: 0.10} }
+
+// Output computes the control output for the given error over dt seconds.
+func (c *PID) Output(err, dt float64) float64 {
+	c.integral = clamp(c.integral+err*dt, -300, 300)
+	deriv := 0.0
+	if c.hasLast && dt > 0 {
+		deriv = (err - c.lastErr) / dt
+	}
+	c.lastErr = err
+	c.hasLast = true
+	return c.Kp*err + c.Ki*c.integral + c.Kd*deriv
+}
+
+// Reset clears controller state (for a new setpoint).
+func (c *PID) Reset() {
+	c.integral = 0
+	c.lastErr = 0
+	c.hasLast = false
+}
+
+// Controller couples a PID loop to a plant, mirroring the FT200 + heater
+// pads. The zero value is not usable; use NewController.
+type Controller struct {
+	Plant *Plant
+	PID   *PID
+	// StepSeconds is the control period (default 0.5 s).
+	StepSeconds float64
+}
+
+// NewController returns a controller with default plant and gains.
+func NewController() *Controller {
+	return &Controller{Plant: DefaultPlant(), PID: DefaultPID(), StepSeconds: 0.5}
+}
+
+// Settle drives the plant to target ± tol °C and holds it there for
+// holdSeconds. It returns the simulated seconds elapsed, or an error if the
+// loop cannot settle within a generous bound (a mis-tuned controller or an
+// unreachable setpoint).
+func (c *Controller) Settle(target, tol, holdSeconds float64) (float64, error) {
+	if target > c.Plant.Ambient+c.Plant.Gain {
+		return 0, fmt.Errorf("thermal: target %.1f°C exceeds heater capability %.1f°C",
+			target, c.Plant.Ambient+c.Plant.Gain)
+	}
+	if target < c.Plant.Ambient {
+		return 0, fmt.Errorf("thermal: target %.1f°C below ambient %.1f°C (no cooling)",
+			target, c.Plant.Ambient)
+	}
+	c.PID.Reset()
+	const maxSeconds = 4 * 3600
+	elapsed, inBand := 0.0, 0.0
+	for elapsed < maxSeconds {
+		err := target - c.Plant.Temp
+		power := c.PID.Output(err, c.StepSeconds)
+		c.Plant.Step(c.StepSeconds, power)
+		elapsed += c.StepSeconds
+		if math.Abs(target-c.Plant.Temp) <= tol {
+			inBand += c.StepSeconds
+			if inBand >= holdSeconds {
+				return elapsed, nil
+			}
+		} else {
+			inBand = 0
+		}
+	}
+	return elapsed, fmt.Errorf("thermal: failed to settle at %.1f°C within %d s", target, int(maxSeconds))
+}
+
+// Temperature returns the current chip temperature.
+func (c *Controller) Temperature() float64 { return c.Plant.Temp }
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

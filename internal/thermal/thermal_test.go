@@ -1,0 +1,87 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPlantConvergesToSteadyState(t *testing.T) {
+	p := DefaultPlant()
+	for i := 0; i < 10000; i++ {
+		p.Step(1, 1)
+	}
+	want := p.Ambient + p.Gain
+	if math.Abs(p.Temp-want) > 0.1 {
+		t.Fatalf("full-power steady state = %v, want %v", p.Temp, want)
+	}
+}
+
+func TestPlantCoolsToAmbient(t *testing.T) {
+	p := DefaultPlant()
+	p.Temp = 90
+	for i := 0; i < 10000; i++ {
+		p.Step(1, 0)
+	}
+	if math.Abs(p.Temp-p.Ambient) > 0.1 {
+		t.Fatalf("zero-power steady state = %v, want ambient %v", p.Temp, p.Ambient)
+	}
+}
+
+func TestPlantPowerClamped(t *testing.T) {
+	p := DefaultPlant()
+	for i := 0; i < 10000; i++ {
+		p.Step(1, 5) // over-driving must clamp to 1
+	}
+	if p.Temp > p.Ambient+p.Gain+0.1 {
+		t.Fatalf("plant exceeded full-power steady state: %v", p.Temp)
+	}
+}
+
+func TestSettleAtPaperTemperatures(t *testing.T) {
+	// The paper tests at 50, 65, and 80 °C (and sweeps 50–80 in 5° steps).
+	for _, target := range []float64{50, 65, 80} {
+		c := NewController()
+		elapsed, err := c.Settle(target, 0.5, 10)
+		if err != nil {
+			t.Fatalf("settle at %v: %v", target, err)
+		}
+		if math.Abs(c.Temperature()-target) > 0.5 {
+			t.Fatalf("settled at %v, want %v", c.Temperature(), target)
+		}
+		if elapsed <= 0 || elapsed > 3600 {
+			t.Fatalf("settle took %v s", elapsed)
+		}
+	}
+}
+
+func TestSettleSweep(t *testing.T) {
+	// 50 → 80 °C in 5 °C steps without resetting the plant (Fig. 15).
+	c := NewController()
+	for target := 50.0; target <= 80; target += 5 {
+		if _, err := c.Settle(target, 0.5, 5); err != nil {
+			t.Fatalf("sweep settle at %v: %v", target, err)
+		}
+	}
+}
+
+func TestSettleRejectsUnreachable(t *testing.T) {
+	c := NewController()
+	if _, err := c.Settle(200, 0.5, 5); err == nil {
+		t.Fatal("200°C should be unreachable")
+	}
+	if _, err := c.Settle(10, 0.5, 5); err == nil {
+		t.Fatal("below-ambient target should be rejected (no cooling)")
+	}
+}
+
+func TestPIDOutputResponds(t *testing.T) {
+	pid := DefaultPID()
+	out1 := pid.Output(10, 1)
+	if out1 <= 0 {
+		t.Fatalf("positive error should produce positive output, got %v", out1)
+	}
+	pid.Reset()
+	if pid.integral != 0 || pid.hasLast {
+		t.Fatal("reset did not clear state")
+	}
+}

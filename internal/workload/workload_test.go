@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestProfilesValid(t *testing.T) {
+	if len(Profiles) < 30 {
+		t.Fatalf("only %d profiles", len(Profiles))
+	}
+	for _, p := range Profiles {
+		if _, err := NewGenerator(p, 8, 4096, 128, 1); err != nil {
+			t.Errorf("profile %s invalid: %v", p.Name, err)
+		}
+	}
+}
+
+func TestHeavyLightPartition(t *testing.T) {
+	h, l := Heavy(), Light()
+	if len(h)+len(l) != len(Profiles) {
+		t.Fatalf("partition broken: %d + %d != %d", len(h), len(l), len(Profiles))
+	}
+	if len(h) == 0 || len(l) == 0 {
+		t.Fatal("both categories must be non-empty")
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, ok := ByName("462.libquantum")
+	if !ok || p.RowHitRate < 0.9 {
+		t.Fatalf("libquantum profile wrong: %+v ok=%v", p, ok)
+	}
+	if _, ok := ByName("nonexistent"); ok {
+		t.Fatal("found nonexistent workload")
+	}
+}
+
+func TestGeneratorRowHitRate(t *testing.T) {
+	for _, name := range []string{"462.libquantum", "429.mcf"} {
+		p, _ := ByName(name)
+		g, err := NewGenerator(p, 8, 4096, 128, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 50000
+		hits := 0
+		prevBank, prevRow := -1, -1
+		for i := 0; i < n; i++ {
+			r := g.Next()
+			if r.Bank == prevBank && r.Row == prevRow {
+				hits++
+			}
+			prevBank, prevRow = r.Bank, r.Row
+		}
+		rate := float64(hits) / n
+		if math.Abs(rate-p.RowHitRate) > 0.05 {
+			t.Errorf("%s: generated same-row rate %.3f, profile says %.2f", name, rate, p.RowHitRate)
+		}
+	}
+}
+
+func TestGeneratorIntensity(t *testing.T) {
+	p, _ := ByName("429.mcf")
+	g, _ := NewGenerator(p, 8, 4096, 128, 7)
+	const n = 50000
+	var sumGap float64
+	for i := 0; i < n; i++ {
+		sumGap += float64(g.Next().InstrGap)
+	}
+	gotMPKI := 1000 / (sumGap / n)
+	if math.Abs(gotMPKI-p.LLCMPKI)/p.LLCMPKI > 0.1 {
+		t.Errorf("generated MPKI %.1f, profile %.1f", gotMPKI, p.LLCMPKI)
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	p, _ := ByName("433.milc")
+	a, _ := NewGenerator(p, 8, 4096, 128, 5)
+	b, _ := NewGenerator(p, 8, 4096, 128, 5)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("generator not deterministic")
+		}
+	}
+}
+
+func TestGeneratorBounds(t *testing.T) {
+	p, _ := ByName("483.xalancbmk")
+	g, _ := NewGenerator(p, 4, 1024, 64, 9)
+	for i := 0; i < 10000; i++ {
+		r := g.Next()
+		if r.Bank < 0 || r.Bank >= 4 || r.Row < 0 || r.Row >= 1024 || r.Col < 0 || r.Col >= 64 {
+			t.Fatalf("request out of bounds: %+v", r)
+		}
+		if r.InstrGap < 1 {
+			t.Fatalf("non-positive gap: %+v", r)
+		}
+	}
+}
+
+func TestNewGeneratorValidation(t *testing.T) {
+	p, _ := ByName("429.mcf")
+	if _, err := NewGenerator(p, 0, 10, 10, 1); err == nil {
+		t.Error("zero banks should fail")
+	}
+	bad := p
+	bad.RowHitRate = 1.0
+	if _, err := NewGenerator(bad, 8, 4096, 128, 1); err == nil {
+		t.Error("RowHitRate=1 should fail")
+	}
+}
