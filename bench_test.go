@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 )
 
 // benchScale keeps the whole suite within minutes. Figure shape is
@@ -96,3 +97,48 @@ func BenchmarkSec63AdaptivePolicy(b *testing.B)     { benchOther(b, "sec63") }
 func BenchmarkSec72RowBufferDecoupled(b *testing.B) { benchOther(b, "sec72") }
 
 func BenchmarkSummaryHeadline(b *testing.B) { benchChar(b, "summary") }
+
+// Engine benchmarks: the same module-sharded sweep executed serially and
+// at increasing worker counts, cold (every shard computed) and warm
+// (every shard served from the content-addressed cache). The cold series
+// tracks the sharding speedup on multi-core hardware; the warm number is
+// the serving daemon's steady-state cost per request.
+
+// engineBenchID is a representative per-module experiment: one ACmin
+// sweep shard per benchModules entry.
+const engineBenchID = "fig6"
+
+func benchEngineCold(b *testing.B, workers int) {
+	o := core.Options{Scale: benchScale, Seed: 1, Modules: benchModules}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := engine.New(workers, 0) // fresh engine: no shard reuse across iterations
+		if _, err := core.RunWith(eng, engineBenchID, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineColdSerial(b *testing.B)   { benchEngineCold(b, 1) }
+func BenchmarkEngineCold2Workers(b *testing.B) { benchEngineCold(b, 2) }
+func BenchmarkEngineCold4Workers(b *testing.B) { benchEngineCold(b, 4) }
+func BenchmarkEngineCold8Workers(b *testing.B) { benchEngineCold(b, 8) }
+
+func BenchmarkEngineWarmCache(b *testing.B) {
+	o := core.Options{Scale: benchScale, Seed: 1, Modules: benchModules}
+	eng := engine.New(4, 0)
+	if _, err := core.RunWith(eng, engineBenchID, o); err != nil {
+		b.Fatal(err) // prime the cache outside the timer
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunWith(eng, engineBenchID, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+	m := eng.Metrics()
+	if m.ShardsExecuted != uint64(len(benchModules)) {
+		b.Fatalf("warm iterations re-executed shards: %+v", m)
+	}
+}

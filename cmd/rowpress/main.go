@@ -2,21 +2,32 @@
 // regenerator per table and figure of "RowPress: Amplifying Read
 // Disturbance in Modern DRAM Chips" (ISCA 2023).
 //
+// Runs execute on the sharded experiment engine: -workers picks the
+// concurrency (0 = GOMAXPROCS), and within one invocation completed
+// shards are cached per (experiment, options, shard), so repeated or
+// overlapping runs of the same experiment are served from memory.
+// -serve keeps the process alive after the requested runs and exposes
+// the warmed engine over HTTP (same API as rowpressd).
+//
 // Usage:
 //
 //	rowpress list
-//	rowpress run <id> [-scale 0.5] [-modules S0,S3] [-seed 7]
-//	rowpress all [-scale 0.1]
+//	rowpress run <id> [-scale 0.5] [-modules S0,S3] [-seed 7] [-workers 8]
+//	rowpress all [-scale 0.1] [-workers 8] [-serve :8271]
+//	rowpress serve [-addr :8271] [-workers 8]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"strings"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -29,6 +40,9 @@ func main() {
 	scale := fs.Float64("scale", 1.0, "scale factor in (0,1] for rows/victims/instructions")
 	modules := fs.String("modules", "", "comma-separated Table 5 module ids (default: one per die revision)")
 	seed := fs.Uint64("seed", 1, "seed for randomized components")
+	workers := fs.Int("workers", 0, "concurrent shards per experiment (0 = GOMAXPROCS)")
+	serveAddr := fs.String("serve", "", "after running, serve the warmed engine over HTTP on this address")
+	addr := fs.String("addr", ":8271", "listen address (serve command)")
 
 	opts := func() core.Options {
 		o := core.DefaultOptions()
@@ -39,6 +53,7 @@ func main() {
 		}
 		return o
 	}
+	eng := func() *engine.Engine { return engine.New(*workers, 0) }
 
 	switch cmd {
 	case "list":
@@ -55,28 +70,51 @@ func main() {
 		if err := fs.Parse(rest[1:]); err != nil {
 			os.Exit(2)
 		}
-		runOne(id, opts())
+		e := eng()
+		runOne(e, id, opts())
+		maybeServe(e, *serveAddr)
 	case "all":
 		if err := fs.Parse(os.Args[2:]); err != nil {
 			os.Exit(2)
 		}
-		for _, e := range core.List() {
-			runOne(e.ID, opts())
+		e := eng()
+		for _, exp := range core.List() {
+			runOne(e, exp.ID, opts())
 		}
+		maybeServe(e, *serveAddr)
+	case "serve":
+		if err := fs.Parse(os.Args[2:]); err != nil {
+			os.Exit(2)
+		}
+		target := *serveAddr
+		if target == "" {
+			target = *addr
+		}
+		maybeServe(eng(), target)
 	default:
 		usage()
 		os.Exit(2)
 	}
 }
 
-func runOne(id string, o core.Options) {
+func runOne(eng *engine.Engine, id string, o core.Options) {
 	start := time.Now()
-	out, err := core.Run(id, o)
+	out, err := core.RunWith(eng, id, o)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rowpress: %s: %v\n", id, err)
 		os.Exit(1)
 	}
 	fmt.Printf("# %s (%.1fs)\n%s\n", id, time.Since(start).Seconds(), out)
+}
+
+func maybeServe(eng *engine.Engine, addr string) {
+	if addr == "" {
+		return
+	}
+	st := eng.Cache().Stats()
+	log.Printf("rowpress serving on %s (%d workers, %d cached shard results)",
+		addr, eng.Workers(), st.Entries)
+	log.Fatal(serve.New(eng).ListenAndServe(addr))
 }
 
 func usage() {
@@ -86,6 +124,7 @@ commands:
   list                 list all experiment ids (figures and tables)
   run <id> [flags]     run one experiment and print its report
   all [flags]          run every experiment
+  serve [flags]        serve the experiment engine over HTTP (see rowpressd)
 
-flags: -scale F  -modules S0,S3,...  -seed N`)
+flags: -scale F  -modules S0,S3,...  -seed N  -workers N  -serve ADDR  -addr ADDR`)
 }

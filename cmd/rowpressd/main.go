@@ -1,0 +1,53 @@
+// Command rowpressd is the RowPress reproduction's serving daemon: it
+// exposes every registered experiment regenerator over HTTP, executing
+// runs on a sharded worker-pool engine and memoizing completed shards in
+// a content-addressed cache so repeated and overlapping requests are
+// served from memory.
+//
+// Usage:
+//
+//	rowpressd [-addr :8271] [-workers N] [-cache ENTRIES] [-warm 0.05]
+//
+// Endpoints: /healthz, /v1/experiments, /v1/run/{exp}, /v1/results,
+// /v1/metrics. Example:
+//
+//	curl 'localhost:8271/v1/run/fig6?scale=0.1&modules=S0,S3&format=text'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8271", "listen address")
+	workers := flag.Int("workers", 0, "concurrent shards (0 = GOMAXPROCS)")
+	cacheEntries := flag.Int("cache", engine.DefaultCacheEntries, "max cached shard results")
+	warm := flag.Float64("warm", 0, "if > 0, pre-warm the cache by running every experiment at this scale before serving")
+	flag.Parse()
+
+	eng := engine.New(*workers, *cacheEntries)
+	if *warm > 0 {
+		o := core.DefaultOptions()
+		o.Scale = *warm
+		for _, e := range core.List() {
+			if _, err := core.RunWith(eng, e.ID, o); err != nil {
+				fmt.Fprintf(os.Stderr, "rowpressd: warm %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+		}
+		st := eng.Cache().Stats()
+		log.Printf("cache warmed: %d shard results at scale %g", st.Entries, *warm)
+	}
+
+	s := serve.New(eng)
+	log.Printf("rowpressd serving %d experiments on %s (%d workers, %d-entry cache)",
+		len(core.List()), *addr, eng.Workers(), *cacheEntries)
+	log.Fatal(s.ListenAndServe(*addr))
+}

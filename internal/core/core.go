@@ -1,21 +1,33 @@
 // Package core is the public façade of the RowPress reproduction: a
 // registry of experiment regenerators, one per table and figure of the
 // paper, each returning a rendered textual report. The CLI
-// (cmd/rowpress), the examples, and the benchmark harness all go through
-// this package.
+// (cmd/rowpress), the serving daemon (cmd/rowpressd), the examples, and
+// the benchmark harness all go through this package.
+//
+// Experiments no longer register opaque closures: each registers a
+// planner that decomposes its run into deterministic engine shards
+// (per-module or per-configuration slices of the characterize/simperf
+// sweeps) plus a merge that reassembles the exact serial report. Plans
+// execute on an engine.Engine — concurrently when the engine has more
+// than one worker, and served from its content-addressed cache when the
+// same (experiment, Options, shard) has completed before.
 //
 // Usage:
 //
-//	out, err := core.Run("fig6", core.Options{Scale: 0.5})
+//	out, err := core.Run("fig6", core.Options{Scale: 0.5})      // default engine
+//	out, err = core.RunWith(engine.New(8, 0), "fig6", opts)     // explicit engine
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/characterize"
 	"repro/internal/chipgen"
 	"repro/internal/dram"
+	"repro/internal/engine"
 )
 
 // Options scales and seeds an experiment run. The zero value is not
@@ -40,6 +52,16 @@ func (o Options) validate() error {
 		return fmt.Errorf("core: Scale must be in (0,1], got %v", o.Scale)
 	}
 	return nil
+}
+
+// fingerprint canonically encodes the options every shard depends on:
+// scale and seed. The module list is deliberately excluded — per-module
+// shards carry their module in the shard key instead, so overlapping
+// requests (e.g. modules=S0,S3 then modules=S0,S3,M3) share cached
+// shards. Plans whose work reads o.Modules wholesale must fold the list
+// into their shard keys (see register).
+func (o Options) fingerprint() string {
+	return fmt.Sprintf("scale=%g;seed=%d", o.Scale, o.Seed)
 }
 
 // scaled returns max(lo, round(n*Scale)).
@@ -75,20 +97,54 @@ func (o Options) charConfig() characterize.Config {
 	return cfg
 }
 
+// planner decomposes one experiment at the given options into shards and
+// a merge. The returned plan's Experiment/Fingerprint fields are filled
+// in by PlanFor.
+type planner func(Options) (engine.Plan, error)
+
 // Experiment is one registered regenerator.
 type Experiment struct {
 	ID    string // figure/table id, e.g. "fig6", "table3"
 	Title string
-	Run   func(Options) (string, error)
+	plan  planner
 }
+
+// Run executes the experiment on the default engine.
+func (e Experiment) Run(o Options) (string, error) { return RunWith(defaultEngine, e.ID, o) }
+
+// ErrUnknownExperiment reports an id not present in the registry;
+// callers (the HTTP layer) match it with errors.Is.
+var ErrUnknownExperiment = errors.New("unknown experiment")
 
 var registry = map[string]Experiment{}
 
-func register(id, title string, run func(Options) (string, error)) {
+// registerPlan is the root registration hook: every experiment is a
+// planner producing shardable units.
+func registerPlan(id, title string, plan planner) {
 	if _, dup := registry[id]; dup {
 		panic("core: duplicate experiment id " + id)
 	}
-	registry[id] = Experiment{ID: id, Title: title, Run: run}
+	registry[id] = Experiment{ID: id, Title: title, plan: plan}
+}
+
+// register registers a monolithic experiment as a single-shard plan, for
+// regenerators whose work does not decompose (demo-system grids, catalog
+// walks). The run closure receives the full Options, so the module list
+// is folded into the shard key.
+func register(id, title string, run func(Options) (string, error)) {
+	registerPlan(id, title, func(o Options) (engine.Plan, error) {
+		key := "all;modules=" + strings.Join(o.Modules, ",")
+		return engine.Plan{
+			Shards: []engine.Shard{{Key: key, Run: func() (any, error) { return run(o) }}},
+			Merge:  func(parts []any) (string, error) { return parts[0].(string), nil },
+		}, nil
+	})
+}
+
+// Get returns the experiment registered under id.
+func Get(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
 }
 
 // List returns all experiments sorted by id.
@@ -101,16 +157,48 @@ func List() []Experiment {
 	return out
 }
 
-// Run executes the experiment with the given id.
-func Run(id string, o Options) (string, error) {
+// PlanFor validates the options and returns the executable engine plan
+// for one experiment. Callers that want per-run cache statistics hand the
+// plan to engine.Engine.Execute themselves; everyone else uses Run.
+func PlanFor(id string, o Options) (engine.Plan, error) {
 	if err := o.validate(); err != nil {
-		return "", err
+		return engine.Plan{}, err
 	}
 	e, ok := registry[id]
 	if !ok {
-		return "", fmt.Errorf("core: unknown experiment %q (use List)", id)
+		return engine.Plan{}, fmt.Errorf("core: %w %q (use List)", ErrUnknownExperiment, id)
 	}
-	return e.Run(o)
+	p, err := e.plan(o)
+	if err != nil {
+		return engine.Plan{}, err
+	}
+	p.Experiment = id
+	p.Fingerprint = o.fingerprint()
+	return p, nil
+}
+
+// defaultEngine backs Run: process-wide, so repeated runs within one
+// process (tests, examples, benches) share the shard cache.
+var defaultEngine = engine.New(0, 0)
+
+// DefaultEngine returns the process-wide engine used by Run.
+func DefaultEngine() *engine.Engine { return defaultEngine }
+
+// Run executes the experiment with the given id on the default engine.
+func Run(id string, o Options) (string, error) {
+	return RunWith(defaultEngine, id, o)
+}
+
+// RunWith executes the experiment on the given engine. Output is
+// byte-identical across worker counts: shards are deterministic and the
+// merge consumes them in plan order.
+func RunWith(eng *engine.Engine, id string, o Options) (string, error) {
+	p, err := PlanFor(id, o)
+	if err != nil {
+		return "", err
+	}
+	out, _, err := eng.Execute(p)
+	return out, err
 }
 
 // sweepTAggONs trims the standard lattice at small scales so quick runs

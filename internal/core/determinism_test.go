@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// TestEngineDeterminismAndCache is the engine's core contract: for every
+// registered experiment, the same (experiment, Options) must produce
+// byte-identical reports at -workers=1 and -workers=8, and a repeated run
+// on the same engine must be served entirely from the shard cache.
+func TestEngineDeterminismAndCache(t *testing.T) {
+	o := Options{Scale: 0.05, Seed: 1, Modules: []string{"S0", "S3", "M3"}}
+	serial := engine.New(1, 0)
+	wide := engine.New(8, 0)
+	for _, e := range List() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			p, err := PlanFor(e.ID, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got1, stats1, err := serial.Execute(p)
+			if err != nil {
+				t.Fatalf("workers=1: %v", err)
+			}
+			got8, stats8, err := wide.Execute(p)
+			if err != nil {
+				t.Fatalf("workers=8: %v", err)
+			}
+			if got1 != got8 {
+				t.Fatalf("workers=1 and workers=8 reports differ:\n--- w1 ---\n%s\n--- w8 ---\n%s", got1, got8)
+			}
+			if stats1.Executed != stats1.Shards || stats8.Executed != stats8.Shards {
+				t.Fatalf("cold runs should execute every shard: w1=%+v w8=%+v", stats1, stats8)
+			}
+			warm, warmStats, err := wide.Execute(p)
+			if err != nil {
+				t.Fatalf("warm: %v", err)
+			}
+			if warmStats.Executed != 0 || warmStats.CacheHits != warmStats.Shards {
+				t.Fatalf("warm run re-executed shards: %+v", warmStats)
+			}
+			if warm != got8 {
+				t.Fatal("cached report differs from computed report")
+			}
+		})
+	}
+}
+
+// TestCharacterizationShardsPerModule pins the decomposition: selecting
+// n modules must plan n shards for per-module experiments.
+func TestCharacterizationShardsPerModule(t *testing.T) {
+	for _, id := range []string{"fig6", "fig8", "table5", "table6", "appC", "summary"} {
+		p, err := PlanFor(id, Options{Scale: 0.05, Seed: 1, Modules: []string{"S0", "S3", "M3"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p.Shards) != 3 {
+			t.Errorf("%s: %d shards for 3 modules", id, len(p.Shards))
+		}
+	}
+}
+
+// TestShardCacheSharedAcrossModuleSubsets pins the addressing scheme:
+// a request for a superset of modules reuses the subset's cached shards.
+func TestShardCacheSharedAcrossModuleSubsets(t *testing.T) {
+	eng := engine.New(2, 0)
+	sub := Options{Scale: 0.05, Seed: 1, Modules: []string{"S0"}}
+	super := Options{Scale: 0.05, Seed: 1, Modules: []string{"S0", "S3"}}
+	if _, err := RunWith(eng, "fig7", sub); err != nil {
+		t.Fatal(err)
+	}
+	p, err := PlanFor("fig7", super)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := eng.Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheHits != 1 || stats.Executed != 1 {
+		t.Fatalf("superset run should reuse the S0 shard: %+v", stats)
+	}
+	// Different scale or seed must not hit the cache.
+	p2, err := PlanFor("fig7", Options{Scale: 0.06, Seed: 1, Modules: []string{"S0"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats2, err := eng.Execute(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.CacheHits != 0 {
+		t.Fatalf("scale change must miss the cache: %+v", stats2)
+	}
+}
+
+// TestRunMatchesRunWithSerial pins the public entry point: Run (default
+// engine) and an explicit single-worker engine agree.
+func TestRunMatchesRunWithSerial(t *testing.T) {
+	o := Options{Scale: 0.05, Seed: 1, Modules: []string{"S0"}}
+	a, err := Run("fig12", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunWith(engine.New(1, 0), "fig12", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("default engine and serial engine reports differ")
+	}
+}

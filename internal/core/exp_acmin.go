@@ -13,282 +13,242 @@ import (
 )
 
 func init() {
-	register("fig1", "ACmin of RowHammer vs RowPress, single/double-sided, 80°C", runFig1)
-	register("fig6", "ACmin vs tAggON, single-sided, 50°C, per die revision", sweepRunner(characterize.SingleSided, 50, false))
-	register("fig7", "ACmin 7.8–70.2µs, linear scale, 50°C", runFig7)
-	register("fig8", "Fraction of rows with ≥1 bitflip vs tAggON, 50°C", fractionRunner(50))
-	register("fig9", "tAggONmin vs activation count, 50°C", runFig9)
-	register("fig12", "Fraction of 1→0 bitflips vs tAggON", runFig12)
-	register("fig13", "ACmin at 80°C normalized to 50°C", runFig13)
-	register("fig14", "Fraction of rows with ≥1 bitflip vs tAggON, 80°C", fractionRunner(80))
-	register("fig15", "tAggONmin @AC=1 vs temperature (50–80°C)", runFig15)
-	register("fig17", "ACmin vs tAggON, double-sided, 50°C", sweepRunner(characterize.DoubleSided, 50, false))
-	register("fig18", "Single-sided minus double-sided ACmin, 50°C and 80°C", runFig18)
-	register("appF", "ACmin at 65°C (normalized) and 3-temperature single-double gap", runAppF)
+	registerPerModule("fig1", "ACmin of RowHammer vs RowPress, single/double-sided, 80°C", workFig1, mergeFig1)
+	registerSweep("fig6", "ACmin vs tAggON, single-sided, 50°C, per die revision", characterize.SingleSided, 50)
+	registerPerModule("fig7", "ACmin 7.8–70.2µs, linear scale, 50°C", workFig7, mergeFig7)
+	registerFraction("fig8", "Fraction of rows with ≥1 bitflip vs tAggON, 50°C", 50)
+	registerPerModule("fig9", "tAggONmin vs activation count, 50°C", workFig9, mergeFig9)
+	registerPerModule("fig12", "Fraction of 1→0 bitflips vs tAggON", workFig12, mergeFig12)
+	registerPerModule("fig13", "ACmin at 80°C normalized to 50°C", workFig13, mergeFig13)
+	registerFraction("fig14", "Fraction of rows with ≥1 bitflip vs tAggON, 80°C", 80)
+	registerPerModule("fig15", "tAggONmin @AC=1 vs temperature (50–80°C)", workFig15, mergeFig15)
+	registerSweep("fig17", "ACmin vs tAggON, double-sided, 50°C", characterize.DoubleSided, 50)
+	registerSingleMinusDouble("fig18", "Single-sided minus double-sided ACmin, 50°C and 80°C", []float64{50, 80})
+	registerSingleMinusDouble("appF", "ACmin at 65°C (normalized) and 3-temperature single-double gap", []float64{50, 65, 80})
 }
 
-// moduleSweep runs an ACmin sweep for every selected module and hands each
-// to collect.
-func moduleSweep(o Options, sided characterize.Sidedness, tempC float64, taggons []dram.TimePS,
-	collect func(spec chipgen.ModuleSpec, pts []characterize.SweepPoint) error) error {
-	specs, err := o.modules()
-	if err != nil {
-		return err
+// taggonHeaders is the shared "module, die, <one column per tAggON>"
+// header prefix of the sweep tables.
+func taggonHeaders(taggons []dram.TimePS) []string {
+	headers := []string{"module", "die"}
+	for _, t := range taggons {
+		headers = append(headers, dram.FormatTime(t))
 	}
-	cfg := o.charConfig()
-	cfg.Sided = sided
-	for _, spec := range specs {
+	return headers
+}
+
+// registerSweep renders mean/min/max ACmin per module per tAggON plus the
+// log-log slope of the ≥7.8 µs tail (the paper's −1 signature). Each
+// module's sweep is one shard.
+func registerSweep(id, title string, sided characterize.Sidedness, tempC float64) {
+	work := func(o Options, spec chipgen.ModuleSpec) ([]string, error) {
+		taggons := sweepTAggONs(o)
+		cfg := o.charConfig()
+		cfg.Sided = sided
 		pts, err := characterize.ACminSweep(spec, cfg, tempC, taggons)
 		if err != nil {
-			return fmt.Errorf("%s: %w", spec.ID, err)
-		}
-		if err := collect(spec, pts); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// sweepRunner renders mean/min/max ACmin per module per tAggON plus the
-// log-log slope of the ≥7.8 µs tail (the paper's −1 signature).
-func sweepRunner(sided characterize.Sidedness, tempC float64, linearSub bool) func(Options) (string, error) {
-	return func(o Options) (string, error) {
-		taggons := sweepTAggONs(o)
-		headers := []string{"module", "die"}
-		for _, t := range taggons {
-			headers = append(headers, dram.FormatTime(t))
-		}
-		headers = append(headers, "slope(log-log,≥7.8us)")
-		var rows [][]string
-		err := moduleSweep(o, sided, tempC, taggons, func(spec chipgen.ModuleSpec, pts []characterize.SweepPoint) error {
-			row := []string{spec.ID, spec.Die.Name()}
-			var xs, ys []float64
-			for _, pt := range pts {
-				m := stats.Mean(pt.ACminValues())
-				row = append(row, report.Num(m))
-				if pt.TAggON >= 7800*dram.Nanosecond && !math.IsNaN(m) {
-					xs = append(xs, dram.Seconds(pt.TAggON))
-					ys = append(ys, m)
-				}
-			}
-			row = append(row, report.Num(stats.FitLogLog(xs, ys).Slope))
-			rows = append(rows, row)
-			return nil
-		})
-		if err != nil {
-			return "", err
-		}
-		title := fmt.Sprintf("Mean ACmin per module (%s, %g°C)", sided, tempC)
-		return report.Section(title, report.Table(headers, rows)), nil
-	}
-}
-
-func runFig7(o Options) (string, error) {
-	taggons := []dram.TimePS{7800 * dram.Nanosecond, 15 * dram.Microsecond, 30 * dram.Microsecond, 70200 * dram.Nanosecond}
-	headers := []string{"module", "die"}
-	for _, t := range taggons {
-		headers = append(headers, dram.FormatTime(t))
-	}
-	var rows [][]string
-	err := moduleSweep(o, characterize.SingleSided, 50, taggons, func(spec chipgen.ModuleSpec, pts []characterize.SweepPoint) error {
-		row := []string{spec.ID, spec.Die.Name()}
-		for _, pt := range pts {
-			row = append(row, report.Num(stats.Mean(pt.ACminValues())))
-		}
-		rows = append(rows, row)
-		return nil
-	})
-	if err != nil {
-		return "", err
-	}
-	return report.Section("ACmin in the linear region (Fig. 7): note the decreasing reduction rate",
-		report.Table(headers, rows)), nil
-}
-
-func fractionRunner(tempC float64) func(Options) (string, error) {
-	return func(o Options) (string, error) {
-		taggons := sweepTAggONs(o)
-		headers := []string{"module", "die"}
-		for _, t := range taggons {
-			headers = append(headers, dram.FormatTime(t))
-		}
-		var rows [][]string
-		err := moduleSweep(o, characterize.SingleSided, tempC, taggons, func(spec chipgen.ModuleSpec, pts []characterize.SweepPoint) error {
-			row := []string{spec.ID, spec.Die.Name()}
-			for _, pt := range pts {
-				row = append(row, report.Pct(pt.FractionWithFlips()))
-			}
-			rows = append(rows, row)
-			return nil
-		})
-		if err != nil {
-			return "", err
-		}
-		title := fmt.Sprintf("Fraction of tested rows with ≥1 bitflip (%g°C)", tempC)
-		return report.Section(title, report.Table(headers, rows)), nil
-	}
-}
-
-func runFig12(o Options) (string, error) {
-	taggons := sweepTAggONs(o)
-	headers := []string{"module", "die"}
-	for _, t := range taggons {
-		headers = append(headers, dram.FormatTime(t))
-	}
-	var rows [][]string
-	err := moduleSweep(o, characterize.SingleSided, 50, taggons, func(spec chipgen.ModuleSpec, pts []characterize.SweepPoint) error {
-		row := []string{spec.ID, spec.Die.Name()}
-		for _, pt := range pts {
-			row = append(row, report.Pct(pt.FractionOneToZero()))
-		}
-		rows = append(rows, row)
-		return nil
-	})
-	if err != nil {
-		return "", err
-	}
-	return report.Section("Fraction of 1→0 bitflips (Fig. 12): RowHammer ≈0%, RowPress ≈100% on true-cell dies",
-		report.Table(headers, rows)), nil
-}
-
-func runFig13(o Options) (string, error) {
-	taggons := sweepTAggONs(o)
-	specs, err := o.modules()
-	if err != nil {
-		return "", err
-	}
-	cfg := o.charConfig()
-	headers := []string{"module", "die"}
-	for _, t := range taggons {
-		headers = append(headers, dram.FormatTime(t))
-	}
-	var rows [][]string
-	for _, spec := range specs {
-		p50, err := characterize.ACminSweep(spec, cfg, 50, taggons)
-		if err != nil {
-			return "", err
-		}
-		p80, err := characterize.ACminSweep(spec, cfg, 80, taggons)
-		if err != nil {
-			return "", err
-		}
-		row := []string{spec.ID, spec.Die.Name()}
-		for i := range taggons {
-			a, b := stats.Mean(p80[i].ACminValues()), stats.Mean(p50[i].ACminValues())
-			if math.IsNaN(a) || math.IsNaN(b) || b == 0 {
-				row = append(row, "-")
-			} else {
-				row = append(row, report.Num(a/b))
-			}
-		}
-		rows = append(rows, row)
-	}
-	return report.Section("ACmin at 80°C normalized to 50°C (Fig. 13): < 1 everywhere RowPress acts",
-		report.Table(headers, rows)), nil
-}
-
-func runFig9(o Options) (string, error) {
-	specs, err := o.modules()
-	if err != nil {
-		return "", err
-	}
-	cfg := o.charConfig()
-	acs := characterize.StandardACs
-	if o.Scale < 0.5 {
-		acs = []int{1, 10, 100, 1000, 10000}
-	}
-	headers := []string{"module", "die"}
-	for _, ac := range acs {
-		headers = append(headers, fmt.Sprintf("AC=%d", ac))
-	}
-	headers = append(headers, "slope")
-	var rows [][]string
-	for _, spec := range specs {
-		pts, err := characterize.TAggONminSweep(spec, cfg, 50, acs)
-		if err != nil {
-			return "", err
+			return nil, fmt.Errorf("%s: %w", spec.ID, err)
 		}
 		row := []string{spec.ID, spec.Die.Name()}
 		var xs, ys []float64
 		for _, pt := range pts {
-			m := stats.Mean(pt.Values())
-			row = append(row, report.Num(m)+"us")
-			if !math.IsNaN(m) {
-				xs = append(xs, float64(pt.AC))
+			m := stats.Mean(pt.ACminValues())
+			row = append(row, report.Num(m))
+			if pt.TAggON >= 7800*dram.Nanosecond && !math.IsNaN(m) {
+				xs = append(xs, dram.Seconds(pt.TAggON))
 				ys = append(ys, m)
 			}
 		}
-		row = append(row, report.Num(stats.FitLogLog(xs, ys).Slope))
-		rows = append(rows, row)
+		return append(row, report.Num(stats.FitLogLog(xs, ys).Slope)), nil
 	}
-	return report.Section("Mean tAggONmin vs activation count (Fig. 9), 50°C; paper slope ≈ −1.000",
-		report.Table(headers, rows)), nil
+	merge := func(o Options, specs []chipgen.ModuleSpec, parts [][]string) (string, error) {
+		headers := append(taggonHeaders(sweepTAggONs(o)), "slope(log-log,≥7.8us)")
+		title2 := fmt.Sprintf("Mean ACmin per module (%s, %g°C)", sided, tempC)
+		return report.Section(title2, report.Table(headers, parts)), nil
+	}
+	registerPerModule(id, title, work, merge)
 }
 
-func runFig15(o Options) (string, error) {
-	specs, err := o.modules()
-	if err != nil {
-		return "", err
-	}
+// fig7Taggons is the linear-region lattice of Fig. 7.
+var fig7Taggons = []dram.TimePS{7800 * dram.Nanosecond, 15 * dram.Microsecond, 30 * dram.Microsecond, 70200 * dram.Nanosecond}
+
+func workFig7(o Options, spec chipgen.ModuleSpec) ([]string, error) {
 	cfg := o.charConfig()
+	cfg.Sided = characterize.SingleSided
+	pts, err := characterize.ACminSweep(spec, cfg, 50, fig7Taggons)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", spec.ID, err)
+	}
+	row := []string{spec.ID, spec.Die.Name()}
+	for _, pt := range pts {
+		row = append(row, report.Num(stats.Mean(pt.ACminValues())))
+	}
+	return row, nil
+}
+
+func mergeFig7(o Options, specs []chipgen.ModuleSpec, parts [][]string) (string, error) {
+	return report.Section("ACmin in the linear region (Fig. 7): note the decreasing reduction rate",
+		report.Table(taggonHeaders(fig7Taggons), parts)), nil
+}
+
+func registerFraction(id, title string, tempC float64) {
+	work := func(o Options, spec chipgen.ModuleSpec) ([]string, error) {
+		cfg := o.charConfig()
+		cfg.Sided = characterize.SingleSided
+		pts, err := characterize.ACminSweep(spec, cfg, tempC, sweepTAggONs(o))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", spec.ID, err)
+		}
+		row := []string{spec.ID, spec.Die.Name()}
+		for _, pt := range pts {
+			row = append(row, report.Pct(pt.FractionWithFlips()))
+		}
+		return row, nil
+	}
+	merge := func(o Options, specs []chipgen.ModuleSpec, parts [][]string) (string, error) {
+		title2 := fmt.Sprintf("Fraction of tested rows with ≥1 bitflip (%g°C)", tempC)
+		return report.Section(title2, report.Table(taggonHeaders(sweepTAggONs(o)), parts)), nil
+	}
+	registerPerModule(id, title, work, merge)
+}
+
+func workFig12(o Options, spec chipgen.ModuleSpec) ([]string, error) {
+	cfg := o.charConfig()
+	cfg.Sided = characterize.SingleSided
+	pts, err := characterize.ACminSweep(spec, cfg, 50, sweepTAggONs(o))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", spec.ID, err)
+	}
+	row := []string{spec.ID, spec.Die.Name()}
+	for _, pt := range pts {
+		row = append(row, report.Pct(pt.FractionOneToZero()))
+	}
+	return row, nil
+}
+
+func mergeFig12(o Options, specs []chipgen.ModuleSpec, parts [][]string) (string, error) {
+	return report.Section("Fraction of 1→0 bitflips (Fig. 12): RowHammer ≈0%, RowPress ≈100% on true-cell dies",
+		report.Table(taggonHeaders(sweepTAggONs(o)), parts)), nil
+}
+
+func workFig13(o Options, spec chipgen.ModuleSpec) ([]string, error) {
+	taggons := sweepTAggONs(o)
+	cfg := o.charConfig()
+	p50, err := characterize.ACminSweep(spec, cfg, 50, taggons)
+	if err != nil {
+		return nil, err
+	}
+	p80, err := characterize.ACminSweep(spec, cfg, 80, taggons)
+	if err != nil {
+		return nil, err
+	}
+	row := []string{spec.ID, spec.Die.Name()}
+	for i := range taggons {
+		a, b := stats.Mean(p80[i].ACminValues()), stats.Mean(p50[i].ACminValues())
+		if math.IsNaN(a) || math.IsNaN(b) || b == 0 {
+			row = append(row, "-")
+		} else {
+			row = append(row, report.Num(a/b))
+		}
+	}
+	return row, nil
+}
+
+func mergeFig13(o Options, specs []chipgen.ModuleSpec, parts [][]string) (string, error) {
+	return report.Section("ACmin at 80°C normalized to 50°C (Fig. 13): < 1 everywhere RowPress acts",
+		report.Table(taggonHeaders(sweepTAggONs(o)), parts)), nil
+}
+
+// fig9ACs is the activation-count lattice at this scale.
+func fig9ACs(o Options) []int {
+	if o.Scale < 0.5 {
+		return []int{1, 10, 100, 1000, 10000}
+	}
+	return characterize.StandardACs
+}
+
+func workFig9(o Options, spec chipgen.ModuleSpec) ([]string, error) {
+	pts, err := characterize.TAggONminSweep(spec, o.charConfig(), 50, fig9ACs(o))
+	if err != nil {
+		return nil, err
+	}
+	row := []string{spec.ID, spec.Die.Name()}
+	var xs, ys []float64
+	for _, pt := range pts {
+		m := stats.Mean(pt.Values())
+		row = append(row, report.Num(m)+"us")
+		if !math.IsNaN(m) {
+			xs = append(xs, float64(pt.AC))
+			ys = append(ys, m)
+		}
+	}
+	return append(row, report.Num(stats.FitLogLog(xs, ys).Slope)), nil
+}
+
+func mergeFig9(o Options, specs []chipgen.ModuleSpec, parts [][]string) (string, error) {
+	headers := []string{"module", "die"}
+	for _, ac := range fig9ACs(o) {
+		headers = append(headers, fmt.Sprintf("AC=%d", ac))
+	}
+	headers = append(headers, "slope")
+	return report.Section("Mean tAggONmin vs activation count (Fig. 9), 50°C; paper slope ≈ −1.000",
+		report.Table(headers, parts)), nil
+}
+
+// fig15Temps is the Fig. 15 temperature lattice.
+func fig15Temps() []float64 {
 	var temps []float64
 	for t := 50.0; t <= 80; t += 5 {
 		temps = append(temps, t)
 	}
+	return temps
+}
+
+func workFig15(o Options, spec chipgen.ModuleSpec) ([]string, error) {
+	out, err := characterize.TAggONminTempSweep(spec, o.charConfig())
+	if err != nil {
+		return nil, err
+	}
+	row := []string{spec.ID, spec.Die.Name()}
+	for _, t := range fig15Temps() {
+		m := stats.Mean(out[t].Values())
+		if math.IsNaN(m) {
+			row = append(row, "-")
+		} else {
+			row = append(row, report.Num(m/1000)+"ms")
+		}
+	}
+	return row, nil
+}
+
+func mergeFig15(o Options, specs []chipgen.ModuleSpec, parts [][]string) (string, error) {
 	headers := []string{"module", "die"}
-	for _, t := range temps {
+	for _, t := range fig15Temps() {
 		headers = append(headers, fmt.Sprintf("%g°C", t))
 	}
-	var rows [][]string
-	for _, spec := range specs {
-		out, err := characterize.TAggONminTempSweep(spec, cfg)
-		if err != nil {
-			return "", err
-		}
-		row := []string{spec.ID, spec.Die.Name()}
-		for _, t := range temps {
-			m := stats.Mean(out[t].Values())
-			if math.IsNaN(m) {
-				row = append(row, "-")
-			} else {
-				row = append(row, report.Num(m/1000)+"ms")
-			}
-		}
-		rows = append(rows, row)
-	}
 	return report.Section("Mean tAggONmin @AC=1 vs temperature (Fig. 15)",
-		report.Table(headers, rows)), nil
+		report.Table(headers, parts)), nil
 }
 
-func runFig18(o Options) (string, error) {
-	return singleMinusDouble(o, []float64{50, 80})
-}
-
-func singleMinusDouble(o Options, temps []float64) (string, error) {
-	specs, err := o.modules()
-	if err != nil {
-		return "", err
-	}
-	taggons := sweepTAggONs(o)
-	var sections []string
-	for _, tempC := range temps {
-		headers := []string{"module", "die"}
-		for _, t := range taggons {
-			headers = append(headers, dram.FormatTime(t))
-		}
-		var rows [][]string
-		for _, spec := range specs {
+// registerSingleMinusDouble shards Fig. 18 / Appendix F per module: each
+// shard computes the single-vs-double gap row for every temperature, and
+// the merge lays the rows out one section per temperature.
+func registerSingleMinusDouble(id, title string, temps []float64) {
+	work := func(o Options, spec chipgen.ModuleSpec) ([][]string, error) {
+		taggons := sweepTAggONs(o)
+		perTemp := make([][]string, 0, len(temps))
+		for _, tempC := range temps {
 			cfgS := o.charConfig()
 			cfgS.Sided = characterize.SingleSided
 			single, err := characterize.ACminSweep(spec, cfgS, tempC, taggons)
 			if err != nil {
-				return "", err
+				return nil, err
 			}
 			cfgD := o.charConfig()
 			cfgD.Sided = characterize.DoubleSided
 			double, err := characterize.ACminSweep(spec, cfgD, tempC, taggons)
 			if err != nil {
-				return "", err
+				return nil, err
 			}
 			row := []string{spec.ID, spec.Die.Name()}
 			for i := range taggons {
@@ -299,46 +259,66 @@ func singleMinusDouble(o Options, temps []float64) (string, error) {
 					row = append(row, report.Num(s-d))
 				}
 			}
-			rows = append(rows, row)
+			perTemp = append(perTemp, row)
 		}
-		sections = append(sections, report.Section(
-			fmt.Sprintf("Single-sided minus double-sided mean ACmin at %g°C (negative: single better)", tempC),
-			report.Table(headers, rows)))
+		return perTemp, nil
 	}
-	return strings.Join(sections, "\n"), nil
+	merge := func(o Options, specs []chipgen.ModuleSpec, parts [][][]string) (string, error) {
+		headers := taggonHeaders(sweepTAggONs(o))
+		var sections []string
+		for ti, tempC := range temps {
+			var rows [][]string
+			for si := range specs {
+				rows = append(rows, parts[si][ti])
+			}
+			sections = append(sections, report.Section(
+				fmt.Sprintf("Single-sided minus double-sided mean ACmin at %g°C (negative: single better)", tempC),
+				report.Table(headers, rows)))
+		}
+		return strings.Join(sections, "\n"), nil
+	}
+	registerPerModule(id, title, work, merge)
 }
 
-func runAppF(o Options) (string, error) {
-	return singleMinusDouble(o, []float64{50, 65, 80})
-}
+// fig1Taggons are the four anchor points of Fig. 1.
+var fig1Taggons = []dram.TimePS{36 * dram.Nanosecond, 7800 * dram.Nanosecond, 70200 * dram.Nanosecond, 30 * dram.Millisecond}
 
-func runFig1(o Options) (string, error) {
-	taggons := []dram.TimePS{36 * dram.Nanosecond, 7800 * dram.Nanosecond, 70200 * dram.Nanosecond, 30 * dram.Millisecond}
-	specs, err := o.modules()
-	if err != nil {
-		return "", err
-	}
-	var sections []string
-	for _, sided := range []characterize.Sidedness{SingleSidedAlias, DoubleSidedAlias} {
-		var rows [][]string
-		perMfr := map[chipgen.Manufacturer]map[dram.TimePS][]float64{}
+// fig1Sides orders the two Fig. 1 panels.
+var fig1Sides = []characterize.Sidedness{characterize.SingleSided, characterize.DoubleSided}
+
+// workFig1 sweeps one module at 80°C for both sidedness panels.
+func workFig1(o Options, spec chipgen.ModuleSpec) ([][]characterize.SweepPoint, error) {
+	perSided := make([][]characterize.SweepPoint, 0, len(fig1Sides))
+	for _, sided := range fig1Sides {
 		cfg := o.charConfig()
 		cfg.Sided = sided
-		for _, spec := range specs {
-			pts, err := characterize.ACminSweep(spec, cfg, 80, taggons)
-			if err != nil {
-				return "", err
-			}
+		pts, err := characterize.ACminSweep(spec, cfg, 80, fig1Taggons)
+		if err != nil {
+			return nil, err
+		}
+		perSided = append(perSided, pts)
+	}
+	return perSided, nil
+}
+
+// mergeFig1 pools the per-module sweeps per manufacturer and renders the
+// ACmin distribution boxes.
+func mergeFig1(o Options, specs []chipgen.ModuleSpec, parts [][][]characterize.SweepPoint) (string, error) {
+	var sections []string
+	for si, sided := range fig1Sides {
+		var rows [][]string
+		perMfr := map[chipgen.Manufacturer]map[dram.TimePS][]float64{}
+		for i, spec := range specs {
 			mfr := spec.Die.Mfr
 			if perMfr[mfr] == nil {
 				perMfr[mfr] = map[dram.TimePS][]float64{}
 			}
-			for _, pt := range pts {
+			for _, pt := range parts[i][si] {
 				perMfr[mfr][pt.TAggON] = append(perMfr[mfr][pt.TAggON], pt.ACminValues()...)
 			}
 		}
 		for _, mfr := range chipgen.AllManufacturers {
-			for _, tg := range taggons {
+			for _, tg := range fig1Taggons {
 				vs := perMfr[mfr][tg]
 				rows = append(rows, []string{
 					"Mfr. " + string(mfr), dram.FormatTime(tg), report.Box(stats.Describe(vs)),
@@ -351,9 +331,3 @@ func runFig1(o Options) (string, error) {
 	}
 	return strings.Join(sections, "\n"), nil
 }
-
-// Aliases keep runFig1's loop readable.
-const (
-	SingleSidedAlias = characterize.SingleSided
-	DoubleSidedAlias = characterize.DoubleSided
-)

@@ -12,100 +12,119 @@ import (
 )
 
 func init() {
-	register("fig10", "Overlap of RowPress cells @ACmin with RowHammer and retention cells", overlapRunner(false))
-	register("fig11", "Overlap of RowPress cells @ACmax with RowHammer and retention cells", runFig11)
-	register("fig19", "Normalized ACmin per data pattern (single-sided)", runFig19)
-	register("fig20", "Normalized ACmin per data pattern (double-sided, Mfr. S 8Gb B-die)", runFig20)
-	register("fig22", "BER of the RowPress-ONOFF pattern (representative die)", runFig22)
-	register("appC", "ONOFF BER for all die revisions", runAppC)
-	register("appE", "Repeatability of bitflips across 5 trials", runAppE)
-	register("fig25", "64-bit words by bitflip count @tAggON=7.8µs + ECC outcomes", eccRunner(7800*dram.Nanosecond))
-	register("fig26", "64-bit words by bitflip count @tAggON=70.2µs + ECC outcomes", eccRunner(70200*dram.Nanosecond))
+	registerOverlap("fig10", "Overlap of RowPress cells @ACmin with RowHammer and retention cells", false)
+	registerPerModule("fig11", "Overlap of RowPress cells @ACmax with RowHammer and retention cells", workFig11, mergeFig11)
+	registerKeyed("fig19", "Normalized ACmin per data pattern (single-sided)",
+		staticKeys("S0/50", "S0/80", "H0/50", "H0/80", "M6/50", "M6/80"), workFig19, joinSections)
+	registerKeyed("fig20", "Normalized ACmin per data pattern (double-sided, Mfr. S 8Gb B-die)",
+		staticKeys("50", "80"), workFig20, joinSections)
+	registerKeyed("fig22", "BER of the RowPress-ONOFF pattern (representative die)",
+		staticKeys("single/50", "single/80", "double/50", "double/80"), workFig22, joinSections)
+	registerPerModule("appC", "ONOFF BER for all die revisions",
+		func(o Options, spec chipgen.ModuleSpec) (string, error) {
+			return onoffReport(spec, o, characterize.SingleSided, 50)
+		},
+		func(o Options, specs []chipgen.ModuleSpec, parts []string) (string, error) {
+			return strings.Join(parts, "\n"), nil
+		})
+	registerPerModule("appE", "Repeatability of bitflips across 5 trials", workAppE, mergeAppE)
+	registerECC("fig25", "64-bit words by bitflip count @tAggON=7.8µs + ECC outcomes", 7800*dram.Nanosecond)
+	registerECC("fig26", "64-bit words by bitflip count @tAggON=70.2µs + ECC outcomes", 70200*dram.Nanosecond)
 	register("table1", "Tested DDR4 chips (Table 1)", runTable1)
-	register("table5", "Per-module RowHammer/RowPress summary (Table 5)", runTable5)
-	register("table6", "Per-module maximum bit error rate (Table 6)", runTable6)
+	registerPerModule("table5", "Per-module RowHammer/RowPress summary (Table 5)", workTable5, mergeTable5)
+	registerPerModule("table6", "Per-module maximum bit error rate (Table 6)", workTable6, mergeTable6)
 }
 
-func overlapRunner(atMax bool) func(Options) (string, error) {
-	return func(o Options) (string, error) {
-		specs, err := o.modules()
+// joinSections is the merge for experiments whose shards each render a
+// complete report section.
+func joinSections(o Options, parts []string) (string, error) {
+	return strings.Join(parts, "\n"), nil
+}
+
+// flattenRows is the merge body for experiments whose shards produce row
+// blocks of one shared table.
+func flattenRows(parts [][][]string) [][]string {
+	var rows [][]string
+	for _, block := range parts {
+		rows = append(rows, block...)
+	}
+	return rows
+}
+
+func registerOverlap(id, title string, atMax bool) {
+	work := func(o Options, spec chipgen.ModuleSpec) ([][]string, error) {
+		pts, err := characterize.OverlapSweep(spec, o.charConfig(), 50, sweepTAggONs(o))
 		if err != nil {
-			return "", err
+			return nil, err
 		}
-		cfg := o.charConfig()
-		taggons := sweepTAggONs(o)
-		headers := []string{"module", "tAggON", "cells", "overlap w/ RowHammer", "overlap w/ retention"}
 		var rows [][]string
-		for _, spec := range specs {
-			pts, err := characterize.OverlapSweep(spec, cfg, 50, taggons)
-			if err != nil {
-				return "", err
-			}
-			for _, pt := range pts {
-				rows = append(rows, []string{
-					spec.ID, dram.FormatTime(pt.TAggON),
-					fmt.Sprint(pt.Cells), report.Pct(pt.WithHammer), report.Pct(pt.WithRetention),
-				})
-			}
+		for _, pt := range pts {
+			rows = append(rows, []string{
+				spec.ID, dram.FormatTime(pt.TAggON),
+				fmt.Sprint(pt.Cells), report.Pct(pt.WithHammer), report.Pct(pt.WithRetention),
+			})
 		}
+		return rows, nil
+	}
+	merge := func(o Options, specs []chipgen.ModuleSpec, parts [][][]string) (string, error) {
+		headers := []string{"module", "tAggON", "cells", "overlap w/ RowHammer", "overlap w/ retention"}
 		mode := "@ACmin"
 		if atMax {
 			mode = "@ACmax"
 		}
 		return report.Section("RowPress-vulnerable cell overlap "+mode+" (Obsv. 7: ≈0 beyond tRAS)",
-			report.Table(headers, rows)), nil
+			report.Table(headers, flattenRows(parts))), nil
 	}
+	registerPerModule(id, title, work, merge)
 }
 
-// runFig11 compares the cells flipped at the budget-limited maximum
+// workFig11 compares the cells flipped at the budget-limited maximum
 // activation count per tAggON against the @ACmax RowHammer set and the
-// retention-failure set.
-func runFig11(o Options) (string, error) {
-	specs, err := o.modules()
-	if err != nil {
-		return "", err
-	}
+// retention-failure set, for one module.
+func workFig11(o Options, spec chipgen.ModuleSpec) ([][]string, error) {
 	cfg := o.charConfig()
 	taggons := sweepTAggONs(o)
-	headers := []string{"module", "tAggON", "cells", "overlap w/ RowHammer@ACmax", "overlap w/ retention"}
-	var rows [][]string
-	for _, spec := range specs {
-		locs := characterize.TestedLocations(cfg.Geometry, cfg.RowsToTest)
-		flipSets := make([]map[characterize.CellKey]bool, len(taggons))
-		for i, tg := range taggons {
-			b, err := characterize.NewBench(spec, cfg, 50)
-			if err != nil {
-				return "", err
-			}
-			flips, err := characterize.MaxACFlips(b, locs, tg, cfg)
-			if err != nil {
-				return "", err
-			}
-			set := make(map[characterize.CellKey]bool, len(flips))
-			for _, f := range flips {
-				set[characterize.CellKey{Row: f.LogicalRow, Byte: f.Byte, Bit: f.Bit}] = true
-			}
-			flipSets[i] = set
-		}
-		bret, err := characterize.NewBench(spec, cfg, 50)
+	locs := characterize.TestedLocations(cfg.Geometry, cfg.RowsToTest)
+	flipSets := make([]map[characterize.CellKey]bool, len(taggons))
+	for i, tg := range taggons {
+		b, err := characterize.NewBench(spec, cfg, 50)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
-		retSet, err := characterize.RetentionTest(bret, locs, cfg, 4)
+		flips, err := characterize.MaxACFlips(b, locs, tg, cfg)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
-		hammerSet := flipSets[0] // tAggON = tRAS column
-		for i, tg := range taggons {
-			rows = append(rows, []string{
-				spec.ID, dram.FormatTime(tg), fmt.Sprint(len(flipSets[i])),
-				report.Pct(characterize.OverlapRatio(flipSets[i], hammerSet)),
-				report.Pct(characterize.OverlapRatio(flipSets[i], retSet)),
-			})
+		set := make(map[characterize.CellKey]bool, len(flips))
+		for _, f := range flips {
+			set[characterize.CellKey{Row: f.LogicalRow, Byte: f.Byte, Bit: f.Bit}] = true
 		}
+		flipSets[i] = set
 	}
+	bret, err := characterize.NewBench(spec, cfg, 50)
+	if err != nil {
+		return nil, err
+	}
+	retSet, err := characterize.RetentionTest(bret, locs, cfg, 4)
+	if err != nil {
+		return nil, err
+	}
+	hammerSet := flipSets[0] // tAggON = tRAS column
+	var rows [][]string
+	for i, tg := range taggons {
+		rows = append(rows, []string{
+			spec.ID, dram.FormatTime(tg), fmt.Sprint(len(flipSets[i])),
+			report.Pct(characterize.OverlapRatio(flipSets[i], hammerSet)),
+			report.Pct(characterize.OverlapRatio(flipSets[i], retSet)),
+		})
+	}
+	return rows, nil
+}
+
+func mergeFig11(o Options, specs []chipgen.ModuleSpec, parts [][][]string) (string, error) {
+	headers := []string{"module", "tAggON", "cells", "overlap w/ RowHammer@ACmax", "overlap w/ retention"}
 	return report.Section("RowPress-vulnerable cell overlap @ACmax (Fig. 11)",
-		report.Table(headers, rows)), nil
+		report.Table(headers, flattenRows(parts))), nil
 }
 
 func dataPatternReport(spec chipgen.ModuleSpec, o Options, sided characterize.Sidedness, tempC float64) (string, error) {
@@ -139,33 +158,26 @@ func dataPatternReport(spec chipgen.ModuleSpec, o Options, sided characterize.Si
 	return report.Section(title, report.Table(headers, rows)), nil
 }
 
-func runFig19(o Options) (string, error) {
-	var sections []string
-	// The paper's three representative dies: S 8Gb B, H 16Gb A, M 16Gb F.
-	for _, id := range []string{"S0", "H0", "M6"} {
-		spec, _ := chipgen.ByID(id)
-		for _, tempC := range []float64{50, 80} {
-			s, err := dataPatternReport(spec, o, characterize.SingleSided, tempC)
-			if err != nil {
-				return "", err
-			}
-			sections = append(sections, s)
-		}
+// workFig19 renders one (representative die, temperature) data-pattern
+// panel per shard. The paper's three representative dies: S 8Gb B,
+// H 16Gb A, M 16Gb F.
+func workFig19(o Options, i int, key string) (string, error) {
+	id, tempStr, _ := strings.Cut(key, "/")
+	spec, _ := chipgen.ByID(id)
+	tempC := 50.0
+	if tempStr == "80" {
+		tempC = 80
 	}
-	return strings.Join(sections, "\n"), nil
+	return dataPatternReport(spec, o, characterize.SingleSided, tempC)
 }
 
-func runFig20(o Options) (string, error) {
+func workFig20(o Options, i int, key string) (string, error) {
 	spec, _ := chipgen.ByID("S0")
-	var sections []string
-	for _, tempC := range []float64{50, 80} {
-		s, err := dataPatternReport(spec, o, characterize.DoubleSided, tempC)
-		if err != nil {
-			return "", err
-		}
-		sections = append(sections, s)
+	tempC := 50.0
+	if key == "80" {
+		tempC = 80
 	}
-	return strings.Join(sections, "\n"), nil
+	return dataPatternReport(spec, o, characterize.DoubleSided, tempC)
 }
 
 func onoffReport(spec chipgen.ModuleSpec, o Options, sided characterize.Sidedness, tempC float64) (string, error) {
@@ -191,102 +203,80 @@ func onoffReport(spec chipgen.ModuleSpec, o Options, sided characterize.Sidednes
 	return report.Section(title, report.Table(headers, rows)), nil
 }
 
-func runFig22(o Options) (string, error) {
+func workFig22(o Options, i int, key string) (string, error) {
 	spec, _ := chipgen.ByID("S3") // representative 8Gb D-die
-	var sections []string
-	for _, sided := range []characterize.Sidedness{characterize.SingleSided, characterize.DoubleSided} {
-		for _, tempC := range []float64{50, 80} {
-			s, err := onoffReport(spec, o, sided, tempC)
-			if err != nil {
-				return "", err
-			}
-			sections = append(sections, s)
-		}
+	sidedStr, tempStr, _ := strings.Cut(key, "/")
+	sided := characterize.SingleSided
+	if sidedStr == "double" {
+		sided = characterize.DoubleSided
 	}
-	return strings.Join(sections, "\n"), nil
+	tempC := 50.0
+	if tempStr == "80" {
+		tempC = 80
+	}
+	return onoffReport(spec, o, sided, tempC)
 }
 
-func runAppC(o Options) (string, error) {
-	specs, err := o.modules()
-	if err != nil {
-		return "", err
-	}
-	var sections []string
-	for _, spec := range specs {
-		s, err := onoffReport(spec, o, characterize.SingleSided, 50)
-		if err != nil {
-			return "", err
-		}
-		sections = append(sections, s)
-	}
-	return strings.Join(sections, "\n"), nil
-}
-
-func runAppE(o Options) (string, error) {
-	specs, err := o.modules()
-	if err != nil {
-		return "", err
-	}
+func workAppE(o Options, spec chipgen.ModuleSpec) ([][]string, error) {
 	cfg := o.charConfig()
 	cfg.Trials = 5
 	taggons := []dram.TimePS{36 * dram.Nanosecond, 7800 * dram.Nanosecond, 70200 * dram.Nanosecond, 30 * dram.Millisecond}
-	headers := []string{"module", "tAggON", "1x", "2x", "3x", "4x", "5x", "flips"}
-	var rows [][]string
-	for _, spec := range specs {
-		res, err := characterize.RepeatabilityStudy(spec, cfg, 50, taggons)
-		if err != nil {
-			return "", err
-		}
-		for _, r := range res {
-			row := []string{spec.ID, dram.FormatTime(r.TAggON)}
-			for k := 1; k <= 5; k++ {
-				row = append(row, report.Pct(r.Percent(k)/100))
-			}
-			row = append(row, fmt.Sprint(r.TotalFlips))
-			rows = append(rows, row)
-		}
+	res, err := characterize.RepeatabilityStudy(spec, cfg, 50, taggons)
+	if err != nil {
+		return nil, err
 	}
-	return report.Section("Bitflip repeatability over 5 trials (Appendix E: majority occur in all 5)",
-		report.Table(headers, rows)), nil
+	var rows [][]string
+	for _, r := range res {
+		row := []string{spec.ID, dram.FormatTime(r.TAggON)}
+		for k := 1; k <= 5; k++ {
+			row = append(row, report.Pct(r.Percent(k)/100))
+		}
+		rows = append(rows, append(row, fmt.Sprint(r.TotalFlips)))
+	}
+	return rows, nil
 }
 
-func eccRunner(tAggON dram.TimePS) func(Options) (string, error) {
-	return func(o Options) (string, error) {
-		specs, err := o.modules()
-		if err != nil {
-			return "", err
-		}
+func mergeAppE(o Options, specs []chipgen.ModuleSpec, parts [][][]string) (string, error) {
+	headers := []string{"module", "tAggON", "1x", "2x", "3x", "4x", "5x", "flips"}
+	return report.Section("Bitflip repeatability over 5 trials (Appendix E: majority occur in all 5)",
+		report.Table(headers, flattenRows(parts))), nil
+}
+
+func registerECC(id, title string, tAggON dram.TimePS) {
+	work := func(o Options, spec chipgen.ModuleSpec) ([][]string, error) {
 		cfg := o.charConfig()
+		var rows [][]string
+		for _, sided := range []characterize.Sidedness{characterize.SingleSided, characterize.DoubleSided} {
+			c := cfg
+			c.Sided = sided
+			b, err := characterize.NewBench(spec, c, 80)
+			if err != nil {
+				return nil, err
+			}
+			locs := characterize.TestedLocations(c.Geometry, c.RowsToTest)
+			flips, err := characterize.MaxACFlips(b, locs, tAggON, c)
+			if err != nil {
+				return nil, err
+			}
+			st := ecc.AnalyzeFlips(flips)
+			codes := ecc.EvaluateCodes(flips, 8)
+			rows = append(rows, []string{
+				spec.ID, sided.String(),
+				fmt.Sprint(st.Words1to2), fmt.Sprint(st.Words3to8), fmt.Sprint(st.WordsOver8),
+				fmt.Sprint(st.MaxPerWord),
+				fmt.Sprint(codes.SECDEDSilent), fmt.Sprint(codes.SECDEDDetected),
+				fmt.Sprint(codes.ChipkillBeyond),
+			})
+		}
+		return rows, nil
+	}
+	merge := func(o Options, specs []chipgen.ModuleSpec, parts [][][]string) (string, error) {
 		headers := []string{"module", "sided", "words 1-2", "words 3-8", "words >8", "max/word",
 			"SECDED silent", "SECDED detected", "beyond Chipkill(x8)"}
-		var rows [][]string
-		for _, spec := range specs {
-			for _, sided := range []characterize.Sidedness{characterize.SingleSided, characterize.DoubleSided} {
-				c := cfg
-				c.Sided = sided
-				b, err := characterize.NewBench(spec, c, 80)
-				if err != nil {
-					return "", err
-				}
-				locs := characterize.TestedLocations(c.Geometry, c.RowsToTest)
-				flips, err := characterize.MaxACFlips(b, locs, tAggON, c)
-				if err != nil {
-					return "", err
-				}
-				st := ecc.AnalyzeFlips(flips)
-				codes := ecc.EvaluateCodes(flips, 8)
-				rows = append(rows, []string{
-					spec.ID, sided.String(),
-					fmt.Sprint(st.Words1to2), fmt.Sprint(st.Words3to8), fmt.Sprint(st.WordsOver8),
-					fmt.Sprint(st.MaxPerWord),
-					fmt.Sprint(codes.SECDEDSilent), fmt.Sprint(codes.SECDEDDetected),
-					fmt.Sprint(codes.ChipkillBeyond),
-				})
-			}
-		}
-		title := fmt.Sprintf("Erroneous 64-bit words at tAggON=%s, max activations, 80°C (§7.1)", dram.FormatTime(tAggON))
-		return report.Section(title, report.Table(headers, rows)), nil
+		title2 := fmt.Sprintf("Erroneous 64-bit words at tAggON=%s, max activations, 80°C (§7.1)", dram.FormatTime(tAggON))
+		return report.Section(title2, report.Table(headers, flattenRows(parts))), nil
 	}
+	registerPerModule(id, title, work, merge)
 }
 
 func runTable1(Options) (string, error) {

@@ -12,12 +12,26 @@ import (
 	"repro/internal/workload"
 )
 
+// mitigationKinds orders the two mechanisms the paper adapts; simperf
+// shards are keyed per kind so the Graphene and PARA studies run
+// concurrently.
+var mitigationKinds = []simperf.MitigationKind{simperf.KindGraphene, simperf.KindPARA}
+
 func init() {
-	register("table3", "Graphene-RP and PARA-RP performance overhead vs tmro", runTable3)
-	register("fig38", "Max per-row ACT-count increase under minimally-open-row", runFig38)
-	register("fig39", "Normalized IPC under minimally-open-row", runFig39)
-	register("fig40", "Per-workload single-core IPC of adapted mitigations vs tmro", runFig40)
-	register("fig41", "4-core weighted speedup of adapted mitigations (Table 9 groups)", runFig41)
+	registerKeyed("table3", "Graphene-RP and PARA-RP performance overhead vs tmro",
+		staticKeys("kind/Graphene", "kind/PARA"), workTable3, joinSections)
+	registerMinOpenRow("fig38", "Max per-row ACT-count increase under minimally-open-row",
+		"Max increase in per-row ACT count per tREFW, minimally-open-row vs open-row (Fig. 38)",
+		[]string{"workload", "ACT increase"},
+		func(r simperf.MinOpenRowRow) string { return report.Num(r.ACTIncrease) + "x" })
+	registerMinOpenRow("fig39", "Normalized IPC under minimally-open-row",
+		"IPC under minimally-open-row, normalized to open-row (Fig. 39; paper min 0.66)",
+		[]string{"workload", "normalized IPC"},
+		func(r simperf.MinOpenRowRow) string { return report.Num(r.NormalizedIPC) })
+	registerKeyed("fig40", "Per-workload single-core IPC of adapted mitigations vs tmro",
+		fig40Keys, workFig40, mergeFig40)
+	registerKeyed("fig41", "4-core weighted speedup of adapted mitigations (Table 9 groups)",
+		fig41Keys, workFig41, mergeFig41)
 }
 
 func perfConfig(o Options) simperf.Config {
@@ -29,106 +43,141 @@ func perfConfig(o Options) simperf.Config {
 func fourCoreMixes(o Options, perGroup int) [][]workload.Profile {
 	groups := simperf.HeterogeneousMixes(perGroup, o.Seed)
 	var mixes [][]workload.Profile
-	var names []string
-	for g := range groups {
-		names = append(names, g)
-	}
-	sort.Strings(names)
-	for _, g := range names {
+	for _, g := range mixGroupNames(groups) {
 		mixes = append(mixes, groups[g]...)
 	}
 	return mixes
 }
 
-func runTable3(o Options) (string, error) {
-	cfg := perfConfig(o)
-	mixes := fourCoreMixes(o, o.scaled(2, 1))
-	var sections []string
-	for _, kind := range []simperf.MitigationKind{simperf.KindGraphene, simperf.KindPARA} {
-		rows, err := simperf.MitigationStudy(kind, cfg, mixes, o.Seed)
-		if err != nil {
-			return "", err
-		}
-		headers := []string{"tmro", "T'RH", "avg overhead", "max overhead"}
-		var out [][]string
-		for _, r := range rows {
-			out = append(out, []string{
-				dram.FormatTime(r.TMro), fmt.Sprint(r.TPrime),
-				report.Pct(r.AvgOverhead), report.Pct(r.MaxOverhead),
-			})
-		}
-		sections = append(sections, report.Section(
-			fmt.Sprintf("%s-RP overhead over %s (Table 3)", kind, kind),
-			report.Table(headers, out)))
+// mixGroupNames orders the Appendix D category names deterministically.
+func mixGroupNames(groups map[string][][]workload.Profile) []string {
+	var names []string
+	for g := range groups {
+		names = append(names, g)
 	}
-	return strings.Join(sections, "\n"), nil
+	sort.Strings(names)
+	return names
 }
 
-func minOpenRows(o Options) ([]simperf.MinOpenRowRow, error) {
+// workTable3 runs the full overhead study for one mitigation kind.
+func workTable3(o Options, i int, key string) (string, error) {
+	kind := mitigationKinds[i]
 	cfg := perfConfig(o)
+	mixes := fourCoreMixes(o, o.scaled(2, 1))
+	rows, err := simperf.MitigationStudy(kind, cfg, mixes, o.Seed)
+	if err != nil {
+		return "", err
+	}
+	headers := []string{"tmro", "T'RH", "avg overhead", "max overhead"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			dram.FormatTime(r.TMro), fmt.Sprint(r.TPrime),
+			report.Pct(r.AvgOverhead), report.Pct(r.MaxOverhead),
+		})
+	}
+	return report.Section(
+		fmt.Sprintf("%s-RP overhead over %s (Table 3)", kind, kind),
+		report.Table(headers, out)), nil
+}
+
+// minOpenProfiles is the Appendix D.1 workload set at this scale.
+func minOpenProfiles(o Options) []workload.Profile {
 	profiles := workload.Heavy()
 	if o.Scale < 0.5 {
 		profiles = profiles[:min(len(profiles), 6)]
 	}
-	return simperf.MinOpenRowStudy(cfg, profiles, o.Seed)
+	return profiles
 }
 
-func runFig38(o Options) (string, error) {
-	rows, err := minOpenRows(o)
-	if err != nil {
-		return "", err
+// registerMinOpenRow shards the minimally-open-row comparison one
+// workload per shard; fig38 and fig39 are two renderings of the same
+// study.
+func registerMinOpenRow(id, title, section string, headers []string,
+	cell func(simperf.MinOpenRowRow) string) {
+	keys := func(o Options) ([]string, error) {
+		var ks []string
+		for _, p := range minOpenProfiles(o) {
+			ks = append(ks, "workload/"+p.Name)
+		}
+		return ks, nil
 	}
-	var out [][]string
-	for _, r := range rows {
-		out = append(out, []string{r.Workload, report.Num(r.ACTIncrease) + "x"})
+	work := func(o Options, i int, key string) (simperf.MinOpenRowRow, error) {
+		p := minOpenProfiles(o)[i]
+		rows, err := simperf.MinOpenRowStudy(perfConfig(o), []workload.Profile{p}, o.Seed)
+		if err != nil {
+			return simperf.MinOpenRowRow{}, err
+		}
+		return rows[0], nil
 	}
-	return report.Section("Max increase in per-row ACT count per tREFW, minimally-open-row vs open-row (Fig. 38)",
-		report.Table([]string{"workload", "ACT increase"}, out)), nil
+	merge := func(o Options, parts []simperf.MinOpenRowRow) (string, error) {
+		var out [][]string
+		for _, r := range parts {
+			out = append(out, []string{r.Workload, cell(r)})
+		}
+		return report.Section(section, report.Table(headers, out)), nil
+	}
+	registerKeyed(id, title, keys, work, merge)
 }
 
-func runFig39(o Options) (string, error) {
-	rows, err := minOpenRows(o)
-	if err != nil {
-		return "", err
-	}
-	var out [][]string
-	for _, r := range rows {
-		out = append(out, []string{r.Workload, report.Num(r.NormalizedIPC)})
-	}
-	return report.Section("IPC under minimally-open-row, normalized to open-row (Fig. 39; paper min 0.66)",
-		report.Table([]string{"workload", "normalized IPC"}, out)), nil
-}
-
-func runFig40(o Options) (string, error) {
-	cfg := perfConfig(o)
+// fig40Profiles is the single-core workload set at this scale.
+func fig40Profiles(o Options) []workload.Profile {
 	profiles := workload.Heavy()
 	if o.Scale < 0.5 {
 		profiles = profiles[:min(len(profiles), 5)]
 	}
+	return profiles
+}
+
+func fig40Keys(o Options) ([]string, error) {
+	var ks []string
+	for _, kind := range mitigationKinds {
+		for _, p := range fig40Profiles(o) {
+			ks = append(ks, kind.String()+"/"+p.Name)
+		}
+	}
+	return ks, nil
+}
+
+// workFig40 simulates one (mitigation kind, workload) pair: baseline IPC
+// plus the adapted mechanism's normalized IPC at every tmro.
+func workFig40(o Options, i int, key string) ([]float64, error) {
+	profiles := fig40Profiles(o)
+	kind := mitigationKinds[i/len(profiles)]
+	p := profiles[i%len(profiles)]
+	cfg := perfConfig(o)
+	mix := []workload.Profile{p}
+	baseCfg := cfg
+	baseCfg.NewMitigation = simperf.BaselineFactory(kind, o.Seed)
+	base, err := simperf.RunMix(baseCfg, mix, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	norms := make([]float64, 0, len(simperf.TmroLattice))
+	for _, tmro := range simperf.TmroLattice {
+		res, err := simperf.RunAdapted(kind, tmro, cfg, mix, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		norms = append(norms, res.Cores[0].IPC()/base.Cores[0].IPC())
+	}
+	return norms, nil
+}
+
+func mergeFig40(o Options, parts [][]float64) (string, error) {
+	profiles := fig40Profiles(o)
 	var sections []string
-	for _, kind := range []simperf.MitigationKind{simperf.KindGraphene, simperf.KindPARA} {
+	for ki, kind := range mitigationKinds {
 		headers := []string{"workload"}
 		for _, tmro := range simperf.TmroLattice {
 			headers = append(headers, dram.FormatTime(tmro))
 		}
 		var out [][]string
-		geo := []float64{}
 		perTmro := make([][]float64, len(simperf.TmroLattice))
-		for _, p := range profiles {
-			mix := []workload.Profile{p}
-			baseCfg := cfg
-			baseCfg.NewMitigation = simperf.BaselineFactory(kind, o.Seed)
-			base, err := simperf.RunMix(baseCfg, mix, o.Seed)
-			if err != nil {
-				return "", err
-			}
+		for pi, p := range profiles {
+			norms := parts[ki*len(profiles)+pi]
 			row := []string{p.Name}
-			for i, tmro := range simperf.TmroLattice {
-				res, err := simperf.RunAdapted(kind, tmro, cfg, mix, o.Seed)
-				if err != nil {
-					return "", err
-				}
-				norm := res.Cores[0].IPC() / base.Cores[0].IPC()
+			for i, norm := range norms {
 				perTmro[i] = append(perTmro[i], norm)
 				row = append(row, report.Num(norm))
 			}
@@ -139,7 +188,6 @@ func runFig40(o Options) (string, error) {
 			gm = append(gm, report.Num(stats.GeoMean(vs)))
 		}
 		out = append(out, gm)
-		_ = geo
 		sections = append(sections, report.Section(
 			fmt.Sprintf("Single-core IPC of %s-RP normalized to %s (Fig. 40)", kind, kind),
 			report.Table(headers, out)))
@@ -147,49 +195,73 @@ func runFig40(o Options) (string, error) {
 	return strings.Join(sections, "\n"), nil
 }
 
-func runFig41(o Options) (string, error) {
-	cfg := perfConfig(o)
+// fig41Groups resolves the Appendix D mixes and their ordered names.
+func fig41Groups(o Options) (map[string][][]workload.Profile, []string) {
 	groups := simperf.HeterogeneousMixes(o.scaled(2, 1), o.Seed)
-	var names []string
-	for g := range groups {
-		names = append(names, g)
+	return groups, mixGroupNames(groups)
+}
+
+func fig41Keys(o Options) ([]string, error) {
+	_, names := fig41Groups(o)
+	var ks []string
+	for _, kind := range mitigationKinds {
+		for _, g := range names {
+			ks = append(ks, kind.String()+"/"+g)
+		}
 	}
-	sort.Strings(names)
+	return ks, nil
+}
+
+// workFig41 simulates one (mitigation kind, mix group): the group's mean
+// weighted speedup of the adapted mechanism normalized to baseline, per
+// tmro.
+func workFig41(o Options, i int, key string) ([]float64, error) {
+	groups, names := fig41Groups(o)
+	kind := mitigationKinds[i/len(names)]
+	g := names[i%len(names)]
+	cfg := perfConfig(o)
+	sums := make([]float64, len(simperf.TmroLattice))
+	for _, mix := range groups[g] {
+		alone, err := simperf.AloneIPCs(cfg, mix, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		baseCfg := cfg
+		baseCfg.NewMitigation = simperf.BaselineFactory(kind, o.Seed)
+		base, err := simperf.RunMix(baseCfg, mix, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		baseWS := base.WeightedSpeedup(alone)
+		for i, tmro := range simperf.TmroLattice {
+			res, err := simperf.RunAdapted(kind, tmro, cfg, mix, o.Seed)
+			if err != nil {
+				return nil, err
+			}
+			sums[i] += res.WeightedSpeedup(alone) / baseWS
+		}
+	}
+	n := float64(len(groups[g]))
+	avgs := make([]float64, len(sums))
+	for i, s := range sums {
+		avgs[i] = s / n
+	}
+	return avgs, nil
+}
+
+func mergeFig41(o Options, parts [][]float64) (string, error) {
+	_, names := fig41Groups(o)
 	var sections []string
-	for _, kind := range []simperf.MitigationKind{simperf.KindGraphene, simperf.KindPARA} {
+	for ki, kind := range mitigationKinds {
 		headers := []string{"group"}
 		for _, tmro := range simperf.TmroLattice {
 			headers = append(headers, dram.FormatTime(tmro))
 		}
 		var out [][]string
-		for _, g := range names {
-			sums := make([]float64, len(simperf.TmroLattice))
-			var baseSum float64
-			for _, mix := range groups[g] {
-				alone, err := simperf.AloneIPCs(cfg, mix, o.Seed)
-				if err != nil {
-					return "", err
-				}
-				baseCfg := cfg
-				baseCfg.NewMitigation = simperf.BaselineFactory(kind, o.Seed)
-				base, err := simperf.RunMix(baseCfg, mix, o.Seed)
-				if err != nil {
-					return "", err
-				}
-				baseWS := base.WeightedSpeedup(alone)
-				baseSum += baseWS
-				for i, tmro := range simperf.TmroLattice {
-					res, err := simperf.RunAdapted(kind, tmro, cfg, mix, o.Seed)
-					if err != nil {
-						return "", err
-					}
-					sums[i] += res.WeightedSpeedup(alone) / baseWS
-				}
-			}
+		for gi, g := range names {
 			row := []string{g}
-			n := float64(len(groups[g]))
-			for _, s := range sums {
-				row = append(row, report.Num(s/n))
+			for _, v := range parts[ki*len(names)+gi] {
+				row = append(row, report.Num(v))
 			}
 			out = append(out, row)
 		}

@@ -5,31 +5,46 @@ import (
 	"math"
 
 	"repro/internal/characterize"
+	"repro/internal/chipgen"
 	"repro/internal/dram"
 	"repro/internal/report"
 	"repro/internal/stats"
 )
 
 func init() {
-	register("summary", "Headline RowPress statistics (abstract / Obsv. 1-2-9)", runSummary)
+	registerPerModule("summary", "Headline RowPress statistics (abstract / Obsv. 1-2-9)",
+		workSummary, mergeSummary)
 }
 
-// runSummary computes the paper's headline aggregate statistics across the
-// selected modules:
+// summaryTemps and summaryTaggons fix the headline lattice: base (tRAS),
+// tREFI, 9×tREFI, and the 30 ms extreme, at the two temperatures.
+var summaryTemps = []float64{50, 80}
+var summaryTaggons = []dram.TimePS{36 * dram.Nanosecond, 7800 * dram.Nanosecond, 70200 * dram.Nanosecond, 30 * dram.Millisecond}
+
+// workSummary sweeps one module at both headline temperatures; the
+// aggregation across modules happens in the merge.
+func workSummary(o Options, spec chipgen.ModuleSpec) ([][]characterize.SweepPoint, error) {
+	cfg := o.charConfig()
+	perTemp := make([][]characterize.SweepPoint, 0, len(summaryTemps))
+	for _, tempC := range summaryTemps {
+		sweep, err := characterize.ACminSweep(spec, cfg, tempC, summaryTaggons)
+		if err != nil {
+			return nil, err
+		}
+		perTemp = append(perTemp, sweep)
+	}
+	return perTemp, nil
+}
+
+// mergeSummary computes the paper's headline aggregate statistics across
+// the selected modules:
 //
 //   - ACmin reduction from tAggON = tRAS to tREFI and 9×tREFI at 50 °C
 //     (paper: 21× avg / up to 59×, and 190× avg / up to 537×);
 //   - the same at 80 °C (paper: 48× avg / up to 122×, 438× / up to 1106×);
 //   - the fraction of flipping rows with ACmin = 1 at tAggON = 30 ms
 //     (paper: 13.1 % at 50 °C, 82.8 % at 80 °C).
-func runSummary(o Options) (string, error) {
-	specs, err := o.modules()
-	if err != nil {
-		return "", err
-	}
-	cfg := o.charConfig()
-	taggons := []dram.TimePS{36 * dram.Nanosecond, 7800 * dram.Nanosecond, 70200 * dram.Nanosecond, 30 * dram.Millisecond}
-
+func mergeSummary(o Options, specs []chipgen.ModuleSpec, parts [][][]characterize.SweepPoint) (string, error) {
 	type agg struct {
 		red78, red702 []float64 // per-module mean reduction factors
 		maxRed78      float64
@@ -37,13 +52,10 @@ func runSummary(o Options) (string, error) {
 		ac1, flipped  int
 	}
 	byTemp := map[float64]*agg{50: {}, 80: {}}
-	for _, tempC := range []float64{50, 80} {
+	for ti, tempC := range summaryTemps {
 		a := byTemp[tempC]
-		for _, spec := range specs {
-			sweep, err := characterize.ACminSweep(spec, cfg, tempC, taggons)
-			if err != nil {
-				return "", err
-			}
+		for si := range specs {
+			sweep := parts[si][ti]
 			base := stats.Mean(sweep[0].ACminValues())
 			m78 := stats.Mean(sweep[1].ACminValues())
 			m702 := stats.Mean(sweep[2].ACminValues())
@@ -82,7 +94,7 @@ func runSummary(o Options) (string, error) {
 	}
 
 	var rows [][]string
-	for _, tempC := range []float64{50, 80} {
+	for _, tempC := range summaryTemps {
 		a := byTemp[tempC]
 		frac := 0.0
 		if a.flipped > 0 {

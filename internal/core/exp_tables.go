@@ -4,103 +4,100 @@ import (
 	"math"
 
 	"repro/internal/characterize"
+	"repro/internal/chipgen"
 	"repro/internal/dram"
 	"repro/internal/report"
 	"repro/internal/stats"
 )
 
-// runTable5 regenerates the Table 5 summary: per module, mean (min) ACmin
-// at the representative tAggON values at 50 °C and 80 °C, and mean (min)
-// tAggONmin at AC = 1.
-func runTable5(o Options) (string, error) {
-	specs, err := o.modules()
-	if err != nil {
-		return "", err
+// fmtAvgMin renders the Table 5 "mean (min)" cell.
+func fmtAvgMin(vs []float64, scale float64, unit string) string {
+	if len(vs) == 0 {
+		return "No Bitflip"
 	}
+	return report.Num(stats.Mean(vs)/scale) + " (" + report.Num(stats.Min(vs)/scale) + ")" + unit
+}
+
+// workTable5 regenerates one module's Table 5 summary row: mean (min)
+// ACmin at the representative tAggON values at 50 °C and 80 °C, and mean
+// (min) tAggONmin at AC = 1.
+func workTable5(o Options, spec chipgen.ModuleSpec) ([]string, error) {
 	cfg := o.charConfig()
 	taggons := []dram.TimePS{36 * dram.Nanosecond, 7800 * dram.Nanosecond, 70200 * dram.Nanosecond}
+	p50, err := characterize.ACminSweep(spec, cfg, 50, taggons)
+	if err != nil {
+		return nil, err
+	}
+	p80, err := characterize.ACminSweep(spec, cfg, 80, taggons[1:2])
+	if err != nil {
+		return nil, err
+	}
+	t50, err := characterize.TAggONminSweep(spec, cfg, 50, []int{1})
+	if err != nil {
+		return nil, err
+	}
+	t80, err := characterize.TAggONminSweep(spec, cfg, 80, []int{1})
+	if err != nil {
+		return nil, err
+	}
+	return []string{
+		spec.ID, spec.Die.Name(),
+		fmtAvgMin(p50[0].ACminValues(), 1, ""),
+		fmtAvgMin(p50[1].ACminValues(), 1, ""),
+		fmtAvgMin(p50[2].ACminValues(), 1, ""),
+		fmtAvgMin(p80[0].ACminValues(), 1, ""),
+		fmtAvgMin(t50[0].Values(), 1000, "ms"),
+		fmtAvgMin(t80[0].Values(), 1000, "ms"),
+	}, nil
+}
+
+func mergeTable5(o Options, specs []chipgen.ModuleSpec, parts [][]string) (string, error) {
 	headers := []string{"module", "die",
 		"ACmin@36ns 50C", "ACmin@7.8us 50C", "ACmin@70.2us 50C",
 		"ACmin@7.8us 80C", "tAggONmin@AC=1 50C", "tAggONmin@AC=1 80C"}
-	var rows [][]string
-	fmtAvgMin := func(vs []float64, scale float64, unit string) string {
-		if len(vs) == 0 {
-			return "No Bitflip"
-		}
-		return report.Num(stats.Mean(vs)/scale) + " (" + report.Num(stats.Min(vs)/scale) + ")" + unit
-	}
-	for _, spec := range specs {
-		p50, err := characterize.ACminSweep(spec, cfg, 50, taggons)
-		if err != nil {
-			return "", err
-		}
-		p80, err := characterize.ACminSweep(spec, cfg, 80, taggons[1:2])
-		if err != nil {
-			return "", err
-		}
-		t50, err := characterize.TAggONminSweep(spec, cfg, 50, []int{1})
-		if err != nil {
-			return "", err
-		}
-		t80, err := characterize.TAggONminSweep(spec, cfg, 80, []int{1})
-		if err != nil {
-			return "", err
-		}
-		rows = append(rows, []string{
-			spec.ID, spec.Die.Name(),
-			fmtAvgMin(p50[0].ACminValues(), 1, ""),
-			fmtAvgMin(p50[1].ACminValues(), 1, ""),
-			fmtAvgMin(p50[2].ACminValues(), 1, ""),
-			fmtAvgMin(p80[0].ACminValues(), 1, ""),
-			fmtAvgMin(t50[0].Values(), 1000, "ms"),
-			fmtAvgMin(t80[0].Values(), 1000, "ms"),
-		})
-	}
 	return report.Section("Per-module vulnerability summary, mean (min) — Table 5",
-		report.Table(headers, rows)), nil
+		report.Table(headers, parts)), nil
 }
 
-// runTable6 regenerates Table 6: per module, the maximum BER at the
-// representative tAggON values with the maximum activation count in the
-// budget, single- and double-sided.
-func runTable6(o Options) (string, error) {
-	specs, err := o.modules()
-	if err != nil {
-		return "", err
-	}
+// workTable6 regenerates one module's Table 6 rows: the maximum BER at
+// the representative tAggON values with the maximum activation count in
+// the budget, single- and double-sided.
+func workTable6(o Options, spec chipgen.ModuleSpec) ([][]string, error) {
 	taggons := []dram.TimePS{36 * dram.Nanosecond, 7800 * dram.Nanosecond, 70200 * dram.Nanosecond}
-	headers := []string{"module", "die", "sided", "BER@36ns", "BER@7.8us", "BER@70.2us"}
 	var rows [][]string
-	for _, spec := range specs {
-		for _, sided := range []characterize.Sidedness{characterize.SingleSided, characterize.DoubleSided} {
-			cfg := o.charConfig()
-			cfg.Sided = sided
-			b, err := characterize.NewBench(spec, cfg, 50)
-			if err != nil {
-				return "", err
-			}
-			locs := characterize.TestedLocations(cfg.Geometry, min(cfg.RowsToTest, 8))
-			row := []string{spec.ID, spec.Die.Name(), sided.String()}
-			for _, tg := range taggons {
-				maxBER := math.Inf(-1)
-				for _, loc := range locs {
-					r, err := characterize.MeasureBERAt(b, loc, tg, 0, cfg)
-					if err != nil {
-						return "", err
-					}
-					if r.MaxBER > maxBER {
-						maxBER = r.MaxBER
-					}
-				}
-				if maxBER <= 0 {
-					row = append(row, "No Bitflip")
-				} else {
-					row = append(row, report.Pct(maxBER))
-				}
-			}
-			rows = append(rows, row)
+	for _, sided := range []characterize.Sidedness{characterize.SingleSided, characterize.DoubleSided} {
+		cfg := o.charConfig()
+		cfg.Sided = sided
+		b, err := characterize.NewBench(spec, cfg, 50)
+		if err != nil {
+			return nil, err
 		}
+		locs := characterize.TestedLocations(cfg.Geometry, min(cfg.RowsToTest, 8))
+		row := []string{spec.ID, spec.Die.Name(), sided.String()}
+		for _, tg := range taggons {
+			maxBER := math.Inf(-1)
+			for _, loc := range locs {
+				r, err := characterize.MeasureBERAt(b, loc, tg, 0, cfg)
+				if err != nil {
+					return nil, err
+				}
+				if r.MaxBER > maxBER {
+					maxBER = r.MaxBER
+				}
+			}
+			if maxBER <= 0 {
+				row = append(row, "No Bitflip")
+			} else {
+				row = append(row, report.Pct(maxBER))
+			}
+		}
+		rows = append(rows, row)
 	}
+	return rows, nil
+}
+
+func mergeTable6(o Options, specs []chipgen.ModuleSpec, parts [][][]string) (string, error) {
+	headers := []string{"module", "die", "sided", "BER@36ns", "BER@7.8us", "BER@70.2us"}
 	return report.Section("Maximum bit error rate at max activation count — Table 6",
-		report.Table(headers, rows)), nil
+		report.Table(headers, flattenRows(parts))), nil
 }

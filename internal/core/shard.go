@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/chipgen"
+	"repro/internal/engine"
+)
+
+// This file holds the typed shard-plan builders experiments register
+// through. Shard payloads cross the engine as `any`; the builders here
+// recover the concrete type on the merge side so experiment code stays
+// typed end to end. Payloads are cached and shared across runs, so work
+// functions must return fresh values and merges must not mutate them.
+
+// typedShards converts n typed work units into engine shards plus a merge
+// adapter that hands the typed payload slice to render.
+func typedShards[T any](keys []string, work func(i int) (T, error),
+	render func(parts []T) (string, error)) engine.Plan {
+	shards := make([]engine.Shard, len(keys))
+	for i, key := range keys {
+		shards[i] = engine.Shard{Key: key, Run: func() (any, error) { return work(i) }}
+	}
+	return engine.Plan{
+		Shards: shards,
+		Merge: func(parts []any) (string, error) {
+			ts := make([]T, len(parts))
+			for i, p := range parts {
+				t, ok := p.(T)
+				if !ok {
+					return "", fmt.Errorf("core: shard %q payload is %T, want %T", keys[i], p, t)
+				}
+				ts[i] = t
+			}
+			return render(ts)
+		},
+	}
+}
+
+// registerPerModule registers an experiment sharded one unit per selected
+// module: work computes the per-module slice of the sweep, merge
+// reassembles the report in module order (so output is byte-identical to
+// the serial path).
+func registerPerModule[T any](id, title string,
+	work func(o Options, spec chipgen.ModuleSpec) (T, error),
+	merge func(o Options, specs []chipgen.ModuleSpec, parts []T) (string, error)) {
+	registerPlan(id, title, func(o Options) (engine.Plan, error) {
+		specs, err := o.modules()
+		if err != nil {
+			return engine.Plan{}, err
+		}
+		keys := make([]string, len(specs))
+		for i, spec := range specs {
+			keys[i] = "module/" + spec.ID
+		}
+		return typedShards(keys,
+			func(i int) (T, error) { return work(o, specs[i]) },
+			func(parts []T) (string, error) { return merge(o, specs, parts) },
+		), nil
+	})
+}
+
+// registerKeyed registers an experiment sharded over an arbitrary
+// deterministic key lattice (data-pattern studies per die×temperature,
+// simperf studies per mitigation kind or workload).
+func registerKeyed[T any](id, title string,
+	keys func(o Options) ([]string, error),
+	work func(o Options, i int, key string) (T, error),
+	merge func(o Options, parts []T) (string, error)) {
+	registerPlan(id, title, func(o Options) (engine.Plan, error) {
+		ks, err := keys(o)
+		if err != nil {
+			return engine.Plan{}, err
+		}
+		return typedShards(ks,
+			func(i int) (T, error) { return work(o, i, ks[i]) },
+			func(parts []T) (string, error) { return merge(o, parts) },
+		), nil
+	})
+}
+
+// staticKeys adapts a fixed key lattice to registerKeyed.
+func staticKeys(ks ...string) func(Options) ([]string, error) {
+	return func(Options) ([]string, error) { return ks, nil }
+}

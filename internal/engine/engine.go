@@ -1,0 +1,253 @@
+// Package engine executes experiment plans concurrently. A Plan
+// decomposes one experiment run into deterministic Shards (per-module or
+// per-configuration slices of a sweep); the Engine runs the shards on a
+// bounded worker pool, memoizes every completed shard in a content-addressed
+// cache, and hands the ordered shard payloads to the plan's Merge to
+// rebuild the exact report the serial path would have produced.
+//
+// The engine is generic: it knows nothing about DRAM or the paper. The
+// core package builds plans; cmd/rowpress, cmd/rowpressd, and the bench
+// harness pick the worker count and share engines (and therefore caches)
+// across requests.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Shard is one deterministic unit of work within a plan. Key must be
+// unique within the plan and stable across runs with equal inputs: it is
+// the final component of the shard's cache address. Run must be pure —
+// equal (experiment, fingerprint, key) must produce an equal payload —
+// and the returned payload must never be mutated afterwards, because the
+// cache hands the same value to later runs.
+type Shard struct {
+	Key string
+	Run func() (any, error)
+}
+
+// Plan is a decomposed experiment run. Merge receives the shard payloads
+// in shard order (index i holds the result of Shards[i]) and renders the
+// final report.
+type Plan struct {
+	Experiment  string // experiment id, e.g. "fig6"
+	Fingerprint string // canonical encoding of the run options
+	Shards      []Shard
+	Merge       func(parts []any) (string, error)
+}
+
+// RunStats describes one Execute call.
+type RunStats struct {
+	Shards    int           // shards in the plan
+	CacheHits int           // shards served from the cache or a concurrent in-flight execution
+	Executed  int           // shards this call actually ran
+	Wall      time.Duration // wall-clock time of the whole Execute, merge included
+}
+
+// Metrics are cumulative engine-lifetime counters.
+type Metrics struct {
+	Runs           uint64
+	ShardsPlanned  uint64
+	ShardsExecuted uint64
+	CacheHits      uint64
+	CacheMisses    uint64
+	Errors         uint64
+	TotalWall      time.Duration
+	TotalShardTime time.Duration
+}
+
+// Engine is a worker-pool scheduler with a shared result cache. Safe for
+// concurrent use: the worker bound holds across concurrent Execute
+// calls, and identical shards requested concurrently are computed once
+// (the later request joins the in-flight execution).
+type Engine struct {
+	workers int
+	cache   *Cache
+	sem     chan struct{} // engine-wide worker slots
+
+	ifmu     sync.Mutex
+	inflight map[string]*inflightShard
+
+	mu      sync.Mutex
+	metrics Metrics
+}
+
+// inflightShard is one shard execution in progress; concurrent requests
+// for the same key wait on done instead of recomputing.
+type inflightShard struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// DefaultCacheEntries bounds the shared shard cache when callers have no
+// stronger opinion. A full `rowpress all` at one option set plans well
+// under a thousand shards, so this holds several distinct sweeps.
+const DefaultCacheEntries = 4096
+
+// New returns an engine running at most workers shards concurrently with
+// a cache of at most cacheEntries completed shards. workers <= 0 selects
+// GOMAXPROCS; cacheEntries <= 0 selects DefaultCacheEntries.
+func New(workers, cacheEntries int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if cacheEntries <= 0 {
+		cacheEntries = DefaultCacheEntries
+	}
+	return &Engine{
+		workers:  workers,
+		cache:    NewCache(cacheEntries),
+		sem:      make(chan struct{}, workers),
+		inflight: map[string]*inflightShard{},
+	}
+}
+
+// Workers returns the concurrency bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// Cache exposes the engine's shard cache (for stats and purging).
+func (e *Engine) Cache() *Cache { return e.cache }
+
+// Metrics returns a snapshot of the cumulative counters.
+func (e *Engine) Metrics() Metrics {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.metrics
+}
+
+// Execute runs the plan: cached shards are served from memory, the rest
+// run on the worker pool, and Merge assembles the payloads in shard
+// order. The first shard error (by shard index) aborts the run.
+func (e *Engine) Execute(p Plan) (string, RunStats, error) {
+	start := time.Now()
+	stats := RunStats{Shards: len(p.Shards)}
+
+	parts := make([]any, len(p.Shards))
+	errs := make([]error, len(p.Shards))
+	var missing []int
+	keys := make([]string, len(p.Shards))
+	for i, s := range p.Shards {
+		keys[i] = Key(p.Experiment, p.Fingerprint, s.Key)
+		if v, ok := e.cache.Get(keys[i]); ok {
+			parts[i] = v
+			stats.CacheHits++
+		} else {
+			missing = append(missing, i)
+		}
+	}
+
+	var shardTime time.Duration
+	var joined int // shards adopted from a concurrent in-flight execution
+	if len(missing) > 0 {
+		var wg sync.WaitGroup
+		var tmu sync.Mutex
+		for _, i := range missing {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				v, ran, d, err := e.runOrJoin(keys[i], p.Shards[i])
+				tmu.Lock()
+				parts[i], errs[i] = v, err
+				shardTime += d
+				if !ran {
+					joined++
+				}
+				tmu.Unlock()
+			}(i)
+		}
+		wg.Wait()
+		stats.Executed = len(missing) - joined
+		stats.CacheHits += joined
+	}
+
+	var firstErr error
+	for _, i := range missing {
+		if errs[i] != nil {
+			firstErr = fmt.Errorf("engine: %s shard %q: %w", p.Experiment, p.Shards[i].Key, errs[i])
+			break
+		}
+	}
+
+	var out string
+	if firstErr == nil {
+		var err error
+		out, err = p.Merge(parts)
+		if err != nil {
+			firstErr = fmt.Errorf("engine: %s merge: %w", p.Experiment, err)
+		}
+	}
+	stats.Wall = time.Since(start)
+
+	e.mu.Lock()
+	e.metrics.Runs++
+	e.metrics.ShardsPlanned += uint64(stats.Shards)
+	e.metrics.ShardsExecuted += uint64(stats.Executed)
+	e.metrics.CacheHits += uint64(stats.CacheHits)
+	e.metrics.CacheMisses += uint64(stats.Executed)
+	e.metrics.TotalWall += stats.Wall
+	e.metrics.TotalShardTime += shardTime
+	if firstErr != nil {
+		e.metrics.Errors++
+	}
+	e.mu.Unlock()
+
+	if firstErr != nil {
+		return "", stats, firstErr
+	}
+	return out, stats, nil
+}
+
+// runOrJoin executes the shard under the engine-wide worker bound,
+// deduplicating against concurrent executions of the same key: the first
+// caller runs (and caches the result), later callers wait for it. ran
+// reports whether this caller did the work; d is its execution time.
+func (e *Engine) runOrJoin(key string, s Shard) (v any, ran bool, d time.Duration, err error) {
+	e.ifmu.Lock()
+	if c, ok := e.inflight[key]; ok {
+		e.ifmu.Unlock()
+		<-c.done
+		return c.val, false, 0, c.err
+	}
+	// Re-check the cache under ifmu: a shard that completed after our
+	// caller's cache miss Put its result *before* deregistering from
+	// inflight, so absent-from-inflight + present-in-cache is authoritative
+	// and the result must not be recomputed. peek keeps the hit/miss
+	// counters honest (the caller already recorded this lookup as a miss).
+	if v, ok := e.cache.peek(key); ok {
+		e.ifmu.Unlock()
+		return v, false, 0, nil
+	}
+	c := &inflightShard{done: make(chan struct{})}
+	e.inflight[key] = c
+	e.ifmu.Unlock()
+
+	e.sem <- struct{}{}
+	t0 := time.Now()
+	c.val, c.err = runShard(s)
+	d = time.Since(t0)
+	<-e.sem
+	if c.err == nil {
+		e.cache.Put(key, c.val)
+	}
+
+	e.ifmu.Lock()
+	delete(e.inflight, key)
+	e.ifmu.Unlock()
+	close(c.done)
+	return c.val, true, d, c.err
+}
+
+// runShard isolates shard panics so a bad regenerator cannot take down a
+// serving daemon.
+func runShard(s Shard) (v any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("shard panic: %v", r)
+		}
+	}()
+	return s.Run()
+}

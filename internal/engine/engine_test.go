@@ -1,0 +1,317 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// countingPlan builds a plan whose shards return their own key and count
+// executions.
+func countingPlan(exp, fp string, n int, executed *atomic.Int64) Plan {
+	shards := make([]Shard, n)
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("shard-%02d", i)
+		shards[i] = Shard{Key: key, Run: func() (any, error) {
+			executed.Add(1)
+			return key, nil
+		}}
+	}
+	return Plan{
+		Experiment:  exp,
+		Fingerprint: fp,
+		Shards:      shards,
+		Merge: func(parts []any) (string, error) {
+			ss := make([]string, len(parts))
+			for i, p := range parts {
+				ss[i] = p.(string)
+			}
+			return strings.Join(ss, "|"), nil
+		},
+	}
+}
+
+func TestExecuteMergesInShardOrder(t *testing.T) {
+	var n atomic.Int64
+	for _, workers := range []int{1, 4, 16} {
+		e := New(workers, 0)
+		out, stats, err := e.Execute(countingPlan("exp", "fp", 9, &n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := "shard-00|shard-01|shard-02|shard-03|shard-04|shard-05|shard-06|shard-07|shard-08"
+		if out != want {
+			t.Fatalf("workers=%d: out=%q", workers, out)
+		}
+		if stats.Shards != 9 || stats.Executed != 9 || stats.CacheHits != 0 {
+			t.Fatalf("workers=%d: stats=%+v", workers, stats)
+		}
+	}
+}
+
+func TestExecuteServesRepeatsFromCache(t *testing.T) {
+	var n atomic.Int64
+	e := New(4, 0)
+	if _, _, err := e.Execute(countingPlan("exp", "fp", 5, &n)); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 5 {
+		t.Fatalf("cold run executed %d shards", n.Load())
+	}
+	out, stats, err := e.Execute(countingPlan("exp", "fp", 5, &n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 5 || stats.Executed != 0 || stats.CacheHits != 5 {
+		t.Fatalf("warm run executed shards: n=%d stats=%+v", n.Load(), stats)
+	}
+	if !strings.HasPrefix(out, "shard-00|") {
+		t.Fatalf("warm out=%q", out)
+	}
+	m := e.Metrics()
+	if m.Runs != 2 || m.ShardsExecuted != 5 || m.CacheHits != 5 {
+		t.Fatalf("metrics=%+v", m)
+	}
+}
+
+func TestCacheKeyedByExperimentFingerprintShard(t *testing.T) {
+	var n atomic.Int64
+	e := New(4, 0)
+	for _, p := range []Plan{
+		countingPlan("expA", "fp1", 3, &n),
+		countingPlan("expA", "fp2", 3, &n), // different options: no sharing
+		countingPlan("expB", "fp1", 3, &n), // different experiment: no sharing
+	} {
+		if _, _, err := e.Execute(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n.Load() != 9 {
+		t.Fatalf("expected 9 distinct shard executions, got %d", n.Load())
+	}
+}
+
+func TestExecuteBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	var mu sync.Mutex
+	shards := make([]Shard, 24)
+	for i := range shards {
+		shards[i] = Shard{Key: fmt.Sprint(i), Run: func() (any, error) {
+			c := cur.Add(1)
+			mu.Lock()
+			if c > peak.Load() {
+				peak.Store(c)
+			}
+			mu.Unlock()
+			defer cur.Add(-1)
+			return nil, nil
+		}}
+	}
+	e := New(workers, 0)
+	_, _, err := e.Execute(Plan{Experiment: "x", Shards: shards,
+		Merge: func([]any) (string, error) { return "", nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent shards, bound is %d", p, workers)
+	}
+}
+
+func TestWorkerBoundHoldsAcrossConcurrentExecutes(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	var mu sync.Mutex
+	mkPlan := func(exp string) Plan {
+		shards := make([]Shard, 8)
+		for i := range shards {
+			shards[i] = Shard{Key: fmt.Sprint(i), Run: func() (any, error) {
+				c := cur.Add(1)
+				mu.Lock()
+				if c > peak.Load() {
+					peak.Store(c)
+				}
+				mu.Unlock()
+				defer cur.Add(-1)
+				return nil, nil
+			}}
+		}
+		return Plan{Experiment: exp, Shards: shards,
+			Merge: func([]any) (string, error) { return "", nil }}
+	}
+	e := New(workers, 0)
+	var wg sync.WaitGroup
+	for _, exp := range []string{"a", "b", "c", "d"} {
+		wg.Add(1)
+		go func(exp string) {
+			defer wg.Done()
+			if _, _, err := e.Execute(mkPlan(exp)); err != nil {
+				t.Error(err)
+			}
+		}(exp)
+	}
+	wg.Wait()
+	if p := peak.Load(); p > workers {
+		t.Fatalf("4 concurrent Executes reached %d concurrent shards, engine bound is %d", p, workers)
+	}
+}
+
+func TestConcurrentIdenticalRequestsSingleFlight(t *testing.T) {
+	var executions atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	plan := func() Plan {
+		return Plan{Experiment: "exp", Fingerprint: "fp",
+			Shards: []Shard{{Key: "slow", Run: func() (any, error) {
+				executions.Add(1)
+				close(started)
+				<-release
+				return "payload", nil
+			}}},
+			Merge: func(parts []any) (string, error) { return parts[0].(string), nil }}
+	}
+	e := New(4, 0)
+	type res struct {
+		out   string
+		stats RunStats
+	}
+	results := make(chan res, 2)
+	go func() {
+		out, stats, _ := e.Execute(plan())
+		results <- res{out, stats}
+	}()
+	<-started // first request is mid-shard
+	go func() {
+		out, stats, _ := e.Execute(plan())
+		results <- res{out, stats}
+	}()
+	close(release)
+	a, b := <-results, <-results
+	if a.out != "payload" || b.out != "payload" {
+		t.Fatalf("outputs: %q %q", a.out, b.out)
+	}
+	if n := executions.Load(); n != 1 {
+		t.Fatalf("identical concurrent requests executed the shard %d times", n)
+	}
+	// One request ran the shard, the other joined it.
+	if a.stats.Executed+b.stats.Executed != 1 || a.stats.CacheHits+b.stats.CacheHits != 1 {
+		t.Fatalf("stats: %+v %+v", a.stats, b.stats)
+	}
+}
+
+// TestRunOrJoinRechecksCacheBeforeExecuting pins the completion race: a
+// shard whose result landed in the cache after the caller's Execute-level
+// cache miss (the executor deregisters from inflight only after Put) must
+// be served from the cache, not recomputed.
+func TestRunOrJoinRechecksCacheBeforeExecuting(t *testing.T) {
+	e := New(2, 0)
+	key := Key("exp", "fp", "late")
+	e.cache.Put(key, "already-done")
+	v, ran, _, err := e.runOrJoin(key, Shard{Key: "late", Run: func() (any, error) {
+		t.Fatal("shard must not re-execute")
+		return nil, nil
+	}})
+	if err != nil || ran || v != "already-done" {
+		t.Fatalf("v=%v ran=%v err=%v", v, ran, err)
+	}
+}
+
+func TestExecuteReportsFirstErrorByIndex(t *testing.T) {
+	boom := errors.New("boom")
+	p := Plan{
+		Experiment: "x",
+		Shards: []Shard{
+			{Key: "ok", Run: func() (any, error) { return 1, nil }},
+			{Key: "bad1", Run: func() (any, error) { return nil, boom }},
+			{Key: "bad2", Run: func() (any, error) { return nil, errors.New("later") }},
+		},
+		Merge: func([]any) (string, error) { t.Fatal("merge must not run"); return "", nil },
+	}
+	e := New(8, 0)
+	_, _, err := e.Execute(p)
+	if !errors.Is(err, boom) || !strings.Contains(err.Error(), "bad1") {
+		t.Fatalf("err=%v", err)
+	}
+	if m := e.Metrics(); m.Errors != 1 {
+		t.Fatalf("failed run not counted: metrics=%+v", m)
+	}
+}
+
+func TestExecuteErrorIsNotCached(t *testing.T) {
+	calls := 0
+	p := Plan{Experiment: "x", Shards: []Shard{{Key: "flaky", Run: func() (any, error) {
+		calls++
+		if calls == 1 {
+			return nil, errors.New("transient")
+		}
+		return "ok", nil
+	}}}, Merge: func(parts []any) (string, error) { return parts[0].(string), nil }}
+	e := New(1, 0)
+	if _, _, err := e.Execute(p); err == nil {
+		t.Fatal("first run should fail")
+	}
+	out, _, err := e.Execute(p)
+	if err != nil || out != "ok" {
+		t.Fatalf("retry: out=%q err=%v", out, err)
+	}
+}
+
+func TestExecuteRecoversShardPanic(t *testing.T) {
+	p := Plan{Experiment: "x", Shards: []Shard{{Key: "p", Run: func() (any, error) {
+		panic("kaboom")
+	}}}, Merge: func([]any) (string, error) { return "", nil }}
+	_, _, err := New(2, 0).Execute(p)
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestKeyIsCollisionResistantOnSeparators(t *testing.T) {
+	if Key("a|b", "c") == Key("a", "b|c") {
+		t.Fatal("naive join would collide")
+	}
+	if Key("exp", "fp", "s") != Key("exp", "fp", "s") {
+		t.Fatal("key not deterministic")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if _, ok := c.Get("a"); !ok { // touch a: now b is LRU
+		t.Fatal("a missing")
+	}
+	c.Put("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a should survive")
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("stats=%+v", st)
+	}
+}
+
+func TestCachePurgeAndHitRate(t *testing.T) {
+	c := NewCache(8)
+	c.Put("k", "v")
+	c.Get("k")
+	c.Get("absent")
+	if hr := c.Stats().HitRate(); hr != 0.5 {
+		t.Fatalf("hit rate %v", hr)
+	}
+	c.Purge()
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("purge left entries behind")
+	}
+	if c.Stats().Entries != 0 {
+		t.Fatal("entries after purge")
+	}
+}

@@ -1,0 +1,262 @@
+// Package serve exposes the experiment engine over HTTP: the serving
+// layer behind cmd/rowpressd and `rowpress -serve`. One engine (and
+// therefore one shard cache) backs every request, so repeated and
+// overlapping runs of the same (experiment, options) are served from
+// memory without re-executing any shard.
+//
+// Endpoints:
+//
+//	GET /healthz              liveness + uptime
+//	GET /v1/experiments       registered experiment ids and titles
+//	GET /v1/run/{exp}         run one experiment (?scale, ?seed, ?modules,
+//	                          ?format=json|text), reporting cache stats
+//	GET /v1/results           recent completed runs with latency + hits
+//	GET /v1/metrics           cumulative engine and cache counters
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// maxResults bounds the /v1/results history ring.
+const maxResults = 256
+
+// RunResponse is the JSON body of /v1/run/{exp}.
+type RunResponse struct {
+	Experiment string   `json:"experiment"`
+	Title      string   `json:"title,omitempty"`
+	Scale      float64  `json:"scale"`
+	Seed       uint64   `json:"seed"`
+	Modules    []string `json:"modules,omitempty"`
+	Report     string   `json:"report"`
+	Stats      RunStats `json:"stats"`
+}
+
+// RunStats mirrors engine.RunStats for the wire, with latency in
+// milliseconds.
+type RunStats struct {
+	Shards    int     `json:"shards"`
+	CacheHits int     `json:"cache_hits"`
+	Executed  int     `json:"executed"`
+	WallMS    float64 `json:"wall_ms"`
+	FromCache bool    `json:"from_cache"` // true when no shard re-executed
+}
+
+// ResultRecord is one completed run in /v1/results.
+type ResultRecord struct {
+	Experiment  string    `json:"experiment"`
+	Fingerprint string    `json:"fingerprint"`
+	Bytes       int       `json:"bytes"`
+	Stats       RunStats  `json:"stats"`
+	CompletedAt time.Time `json:"completed_at"`
+}
+
+// MetricsResponse is the JSON body of /v1/metrics.
+type MetricsResponse struct {
+	UptimeS        float64 `json:"uptime_s"`
+	Workers        int     `json:"workers"`
+	Runs           uint64  `json:"runs"`
+	ShardsPlanned  uint64  `json:"shards_planned"`
+	ShardsExecuted uint64  `json:"shards_executed"`
+	CacheHits      uint64  `json:"cache_hits"`
+	CacheMisses    uint64  `json:"cache_misses"`
+	CacheEntries   int     `json:"cache_entries"`
+	CacheEvictions uint64  `json:"cache_evictions"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
+	Errors         uint64  `json:"errors"`
+	TotalWallMS    float64 `json:"total_wall_ms"`
+	TotalShardMS   float64 `json:"total_shard_ms"`
+}
+
+// Server serves the experiment registry from a shared engine. Safe for
+// concurrent use.
+type Server struct {
+	eng   *engine.Engine
+	mux   *http.ServeMux
+	start time.Time
+	now   func() time.Time // test hook
+
+	mu      sync.Mutex
+	results []ResultRecord // newest first
+}
+
+// New builds a server around the given engine (nil = a fresh
+// GOMAXPROCS-wide engine with the default cache).
+func New(eng *engine.Engine) *Server {
+	if eng == nil {
+		eng = engine.New(0, 0)
+	}
+	s := &Server{eng: eng, mux: http.NewServeMux(), now: time.Now}
+	s.start = s.now()
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("GET /v1/run/{exp}", s.handleRun)
+	s.mux.HandleFunc("GET /v1/results", s.handleResults)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	return s
+}
+
+// Engine returns the backing engine.
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// ListenAndServe blocks serving on addr.
+func (s *Server) ListenAndServe(addr string) error {
+	srv := &http.Server{Addr: addr, Handler: s, ReadHeaderTimeout: 10 * time.Second}
+	return srv.ListenAndServe()
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"uptime_s": s.now().Sub(s.start).Seconds(),
+		"workers":  s.eng.Workers(),
+	})
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	type exp struct {
+		ID    string `json:"id"`
+		Title string `json:"title"`
+	}
+	var out []exp
+	for _, e := range core.List() {
+		out = append(out, exp{ID: e.ID, Title: e.Title})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// parseOptions decodes ?scale, ?seed, ?modules into core.Options.
+func parseOptions(r *http.Request) (core.Options, error) {
+	o := core.DefaultOptions()
+	q := r.URL.Query()
+	if v := q.Get("scale"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return o, fmt.Errorf("bad scale %q: %v", v, err)
+		}
+		o.Scale = f
+	}
+	if v := q.Get("seed"); v != "" {
+		u, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return o, fmt.Errorf("bad seed %q: %v", v, err)
+		}
+		o.Seed = u
+	}
+	if v := q.Get("modules"); v != "" {
+		o.Modules = strings.Split(v, ",")
+	}
+	return o, nil
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("exp")
+	o, err := parseOptions(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	p, err := core.PlanFor(id, o)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, core.ErrUnknownExperiment) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	out, es, err := s.eng.Execute(p)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	stats := RunStats{
+		Shards:    es.Shards,
+		CacheHits: es.CacheHits,
+		Executed:  es.Executed,
+		WallMS:    float64(es.Wall) / float64(time.Millisecond),
+		FromCache: es.Executed == 0,
+	}
+	s.record(ResultRecord{
+		Experiment:  id,
+		Fingerprint: p.Fingerprint,
+		Bytes:       len(out),
+		Stats:       stats,
+		CompletedAt: s.now().UTC(),
+	})
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, out)
+		return
+	}
+	var title string
+	if e, ok := core.Get(id); ok {
+		title = e.Title
+	}
+	writeJSON(w, http.StatusOK, RunResponse{
+		Experiment: id, Title: title,
+		Scale: o.Scale, Seed: o.Seed, Modules: o.Modules,
+		Report: out, Stats: stats,
+	})
+}
+
+func (s *Server) record(rec ResultRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.results = append([]ResultRecord{rec}, s.results...)
+	if len(s.results) > maxResults {
+		s.results = s.results[:maxResults]
+	}
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]ResultRecord, len(s.results))
+	copy(out, s.results)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.eng.Metrics()
+	cs := s.eng.Cache().Stats()
+	writeJSON(w, http.StatusOK, MetricsResponse{
+		UptimeS:        s.now().Sub(s.start).Seconds(),
+		Workers:        s.eng.Workers(),
+		Runs:           m.Runs,
+		ShardsPlanned:  m.ShardsPlanned,
+		ShardsExecuted: m.ShardsExecuted,
+		CacheHits:      m.CacheHits,
+		CacheMisses:    m.CacheMisses,
+		CacheEntries:   cs.Entries,
+		CacheEvictions: cs.Evictions,
+		CacheHitRate:   cs.HitRate(),
+		Errors:         m.Errors,
+		TotalWallMS:    float64(m.TotalWall) / float64(time.Millisecond),
+		TotalShardMS:   float64(m.TotalShardTime) / float64(time.Millisecond),
+	})
+}

@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(engine.New(4, 0))
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func getJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t)
+	var body struct {
+		Status  string  `json:"status"`
+		UptimeS float64 `json:"uptime_s"`
+		Workers int     `json:"workers"`
+	}
+	resp := getJSON(t, ts.URL+"/healthz", &body)
+	if resp.StatusCode != http.StatusOK || body.Status != "ok" || body.Workers != 4 {
+		t.Fatalf("healthz: code=%d body=%+v", resp.StatusCode, body)
+	}
+}
+
+func TestExperimentsListed(t *testing.T) {
+	_, ts := newTestServer(t)
+	var exps []struct{ ID, Title string }
+	getJSON(t, ts.URL+"/v1/experiments", &exps)
+	if len(exps) < 30 {
+		t.Fatalf("only %d experiments listed", len(exps))
+	}
+}
+
+const runQuery = "/v1/run/fig7?scale=0.05&modules=S0,S3"
+
+func TestRunThenWarmCacheServesWithoutExecution(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	var cold RunResponse
+	resp := getJSON(t, ts.URL+runQuery, &cold)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold run status %d", resp.StatusCode)
+	}
+	if cold.Stats.Executed == 0 || cold.Stats.FromCache {
+		t.Fatalf("cold run should execute shards: %+v", cold.Stats)
+	}
+	if cold.Stats.Shards != 2 { // one shard per module
+		t.Fatalf("expected 2 shards for 2 modules, got %d", cold.Stats.Shards)
+	}
+	if !strings.Contains(cold.Report, "==") {
+		t.Fatalf("report lacks section header: %q", cold.Report)
+	}
+
+	var warm RunResponse
+	getJSON(t, ts.URL+runQuery, &warm)
+	if warm.Stats.Executed != 0 || !warm.Stats.FromCache || warm.Stats.CacheHits != 2 {
+		t.Fatalf("warm run should be all-cache: %+v", warm.Stats)
+	}
+	if warm.Report != cold.Report {
+		t.Fatal("warm report differs from cold report")
+	}
+}
+
+func TestOverlappingRequestSharesShards(t *testing.T) {
+	_, ts := newTestServer(t)
+	getJSON(t, ts.URL+"/v1/run/fig7?scale=0.05&modules=S0,S3", nil)
+	// Superset module list: S0 and S3 shards come from cache, M3 runs.
+	var r RunResponse
+	getJSON(t, ts.URL+"/v1/run/fig7?scale=0.05&modules=S0,S3,M3", &r)
+	if r.Stats.CacheHits != 2 || r.Stats.Executed != 1 {
+		t.Fatalf("overlap run stats: %+v", r.Stats)
+	}
+}
+
+func TestRunTextFormat(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + runQuery + "&format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	_, ts := newTestServer(t)
+	if resp := getJSON(t, ts.URL+"/v1/run/fig999", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown experiment: %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/v1/run/fig7?scale=9", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad scale: %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/v1/run/fig7?scale=bogus", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unparsable scale: %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/v1/run/fig7?scale=0.05&modules=Z9", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown module: %d", resp.StatusCode)
+	}
+}
+
+func TestResultsAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t)
+	getJSON(t, ts.URL+runQuery, nil)
+	getJSON(t, ts.URL+runQuery, nil)
+
+	var results []ResultRecord
+	getJSON(t, ts.URL+"/v1/results", &results)
+	if len(results) != 2 {
+		t.Fatalf("expected 2 result records, got %d", len(results))
+	}
+	// Newest first: the warm run.
+	if !results[0].Stats.FromCache || results[1].Stats.FromCache {
+		t.Fatalf("result order/from_cache wrong: %+v", results)
+	}
+	if results[0].Experiment != "fig7" || results[0].Bytes == 0 {
+		t.Fatalf("record malformed: %+v", results[0])
+	}
+
+	var m MetricsResponse
+	getJSON(t, ts.URL+"/v1/metrics", &m)
+	if m.Runs != 2 || m.ShardsExecuted != 2 || m.CacheHits != 2 || m.CacheEntries != 2 {
+		t.Fatalf("metrics: %+v", m)
+	}
+	if m.CacheHitRate <= 0 || m.CacheHitRate >= 1 {
+		t.Fatalf("hit rate: %v", m.CacheHitRate)
+	}
+}
