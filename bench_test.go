@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/sweep"
 )
 
 // benchScale keeps the whole suite within minutes. Figure shape is
@@ -123,6 +124,50 @@ func BenchmarkEngineColdSerial(b *testing.B)   { benchEngineCold(b, 1) }
 func BenchmarkEngineCold2Workers(b *testing.B) { benchEngineCold(b, 2) }
 func BenchmarkEngineCold4Workers(b *testing.B) { benchEngineCold(b, 4) }
 func BenchmarkEngineCold8Workers(b *testing.B) { benchEngineCold(b, 8) }
+
+// Sweep benchmarks: a 2-seed × 3-module-set grid over the same
+// representative experiment, overlapping module sets so the batch
+// deduplicates shards. Cold measures grid execution on a fresh engine;
+// warm is the steady-state cost of re-serving a fully cached grid — the
+// daemon's per-/v1/sweep overhead (expansion, batch accounting, merges).
+var benchSweepSpec = sweep.Spec{
+	Experiment: engineBenchID,
+	Scales:     []float64{benchScale},
+	Seeds:      []uint64{1, 2},
+	ModuleSets: [][]string{{"S0", "S3"}, {"S0", "M0"}, {"H0", "H4"}},
+}
+
+func BenchmarkSweepCold(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := engine.New(4, 0) // fresh engine: every unique shard computed
+		res, err := sweep.Run(eng, benchSweepSpec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Aggregate.Failed != 0 || res.Aggregate.Deduplicated == 0 {
+			b.Fatalf("aggregate=%+v", res.Aggregate)
+		}
+	}
+}
+
+func BenchmarkSweepWarm(b *testing.B) {
+	eng := engine.New(4, 0)
+	if _, err := sweep.Run(eng, benchSweepSpec); err != nil {
+		b.Fatal(err) // prime the cache outside the timer
+	}
+	base := eng.Metrics().ShardsExecuted
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sweep.Run(eng, benchSweepSpec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if m := eng.Metrics(); m.ShardsExecuted != base {
+		b.Fatalf("warm sweeps re-executed shards: %+v", m)
+	}
+}
 
 func BenchmarkEngineWarmCache(b *testing.B) {
 	o := core.Options{Scale: benchScale, Seed: 1, Modules: benchModules}

@@ -13,21 +13,26 @@
 //
 //	rowpress list
 //	rowpress run <id> [-scale 0.5] [-modules S0,S3] [-seed 7] [-workers 8]
+//	rowpress sweep <id> [-scales 0.05,0.1] [-seeds 1,2] [-modulesets "S0,S3;H0,H4"]
+//	                    [-format text|json|csv] [-workers 8]
 //	rowpress all [-scale 0.1] [-workers 8] [-serve :8271]
 //	rowpress serve [-addr :8271] [-workers 8]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/serve"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -40,6 +45,10 @@ func main() {
 	scale := fs.Float64("scale", 1.0, "scale factor in (0,1] for rows/victims/instructions")
 	modules := fs.String("modules", "", "comma-separated Table 5 module ids (default: one per die revision)")
 	seed := fs.Uint64("seed", 1, "seed for randomized components")
+	scales := fs.String("scales", "", "comma-separated scale list (sweep command)")
+	seeds := fs.String("seeds", "", "comma-separated seed list (sweep command)")
+	moduleSets := fs.String("modulesets", "", `semicolon-separated module sets, e.g. "S0,S3;H0,H4" (sweep command)`)
+	format := fs.String("format", "text", "sweep output rendering: text|json|csv")
 	workers := fs.Int("workers", 0, "concurrent shards per experiment (0 = GOMAXPROCS)")
 	serveAddr := fs.String("serve", "", "after running, serve the warmed engine over HTTP on this address")
 	addr := fs.String("addr", ":8271", "listen address (serve command)")
@@ -70,13 +79,40 @@ func main() {
 		if err := fs.Parse(rest[1:]); err != nil {
 			os.Exit(2)
 		}
+		rejectFlags(fs, "run", "scales", "seeds", "modulesets", "format")
 		e := eng()
 		runOne(e, id, opts())
+		maybeServe(e, *serveAddr)
+	case "sweep":
+		rest := os.Args[2:]
+		if len(rest) == 0 {
+			fmt.Fprintln(os.Stderr, "rowpress sweep <id> [flags]")
+			os.Exit(2)
+		}
+		id := rest[0]
+		if err := fs.Parse(rest[1:]); err != nil {
+			os.Exit(2)
+		}
+		rejectFlags(fs, "sweep", "scale", "seed", "modules")
+		switch *format {
+		case "text", "json", "csv":
+		default:
+			fmt.Fprintf(os.Stderr, "rowpress: bad -format %q: want text|json|csv\n", *format)
+			os.Exit(2)
+		}
+		spec, err := buildSpec(id, *scales, *seeds, *moduleSets)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rowpress: %v\n", err)
+			os.Exit(2)
+		}
+		e := eng()
+		runSweep(e, spec, *format)
 		maybeServe(e, *serveAddr)
 	case "all":
 		if err := fs.Parse(os.Args[2:]); err != nil {
 			os.Exit(2)
 		}
+		rejectFlags(fs, "all", "scales", "seeds", "modulesets", "format")
 		e := eng()
 		for _, exp := range core.List() {
 			runOne(e, exp.ID, opts())
@@ -107,6 +143,87 @@ func runOne(eng *engine.Engine, id string, o core.Options) {
 	fmt.Printf("# %s (%.1fs)\n%s\n", id, time.Since(start).Seconds(), out)
 }
 
+// rejectFlags exits when any of the named flags was set explicitly: the
+// run and sweep grammars are near-identical (-scale vs -scales), so
+// silently ignoring the wrong variant would run something very
+// different from what the user asked for.
+func rejectFlags(fs *flag.FlagSet, cmd string, names ...string) {
+	bad := make(map[string]bool, len(names))
+	for _, n := range names {
+		bad[n] = true
+	}
+	fs.Visit(func(f *flag.Flag) {
+		if bad[f.Name] {
+			fmt.Fprintf(os.Stderr, "rowpress: -%s does not apply to %q (see `rowpress` usage)\n", f.Name, cmd)
+			os.Exit(2)
+		}
+	})
+}
+
+// buildSpec parses the sweep flag grammar: comma-separated scales and
+// seeds, semicolon-separated module sets (each itself comma-separated;
+// an empty set selects the representative modules).
+func buildSpec(id, scales, seeds, moduleSets string) (sweep.Spec, error) {
+	spec := sweep.Spec{Experiment: id}
+	for _, v := range splitList(scales, ",") {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return spec, fmt.Errorf("bad scale %q: %v", v, err)
+		}
+		spec.Scales = append(spec.Scales, f)
+	}
+	for _, v := range splitList(seeds, ",") {
+		u, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return spec, fmt.Errorf("bad seed %q: %v", v, err)
+		}
+		spec.Seeds = append(spec.Seeds, u)
+	}
+	for _, set := range splitList(moduleSets, ";") {
+		spec.ModuleSets = append(spec.ModuleSets, strings.Split(set, ","))
+	}
+	return spec, nil
+}
+
+// splitList splits on sep, trimming whitespace and dropping empties.
+func splitList(s, sep string) []string {
+	var out []string
+	for _, v := range strings.Split(s, sep) {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func runSweep(eng *engine.Engine, spec sweep.Spec, format string) {
+	start := time.Now()
+	res, err := sweep.Run(eng, spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rowpress: sweep %s: %v\n", spec.Experiment, err)
+		os.Exit(1)
+	}
+	switch format {
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintf(os.Stderr, "rowpress: %v\n", err)
+			os.Exit(1)
+		}
+	case "csv":
+		fmt.Print(res.CSV())
+	default: // "text"; format is validated before the sweep runs
+		fmt.Printf("# sweep %s (%d points, %.1fs)\n%s", spec.Experiment,
+			res.Aggregate.Points, time.Since(start).Seconds(), res.Text())
+	}
+	if res.Aggregate.Failed > 0 {
+		fmt.Fprintf(os.Stderr, "rowpress: sweep %s: %d/%d points failed\n",
+			spec.Experiment, res.Aggregate.Failed, res.Aggregate.Points)
+		os.Exit(1)
+	}
+}
+
 func maybeServe(eng *engine.Engine, addr string) {
 	if addr == "" {
 		return
@@ -123,8 +240,10 @@ func usage() {
 commands:
   list                 list all experiment ids (figures and tables)
   run <id> [flags]     run one experiment and print its report
+  sweep <id> [flags]   run a batched parameter grid over one experiment
   all [flags]          run every experiment
   serve [flags]        serve the experiment engine over HTTP (see rowpressd)
 
-flags: -scale F  -modules S0,S3,...  -seed N  -workers N  -serve ADDR  -addr ADDR`)
+flags: -scale F  -modules S0,S3,...  -seed N  -workers N  -serve ADDR  -addr ADDR
+sweep flags: -scales F,F,...  -seeds N,N,...  -modulesets "S0,S3;H0,H4"  -format text|json|csv`)
 }

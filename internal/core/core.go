@@ -73,6 +73,31 @@ func (o Options) scaled(n, lo int) int {
 	return v
 }
 
+// NormalizeModules canonicalizes a user-supplied module-id list: ids are
+// whitespace-trimmed and empty entries dropped (so "S0, S3" and "S0,,S3"
+// mean S0+S3), and duplicate ids are rejected — a duplicate would plan
+// two shards with the same key, violating the engine's key-uniqueness
+// contract. A nil result selects the representative module set. Every
+// plan entry point (PlanFor, and therefore Run, the HTTP layer, and the
+// sweep subsystem) normalizes through here, so equal logical module
+// lists always address the same cached shards.
+func NormalizeModules(ids []string) ([]string, error) {
+	var out []string
+	seen := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("core: duplicate module id %q", id)
+		}
+		seen[id] = true
+		out = append(out, id)
+	}
+	return out, nil
+}
+
 // modules resolves the module set for characterization experiments.
 func (o Options) modules() ([]chipgen.ModuleSpec, error) {
 	if len(o.Modules) == 0 {
@@ -164,6 +189,11 @@ func PlanFor(id string, o Options) (engine.Plan, error) {
 	if err := o.validate(); err != nil {
 		return engine.Plan{}, err
 	}
+	mods, err := NormalizeModules(o.Modules)
+	if err != nil {
+		return engine.Plan{}, err
+	}
+	o.Modules = mods
 	e, ok := registry[id]
 	if !ok {
 		return engine.Plan{}, fmt.Errorf("core: %w %q (use List)", ErrUnknownExperiment, id)

@@ -87,3 +87,42 @@ func TestSweepTrimsAtSmallScale(t *testing.T) {
 		}
 	}
 }
+
+func TestNormalizeModules(t *testing.T) {
+	got, err := NormalizeModules([]string{" S0 ", "", "S3", "  "})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "S0" || got[1] != "S3" {
+		t.Fatalf("normalized=%v", got)
+	}
+	if got, err := NormalizeModules(nil); err != nil || got != nil {
+		t.Fatalf("nil list: got=%v err=%v", got, err)
+	}
+	if _, err := NormalizeModules([]string{"S0", "S0"}); err == nil {
+		t.Fatal("duplicate ids must be rejected")
+	}
+	if _, err := NormalizeModules([]string{"S0", " S0"}); err == nil {
+		t.Fatal("duplicate-after-trim ids must be rejected")
+	}
+}
+
+// TestPlanForNormalizesModules pins the contract that padded module
+// lists address the same cached shards as their canonical form, and
+// that duplicates never reach the engine as duplicate shard keys.
+func TestPlanForNormalizesModules(t *testing.T) {
+	o := DefaultOptions()
+	o.Scale = 0.05
+	o.Modules = []string{" S0", "S3 "}
+	p, err := PlanFor("fig7", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Shards) != 2 || p.Shards[0].Key != "module/S0" || p.Shards[1].Key != "module/S3" {
+		t.Fatalf("shard keys: %+v", p.Shards)
+	}
+	o.Modules = []string{"S0", "S0"}
+	if _, err := PlanFor("fig7", o); err == nil {
+		t.Fatal("duplicate modules must not plan")
+	}
+}

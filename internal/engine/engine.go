@@ -201,6 +201,152 @@ func (e *Engine) Execute(p Plan) (string, RunStats, error) {
 	return out, stats, nil
 }
 
+// BatchStats describes one ExecuteBatch call. Shard references are
+// counted twice: ShardRefs is the plan-side view (every shard of every
+// plan), while UniqueShards is the engine-side view after key
+// deduplication — the most work the batch could possibly run.
+type BatchStats struct {
+	Plans        int
+	ShardRefs    int // shards across all plans, duplicates included
+	UniqueShards int // distinct shard keys in the batch
+	Deduplicated int // refs beyond the first occurrence of their key
+	CacheHits    int // unique shards served from the cache (or joined in-flight)
+	Executed     int // unique shards this call actually ran
+	Wall         time.Duration
+}
+
+// batchShard is the shared execution slot for one unique key in a batch.
+type batchShard struct {
+	shard  Shard // the first-seen Shard for this key (all are equivalent)
+	val    any
+	err    error
+	cached bool          // served from the cache or a concurrent in-flight run
+	owner  int           // index of the first plan referencing this key
+	dur    time.Duration // execution time when this batch ran it
+}
+
+// ExecuteBatch runs many plans as one deduplicated unit of work: the
+// union of all shard keys is computed up front, each unique shard is
+// fetched from the cache or executed exactly once on the worker pool,
+// and every plan's Merge then assembles its report from the shared
+// payloads. Plans are independent: a shard or merge failure poisons only
+// the plans that reference it, reported per-plan in errs.
+//
+// Per-plan RunStats follow first-owner accounting: the first plan
+// referencing a shard records its execution, and every later plan
+// records a cache hit — so summing Executed over stats equals
+// BatchStats.Executed, and each plan's CacheHits+Executed equals its
+// shard count, exactly as if the plans had run sequentially through
+// Execute. Per-plan Wall is the compute attributed to that plan (its
+// owned shard time plus its merge), not batch wall clock.
+func (e *Engine) ExecuteBatch(plans []Plan) (outs []string, stats []RunStats, errs []error, bs BatchStats) {
+	start := time.Now()
+	bs.Plans = len(plans)
+	outs = make([]string, len(plans))
+	stats = make([]RunStats, len(plans))
+	errs = make([]error, len(plans))
+
+	keys := make([][]string, len(plans))
+	slots := map[string]*batchShard{}
+	var order []string // unique keys in first-occurrence order
+	for pi, p := range plans {
+		keys[pi] = make([]string, len(p.Shards))
+		stats[pi].Shards = len(p.Shards)
+		bs.ShardRefs += len(p.Shards)
+		for si, s := range p.Shards {
+			k := Key(p.Experiment, p.Fingerprint, s.Key)
+			keys[pi][si] = k
+			if _, ok := slots[k]; ok {
+				bs.Deduplicated++
+				continue
+			}
+			slots[k] = &batchShard{shard: s, owner: pi}
+			order = append(order, k)
+		}
+	}
+	bs.UniqueShards = len(order)
+
+	var missing []string
+	for _, k := range order {
+		if v, ok := e.cache.Get(k); ok {
+			slots[k].val, slots[k].cached = v, true
+			bs.CacheHits++
+		} else {
+			missing = append(missing, k)
+		}
+	}
+
+	var shardTime time.Duration
+	if len(missing) > 0 {
+		var wg sync.WaitGroup
+		var tmu sync.Mutex
+		for _, k := range missing {
+			wg.Add(1)
+			go func(k string) {
+				defer wg.Done()
+				v, ran, d, err := e.runOrJoin(k, slots[k].shard)
+				tmu.Lock()
+				sl := slots[k]
+				sl.val, sl.err, sl.dur = v, err, d
+				if ran {
+					bs.Executed++
+				} else {
+					sl.cached = true // joined a concurrent execution
+					bs.CacheHits++
+				}
+				shardTime += d
+				tmu.Unlock()
+			}(k)
+		}
+		wg.Wait()
+	}
+
+	for pi, p := range plans {
+		parts := make([]any, len(p.Shards))
+		for si := range p.Shards {
+			sl := slots[keys[pi][si]]
+			if sl.err != nil && errs[pi] == nil {
+				errs[pi] = fmt.Errorf("engine: %s shard %q: %w", p.Experiment, p.Shards[si].Key, sl.err)
+			}
+			parts[si] = sl.val
+			if sl.cached || sl.owner != pi {
+				stats[pi].CacheHits++
+			} else {
+				stats[pi].Executed++
+				stats[pi].Wall += sl.dur
+			}
+		}
+		if errs[pi] != nil {
+			continue
+		}
+		t0 := time.Now()
+		out, err := p.Merge(parts)
+		stats[pi].Wall += time.Since(t0)
+		if err != nil {
+			errs[pi] = fmt.Errorf("engine: %s merge: %w", p.Experiment, err)
+			continue
+		}
+		outs[pi] = out
+	}
+	bs.Wall = time.Since(start)
+
+	e.mu.Lock()
+	e.metrics.Runs += uint64(len(plans))
+	e.metrics.ShardsPlanned += uint64(bs.ShardRefs)
+	e.metrics.ShardsExecuted += uint64(bs.Executed)
+	e.metrics.CacheMisses += uint64(bs.Executed)
+	for pi := range plans {
+		e.metrics.CacheHits += uint64(stats[pi].CacheHits)
+		if errs[pi] != nil {
+			e.metrics.Errors++
+		}
+	}
+	e.metrics.TotalWall += bs.Wall
+	e.metrics.TotalShardTime += shardTime
+	e.mu.Unlock()
+	return outs, stats, errs, bs
+}
+
 // runOrJoin executes the shard under the engine-wide worker bound,
 // deduplicating against concurrent executions of the same key: the first
 // caller runs (and caches the result), later callers wait for it. ran

@@ -315,3 +315,126 @@ func TestCachePurgeAndHitRate(t *testing.T) {
 		t.Fatal("entries after purge")
 	}
 }
+
+// overlappingPlan builds a plan over an explicit key set, counting
+// executions per key.
+func overlappingPlan(exp, fp string, keys []string, executed *atomic.Int64) Plan {
+	shards := make([]Shard, len(keys))
+	for i, key := range keys {
+		shards[i] = Shard{Key: key, Run: func() (any, error) {
+			executed.Add(1)
+			return key, nil
+		}}
+	}
+	return Plan{
+		Experiment:  exp,
+		Fingerprint: fp,
+		Shards:      shards,
+		Merge: func(parts []any) (string, error) {
+			ss := make([]string, len(parts))
+			for i, p := range parts {
+				ss[i] = p.(string)
+			}
+			return strings.Join(ss, "|"), nil
+		},
+	}
+}
+
+func TestExecuteBatchDeduplicatesShards(t *testing.T) {
+	var n atomic.Int64
+	e := New(4, 0)
+	plans := []Plan{
+		overlappingPlan("exp", "fp", []string{"a", "b"}, &n),
+		overlappingPlan("exp", "fp", []string{"b", "c"}, &n), // b shared with plan 0
+		overlappingPlan("exp", "fp", []string{"a", "b"}, &n), // fully duplicate point
+	}
+	outs, stats, errs, bs := e.ExecuteBatch(plans)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("plan %d: %v", i, err)
+		}
+	}
+	if outs[0] != "a|b" || outs[1] != "b|c" || outs[2] != "a|b" {
+		t.Fatalf("outs=%q", outs)
+	}
+	if n.Load() != 3 {
+		t.Fatalf("unique shards a,b,c should execute once each, got %d executions", n.Load())
+	}
+	if bs.Plans != 3 || bs.ShardRefs != 6 || bs.UniqueShards != 3 || bs.Deduplicated != 3 ||
+		bs.Executed != 3 || bs.CacheHits != 0 {
+		t.Fatalf("batch stats=%+v", bs)
+	}
+	// First-owner accounting: plan 0 owns a+b, plan 1 owns c, plan 2 owns nothing.
+	if stats[0].Executed != 2 || stats[1].Executed != 1 || stats[2].Executed != 0 {
+		t.Fatalf("per-plan executed: %+v", stats)
+	}
+	for i, st := range stats {
+		if st.CacheHits+st.Executed != st.Shards {
+			t.Fatalf("plan %d accounting does not close: %+v", i, st)
+		}
+	}
+}
+
+func TestExecuteBatchSharesCacheWithSingleRuns(t *testing.T) {
+	var n atomic.Int64
+	e := New(4, 0)
+	if _, _, err := e.Execute(overlappingPlan("exp", "fp", []string{"a", "b"}, &n)); err != nil {
+		t.Fatal(err)
+	}
+	outs, stats, errs, bs := e.ExecuteBatch([]Plan{
+		overlappingPlan("exp", "fp", []string{"a", "b"}, &n), // fully pre-run
+		overlappingPlan("exp", "fp", []string{"b", "c"}, &n), // only c is new
+	})
+	if errs[0] != nil || errs[1] != nil {
+		t.Fatalf("errs=%v", errs)
+	}
+	if n.Load() != 3 {
+		t.Fatalf("batch after single run should only execute c: %d total executions", n.Load())
+	}
+	if bs.CacheHits != 2 || bs.Executed != 1 || bs.UniqueShards != 3 {
+		t.Fatalf("batch stats=%+v", bs)
+	}
+	if stats[0].CacheHits != 2 || stats[0].Executed != 0 ||
+		stats[1].CacheHits != 1 || stats[1].Executed != 1 {
+		t.Fatalf("per-plan stats=%+v", stats)
+	}
+	if outs[0] != "a|b" || outs[1] != "b|c" {
+		t.Fatalf("outs=%q", outs)
+	}
+	// And the reverse direction: a later single run hits the batch's shards.
+	_, st, err := e.Execute(overlappingPlan("exp", "fp", []string{"c"}, &n))
+	if err != nil || st.Executed != 0 || st.CacheHits != 1 {
+		t.Fatalf("single run after batch: stats=%+v err=%v", st, err)
+	}
+}
+
+func TestExecuteBatchIsolatesFailures(t *testing.T) {
+	boom := errors.New("boom")
+	good := Plan{Experiment: "x", Fingerprint: "fp",
+		Shards: []Shard{{Key: "ok", Run: func() (any, error) { return "fine", nil }}},
+		Merge:  func(parts []any) (string, error) { return parts[0].(string), nil }}
+	bad := Plan{Experiment: "x", Fingerprint: "fp",
+		Shards: []Shard{
+			{Key: "ok", Run: func() (any, error) { return "fine", nil }},
+			{Key: "bad", Run: func() (any, error) { return nil, boom }},
+		},
+		Merge: func([]any) (string, error) { t.Fatal("failed plan must not merge"); return "", nil }}
+	e := New(4, 0)
+	outs, _, errs, _ := e.ExecuteBatch([]Plan{good, bad})
+	if errs[0] != nil || outs[0] != "fine" {
+		t.Fatalf("healthy plan poisoned: out=%q err=%v", outs[0], errs[0])
+	}
+	if !errors.Is(errs[1], boom) || !strings.Contains(errs[1].Error(), "bad") {
+		t.Fatalf("errs[1]=%v", errs[1])
+	}
+	if m := e.Metrics(); m.Errors != 1 || m.Runs != 2 {
+		t.Fatalf("metrics=%+v", m)
+	}
+}
+
+func TestExecuteBatchEmpty(t *testing.T) {
+	outs, stats, errs, bs := New(2, 0).ExecuteBatch(nil)
+	if len(outs) != 0 || len(stats) != 0 || len(errs) != 0 || bs.Plans != 0 {
+		t.Fatalf("empty batch: outs=%v bs=%+v", outs, bs)
+	}
+}

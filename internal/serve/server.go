@@ -6,12 +6,16 @@
 //
 // Endpoints:
 //
-//	GET /healthz              liveness + uptime
-//	GET /v1/experiments       registered experiment ids and titles
-//	GET /v1/run/{exp}         run one experiment (?scale, ?seed, ?modules,
+//	GET  /healthz             liveness + uptime
+//	GET  /v1/experiments      registered experiment ids and titles
+//	GET  /v1/run/{exp}        run one experiment (?scale, ?seed, ?modules,
 //	                          ?format=json|text), reporting cache stats
-//	GET /v1/results           recent completed runs with latency + hits
-//	GET /v1/metrics           cumulative engine and cache counters
+//	POST /v1/sweep            batched parameter sweep (sweep.Spec in the
+//	                          body, ?format=json|text|csv); per-point
+//	                          reports/stats plus the aggregate
+//	GET  /v1/results          recent completed runs and sweeps (including
+//	                          failures) with latency + hits
+//	GET  /v1/metrics          cumulative engine, cache, and failure counters
 package serve
 
 import (
@@ -26,6 +30,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/sweep"
 )
 
 // maxResults bounds the /v1/results history ring.
@@ -52,11 +57,17 @@ type RunStats struct {
 	FromCache bool    `json:"from_cache"` // true when no shard re-executed
 }
 
-// ResultRecord is one completed run in /v1/results.
+// ResultRecord is one completed run or sweep in /v1/results. Kind is
+// "run" or "sweep"; Points is the grid size for sweeps; Error is set
+// when the execution failed (failed runs stay in history so operators
+// can see them — they also increment run_failures in /v1/metrics).
 type ResultRecord struct {
 	Experiment  string    `json:"experiment"`
+	Kind        string    `json:"kind"`
 	Fingerprint string    `json:"fingerprint"`
 	Bytes       int       `json:"bytes"`
+	Points      int       `json:"points,omitempty"`
+	Error       string    `json:"error,omitempty"`
 	Stats       RunStats  `json:"stats"`
 	CompletedAt time.Time `json:"completed_at"`
 }
@@ -74,6 +85,7 @@ type MetricsResponse struct {
 	CacheEvictions uint64  `json:"cache_evictions"`
 	CacheHitRate   float64 `json:"cache_hit_rate"`
 	Errors         uint64  `json:"errors"`
+	RunFailures    uint64  `json:"run_failures"` // failed runs + failed sweep points served by this process
 	TotalWallMS    float64 `json:"total_wall_ms"`
 	TotalShardMS   float64 `json:"total_shard_ms"`
 }
@@ -86,8 +98,9 @@ type Server struct {
 	start time.Time
 	now   func() time.Time // test hook
 
-	mu      sync.Mutex
-	results []ResultRecord // newest first
+	mu       sync.Mutex
+	results  []ResultRecord // newest first
+	failures uint64         // failed runs + failed sweep points
 }
 
 // New builds a server around the given engine (nil = a fresh
@@ -101,6 +114,7 @@ func New(eng *engine.Engine) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("GET /v1/run/{exp}", s.handleRun)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/results", s.handleResults)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	return s
@@ -168,13 +182,37 @@ func parseOptions(r *http.Request) (core.Options, error) {
 		o.Seed = u
 	}
 	if v := q.Get("modules"); v != "" {
-		o.Modules = strings.Split(v, ",")
+		mods, err := core.NormalizeModules(strings.Split(v, ","))
+		if err != nil {
+			return o, fmt.Errorf("bad modules %q: %v", v, err)
+		}
+		o.Modules = mods
 	}
 	return o, nil
 }
 
+// parseFormat validates ?format against the renderings the endpoint
+// supports; unknown values are a 400, never a silent JSON fallthrough.
+func parseFormat(r *http.Request, allowed ...string) (string, error) {
+	v := r.URL.Query().Get("format")
+	if v == "" {
+		return "json", nil
+	}
+	for _, a := range allowed {
+		if v == a {
+			return v, nil
+		}
+	}
+	return "", fmt.Errorf("bad format %q: want one of %s", v, strings.Join(allowed, "|"))
+}
+
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("exp")
+	format, err := parseFormat(r, "json", "text")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	o, err := parseOptions(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -190,25 +228,29 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	out, es, err := s.eng.Execute(p)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
-		return
-	}
 	stats := RunStats{
 		Shards:    es.Shards,
 		CacheHits: es.CacheHits,
 		Executed:  es.Executed,
 		WallMS:    float64(es.Wall) / float64(time.Millisecond),
-		FromCache: es.Executed == 0,
+		FromCache: es.Executed == 0 && err == nil,
 	}
-	s.record(ResultRecord{
+	rec := ResultRecord{
 		Experiment:  id,
+		Kind:        "run",
 		Fingerprint: p.Fingerprint,
 		Bytes:       len(out),
 		Stats:       stats,
 		CompletedAt: s.now().UTC(),
-	})
-	if r.URL.Query().Get("format") == "text" {
+	}
+	if err != nil {
+		rec.Error = err.Error()
+		s.record(rec, 1)
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.record(rec, 0)
+	if format == "text" {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, out)
 		return
@@ -224,9 +266,82 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) record(rec ResultRecord) {
+// maxSweepBody bounds the /v1/sweep request body (a spec is a few
+// hundred bytes; a megabyte is already absurd).
+const maxSweepBody = 1 << 20
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	format, err := parseFormat(r, "json", "text", "csv")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var spec sweep.Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSweepBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad sweep spec: %v", err)
+		return
+	}
+	res, err := sweep.Run(s.eng, spec)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, core.ErrUnknownExperiment) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	a := res.Aggregate
+	rec := ResultRecord{
+		Experiment:  res.Experiment,
+		Kind:        "sweep",
+		Fingerprint: sweepFingerprint(spec),
+		Bytes:       a.ReportBytes,
+		Points:      a.Points,
+		Stats: RunStats{
+			Shards:    a.ShardRefs,
+			CacheHits: a.ShardRefs - a.Executed,
+			Executed:  a.Executed,
+			WallMS:    a.WallMS,
+			FromCache: a.Executed == 0 && a.Failed == 0,
+		},
+		CompletedAt: s.now().UTC(),
+	}
+	if a.Failed > 0 {
+		rec.Error = fmt.Sprintf("%d/%d points failed", a.Failed, a.Points)
+	}
+	s.record(rec, uint64(a.Failed))
+	switch format {
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, res.Text())
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		fmt.Fprint(w, res.CSV())
+	default:
+		writeJSON(w, http.StatusOK, res)
+	}
+}
+
+// sweepFingerprint content-addresses a sweep spec the same way shard
+// results are addressed, so identical sweeps are recognizable in
+// /v1/results history.
+func sweepFingerprint(spec sweep.Spec) string {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		return "unfingerprintable"
+	}
+	return engine.Key("sweep", string(b))
+}
+
+// record prepends one history entry and adds failed to the process-wide
+// failure counter (a failed run is 1; a sweep contributes its failed
+// point count).
+func (s *Server) record(rec ResultRecord, failed uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.failures += failed
 	s.results = append([]ResultRecord{rec}, s.results...)
 	if len(s.results) > maxResults {
 		s.results = s.results[:maxResults]
@@ -244,6 +359,9 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m := s.eng.Metrics()
 	cs := s.eng.Cache().Stats()
+	s.mu.Lock()
+	failures := s.failures
+	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, MetricsResponse{
 		UptimeS:        s.now().Sub(s.start).Seconds(),
 		Workers:        s.eng.Workers(),
@@ -256,6 +374,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		CacheEvictions: cs.Evictions,
 		CacheHitRate:   cs.HitRate(),
 		Errors:         m.Errors,
+		RunFailures:    failures,
 		TotalWallMS:    float64(m.TotalWall) / float64(time.Millisecond),
 		TotalShardMS:   float64(m.TotalShardTime) / float64(time.Millisecond),
 	})

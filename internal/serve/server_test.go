@@ -2,12 +2,17 @@ package serve
 
 import (
 	"encoding/json"
+	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/sweep"
 )
 
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {
@@ -149,5 +154,270 @@ func TestResultsAndMetrics(t *testing.T) {
 	}
 	if m.CacheHitRate <= 0 || m.CacheHitRate >= 1 {
 		t.Fatalf("hit rate: %v", m.CacheHitRate)
+	}
+}
+
+func TestModulesParsingNormalized(t *testing.T) {
+	_, ts := newTestServer(t)
+	// Whitespace around ids and empty entries are tolerated...
+	var r RunResponse
+	resp := getJSON(t, ts.URL+"/v1/run/fig7?scale=0.05&modules=S0,%20S3,", &r)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("padded module list rejected: %d", resp.StatusCode)
+	}
+	if len(r.Modules) != 2 || r.Modules[0] != "S0" || r.Modules[1] != "S3" || r.Stats.Shards != 2 {
+		t.Fatalf("normalized modules: %+v stats=%+v", r.Modules, r.Stats)
+	}
+	// ...but duplicates would plan duplicate shard keys and are a 400.
+	if resp := getJSON(t, ts.URL+"/v1/run/fig7?scale=0.05&modules=S0,S0", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("duplicate modules: %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/v1/run/fig7?scale=0.05&modules=S0,%20S0", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("duplicate modules after trim: %d", resp.StatusCode)
+	}
+}
+
+func TestUnknownFormatRejected(t *testing.T) {
+	_, ts := newTestServer(t)
+	if resp := getJSON(t, ts.URL+runQuery+"&format=xml", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown run format: %d", resp.StatusCode)
+	}
+	// csv is a sweep rendering, not a run rendering.
+	if resp := getJSON(t, ts.URL+runQuery+"&format=csv", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("csv on /v1/run: %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+runQuery+"&format=json", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("explicit json format: %d", resp.StatusCode)
+	}
+	resp, err := http.Post(ts.URL+"/v1/sweep?format=yaml", "application/json",
+		strings.NewReader(`{"experiment":"fig7"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown sweep format: %d", resp.StatusCode)
+	}
+}
+
+func postSweep(t *testing.T, url, body string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("decode sweep response: %v", err)
+		}
+	}
+	return resp
+}
+
+func TestSweepEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	var res sweep.Result
+	resp := postSweep(t, ts.URL+"/v1/sweep",
+		`{"experiment":"fig7","scales":[0.05],"module_sets":[["S0","S3"],["S0","M3"]]}`, &res)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status %d", resp.StatusCode)
+	}
+	a := res.Aggregate
+	if a.Points != 2 || a.ShardRefs != 4 || a.UniqueShards != 3 || a.Executed != 3 {
+		t.Fatalf("aggregate=%+v", a)
+	}
+	for i, p := range res.Points {
+		if p.Report == "" || p.Error != "" {
+			t.Fatalf("point %d: %+v", i, p)
+		}
+	}
+
+	// The sweep's shards are now cached: a single run of an overlapping
+	// point is served without execution.
+	var r RunResponse
+	getJSON(t, ts.URL+"/v1/run/fig7?scale=0.05&modules=S0,S3", &r)
+	if !r.Stats.FromCache || r.Report != res.Points[0].Report {
+		t.Fatalf("single run after sweep: stats=%+v, report match=%v",
+			r.Stats, r.Report == res.Points[0].Report)
+	}
+
+	// Sweeps are listed in /v1/results, newest first.
+	var results []ResultRecord
+	getJSON(t, ts.URL+"/v1/results", &results)
+	if len(results) != 2 || results[1].Kind != "sweep" || results[0].Kind != "run" {
+		t.Fatalf("results=%+v", results)
+	}
+	if results[1].Points != 2 || results[1].Stats.Executed != 3 || results[1].Fingerprint == "" {
+		t.Fatalf("sweep record=%+v", results[1])
+	}
+}
+
+func TestSweepEndpointFormats(t *testing.T) {
+	_, ts := newTestServer(t)
+	body := `{"experiment":"fig7","scales":[0.05],"module_sets":[["S0"]]}`
+
+	resp, err := http.Post(ts.URL+"/v1/sweep?format=csv", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/csv") {
+		t.Fatalf("csv content type %q", ct)
+	}
+	if !strings.HasPrefix(string(raw), "experiment,scale,seed,modules,") {
+		t.Fatalf("csv body %q", raw)
+	}
+
+	resp, err = http.Post(ts.URL+"/v1/sweep?format=text", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("text content type %q", ct)
+	}
+	if !strings.Contains(string(raw), "## sweep aggregate: fig7") {
+		t.Fatalf("text body %q", raw)
+	}
+}
+
+func TestSweepEndpointErrors(t *testing.T) {
+	_, ts := newTestServer(t)
+	for name, tc := range map[string]struct {
+		body string
+		want int
+	}{
+		"malformed json":     {`{`, http.StatusBadRequest},
+		"unknown field":      {`{"experiment":"fig7","bogus":1}`, http.StatusBadRequest},
+		"no experiment":      {`{}`, http.StatusBadRequest},
+		"unknown experiment": {`{"experiment":"fig999"}`, http.StatusNotFound},
+		"bad scale":          {`{"experiment":"fig7","scales":[9]}`, http.StatusBadRequest},
+		"duplicate modules":  {`{"experiment":"fig7","module_sets":[["S0","S0"]]}`, http.StatusBadRequest},
+	} {
+		if resp := postSweep(t, ts.URL+"/v1/sweep", tc.body, nil); resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", name, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+// TestFailedRunRecordedWithError poisons the shard cache with a payload
+// of the wrong type so the run's merge fails, then asserts the failure
+// is visible to operators: a /v1/results record with the error and an
+// incremented run_failures counter in /v1/metrics.
+func TestFailedRunRecordedWithError(t *testing.T) {
+	s, ts := newTestServer(t)
+	opt := core.DefaultOptions()
+	opt.Scale, opt.Modules = 0.05, []string{"S0"}
+	p, err := core.PlanFor("fig7", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := engine.Key(p.Experiment, p.Fingerprint, p.Shards[0].Key)
+	s.Engine().Cache().Put(key, 42) // wrong payload type: merge will fail
+
+	resp := getJSON(t, ts.URL+"/v1/run/fig7?scale=0.05&modules=S0", nil)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("poisoned run status %d", resp.StatusCode)
+	}
+
+	var results []ResultRecord
+	getJSON(t, ts.URL+"/v1/results", &results)
+	if len(results) != 1 || results[0].Error == "" || results[0].Kind != "run" {
+		t.Fatalf("failed run not recorded: %+v", results)
+	}
+	var m MetricsResponse
+	getJSON(t, ts.URL+"/v1/metrics", &m)
+	if m.RunFailures != 1 {
+		t.Fatalf("run_failures=%d, want 1 (metrics=%+v)", m.RunFailures, m)
+	}
+}
+
+// TestConcurrentSweepAndRunConsistency fires overlapping /v1/sweep and
+// /v1/run requests at one server concurrently (run under -race in CI)
+// and asserts byte-identical reports across every response plus closed
+// cache accounting: each unique shard executes exactly once process-wide,
+// and every other shard reference is a cache hit.
+func TestConcurrentSweepAndRunConsistency(t *testing.T) {
+	s, ts := newTestServer(t)
+	const iters = 8
+	sweepBody := `{"experiment":"fig7","scales":[0.05],"module_sets":[["S0","S3"],["S0","M3"]]}`
+
+	// fetchJSON is goroutine-safe: it reports problems as errors instead
+	// of calling t.Fatal off the test goroutine.
+	fetchJSON := func(resp *http.Response, err error, v any) error {
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return json.NewDecoder(resp.Body).Decode(v)
+	}
+
+	runReports := make([]string, iters)
+	sweepReports := make([][]string, iters)
+	var wg sync.WaitGroup
+	for i := 0; i < iters; i++ {
+		wg.Add(2)
+		go func(i int) {
+			defer wg.Done()
+			var r RunResponse
+			resp, err := http.Get(ts.URL + "/v1/run/fig7?scale=0.05&modules=S0,S3")
+			if err := fetchJSON(resp, err, &r); err != nil {
+				t.Errorf("run %d: %v", i, err)
+				return
+			}
+			runReports[i] = r.Report
+		}(i)
+		go func(i int) {
+			defer wg.Done()
+			var res sweep.Result
+			resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(sweepBody))
+			if err := fetchJSON(resp, err, &res); err != nil {
+				t.Errorf("sweep %d: %v", i, err)
+				return
+			}
+			if len(res.Points) != 2 || res.Aggregate.Failed != 0 {
+				t.Errorf("sweep %d: %d points, %d failed", i, len(res.Points), res.Aggregate.Failed)
+				return
+			}
+			sweepReports[i] = []string{res.Points[0].Report, res.Points[1].Report}
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow() // don't index into reports a failed request never filled
+	}
+
+	for i := 1; i < iters; i++ {
+		if runReports[i] != runReports[0] {
+			t.Fatalf("run %d report differs", i)
+		}
+		if sweepReports[i][0] != sweepReports[0][0] || sweepReports[i][1] != sweepReports[0][1] {
+			t.Fatalf("sweep %d reports differ", i)
+		}
+	}
+	// The run's module set equals sweep point 0: same options, same bytes.
+	if runReports[0] != sweepReports[0][0] {
+		t.Fatal("run report differs from equivalent sweep point")
+	}
+
+	// Accounting closes: 3 unique shards (S0, S3, M3) executed exactly
+	// once each; every remaining reference was a hit.
+	m := s.Engine().Metrics()
+	if m.ShardsExecuted != 3 {
+		t.Fatalf("unique shards executed %d times total (metrics=%+v)", m.ShardsExecuted, m)
+	}
+	wantPlanned := uint64(iters * (2 + 4)) // per iter: run 2 refs + sweep 4 refs
+	if m.ShardsPlanned != wantPlanned || m.CacheHits != wantPlanned-3 {
+		t.Fatalf("planned=%d hits=%d, want planned=%d hits=%d",
+			m.ShardsPlanned, m.CacheHits, wantPlanned, wantPlanned-3)
+	}
+	if st := s.Engine().Cache().Stats(); st.Entries != 3 {
+		t.Fatalf("cache entries=%d", st.Entries)
 	}
 }

@@ -1,0 +1,75 @@
+package sweep
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file renders a Result for the three transports the daemon and
+// CLI speak: JSON is plain encoding/json over Result; Text is the
+// operator-facing view (every point's report, then the aggregate); CSV
+// is one row per point for spreadsheet/pandas ingestion. Text embeds
+// the point reports verbatim and in grid order, framed by per-point
+// headers and an aggregate footer — the byte-identical-to-single-runs
+// guarantee applies to the Report fields, not to the framed stream.
+
+// modulesLabel renders a point's module list for headers and CSV cells.
+func modulesLabel(mods []string) string {
+	if len(mods) == 0 {
+		return "representative"
+	}
+	return strings.Join(mods, "+")
+}
+
+// Text renders every point report in grid order followed by an
+// aggregate footer. Failed points render their error in place of a
+// report.
+func (r *Result) Text() string {
+	var b strings.Builder
+	for i, p := range r.Points {
+		fmt.Fprintf(&b, "## sweep point %d/%d: %s scale=%g seed=%d modules=%s\n",
+			i+1, len(r.Points), r.Experiment, p.Scale, p.Seed, modulesLabel(p.Modules))
+		if p.Error != "" {
+			fmt.Fprintf(&b, "ERROR: %s\n\n", p.Error)
+			continue
+		}
+		b.WriteString(p.Report)
+		if !strings.HasSuffix(p.Report, "\n") {
+			b.WriteByte('\n')
+		}
+		b.WriteByte('\n')
+	}
+	a := r.Aggregate
+	fmt.Fprintf(&b, "## sweep aggregate: %s\n", r.Experiment)
+	fmt.Fprintf(&b, "points=%d failed=%d shard_refs=%d unique_shards=%d deduplicated=%d\n",
+		a.Points, a.Failed, a.ShardRefs, a.UniqueShards, a.Deduplicated)
+	fmt.Fprintf(&b, "cache_hits=%d executed=%d report_bytes=%d wall_ms=%.1f\n",
+		a.CacheHits, a.Executed, a.ReportBytes, a.WallMS)
+	fmt.Fprintf(&b, "point_wall_ms min=%.1f mean=%.1f max=%.1f\n",
+		a.PointWallMS.Min, a.PointWallMS.Mean, a.PointWallMS.Max)
+	return b.String()
+}
+
+// csvEscape quotes a cell when it contains a separator, quote, or
+// newline (RFC 4180).
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// CSV renders one row per point: the grid coordinates, the per-point
+// batch accounting, the report size, and any error. Reports themselves
+// are not embedded — fetch them via JSON or text.
+func (r *Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("experiment,scale,seed,modules,shards,cache_hits,executed,wall_ms,report_bytes,error\n")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%s,%g,%d,%s,%d,%d,%d,%.3f,%d,%s\n",
+			csvEscape(r.Experiment), p.Scale, p.Seed, csvEscape(modulesLabel(p.Modules)),
+			p.Stats.Shards, p.Stats.CacheHits, p.Stats.Executed, p.Stats.WallMS,
+			len(p.Report), csvEscape(p.Error))
+	}
+	return b.String()
+}
