@@ -12,6 +12,7 @@
 // Usage:
 //
 //	rowpress list
+//	rowpress scenarios [-format text|csv]
 //	rowpress run <id> [-scale 0.5] [-modules S0,S3] [-seed 7] [-workers 8]
 //	rowpress sweep <id> [-scales 0.05,0.1] [-seeds 1,2] [-modulesets "S0,S3;H0,H4"]
 //	                    [-format text|json|csv] [-workers 8]
@@ -31,6 +32,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/scenario"
 	"repro/internal/serve"
 	"repro/internal/sweep"
 )
@@ -68,6 +70,20 @@ func main() {
 	case "list":
 		for _, e := range core.List() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+	case "scenarios":
+		if err := fs.Parse(os.Args[2:]); err != nil {
+			os.Exit(2)
+		}
+		rejectFlags(fs, "scenarios", "scale", "seed", "modules", "scales", "seeds", "modulesets")
+		switch *format {
+		case "text":
+			fmt.Print(scenario.MatrixText())
+		case "csv":
+			fmt.Print(scenario.MatrixCSV())
+		default:
+			fmt.Fprintf(os.Stderr, "rowpress: bad -format %q for scenarios: want text|csv\n", *format)
+			os.Exit(2)
 		}
 	case "run":
 		rest := os.Args[2:]
@@ -239,6 +255,7 @@ func usage() {
 
 commands:
   list                 list all experiment ids (figures and tables)
+  scenarios [flags]    list the attack-scenario matrix (-format text|csv)
   run <id> [flags]     run one experiment and print its report
   sweep <id> [flags]   run a batched parameter grid over one experiment
   all [flags]          run every experiment

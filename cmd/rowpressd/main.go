@@ -8,8 +8,8 @@
 //
 //	rowpressd [-addr :8271] [-workers N] [-cache ENTRIES] [-warm 0.05]
 //
-// Endpoints: /healthz, /v1/experiments, /v1/run/{exp}, /v1/sweep,
-// /v1/results, /v1/metrics. Examples:
+// Endpoints: /healthz, /v1/experiments, /v1/scenarios, /v1/run/{exp},
+// /v1/sweep, /v1/results, /v1/metrics. Examples:
 //
 //	curl 'localhost:8271/v1/run/fig6?scale=0.1&modules=S0,S3&format=text'
 //	curl -X POST 'localhost:8271/v1/sweep?format=csv' \

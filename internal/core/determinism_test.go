@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/engine"
+	"repro/internal/scenario"
 )
 
 // TestEngineDeterminismAndCache is the engine's core contract: for every
@@ -111,5 +112,45 @@ func TestRunMatchesRunWithSerial(t *testing.T) {
 	}
 	if a != b {
 		t.Fatal("default engine and serial engine reports differ")
+	}
+}
+
+// TestScenarioShardDecomposition pins the scenario experiments' shard
+// lattice: one shard per (module, scenario) for the grid and one per
+// (module, scenario, mitigation) for the comparison, so overlapping
+// module selections share cached scenario cells exactly like the
+// characterization experiments do.
+func TestScenarioShardDecomposition(t *testing.T) {
+	o := Options{Scale: 0.05, Seed: 1, Modules: []string{"S0", "H0"}}
+	nScen := len(scenario.Names())
+	nMits := len(scenario.AllMitigations())
+	grid, err := PlanFor("scenario-grid", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * nScen; len(grid.Shards) != want {
+		t.Fatalf("scenario-grid: %d shards, want %d", len(grid.Shards), want)
+	}
+	mit, err := PlanFor("scenario-mitigation", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * nScen * nMits; len(mit.Shards) != want {
+		t.Fatalf("scenario-mitigation: %d shards, want %d", len(mit.Shards), want)
+	}
+	// Shard keys carry the module id, so a single-module run addresses a
+	// subset of the two-module run's cache entries.
+	sub, err := PlanFor("scenario-grid", Options{Scale: 0.05, Seed: 1, Modules: []string{"S0"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make(map[string]bool, len(grid.Shards))
+	for _, s := range grid.Shards {
+		keys[s.Key] = true
+	}
+	for _, s := range sub.Shards {
+		if !keys[s.Key] {
+			t.Fatalf("subset shard %q not addressed by the superset plan", s.Key)
+		}
 	}
 }

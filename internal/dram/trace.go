@@ -1,0 +1,73 @@
+package dram
+
+import "fmt"
+
+// Slot is one activation of an access-pattern trace: open Row for OnTime,
+// precharge, then stay off for tRP + ExtraOff before the next slot. Unlike
+// HammerSpec — a fixed-period loop over one aggressor set — a trace may
+// vary the row and the open time per slot, which is what the combined
+// RowHammer+RowPress patterns of arXiv:2406.13080 need (hammer bursts at
+// tRAS interleaved with long press dwells).
+type Slot struct {
+	Row      int
+	OnTime   TimePS // row-open time; min tRAS
+	ExtraOff TimePS // extra off time beyond tRP after the PRE
+}
+
+// Duration returns the slot's total bus occupancy.
+func (s Slot) Duration(t Timing) TimePS { return s.OnTime + t.TRP + s.ExtraOff }
+
+// TraceObserver watches a trace's activations as they retire. It is
+// invoked once per slot, after the slot's PRE completes, with the slot
+// index, the slot, and the current time (the PRE instant). Observers may
+// issue RestoreRow against the module (an online mitigation's preventive
+// refresh); returning an error aborts the playback.
+type TraceObserver func(i int, s Slot, now TimePS) error
+
+// PlayTrace plays n slots of a deterministic trace through the command
+// path, starting at time at on one bank. slot(i) generates the i-th slot
+// (the trace is streamed, never materialized, so million-activation
+// patterns cost no memory). observe may be nil. It returns the completion
+// time of the last slot's off phase.
+//
+// PlayTrace is the scenario-playback primitive: every activation goes
+// through Activate/Precharge, so disturbance accrual, per-row off-time
+// tracking, and flip materialization behave exactly as they do for any
+// other command stream — and an observer sees every activation the way an
+// in-DRAM or controller-side mitigation would.
+func (m *Module) PlayTrace(at TimePS, bank, n int, slot func(i int) Slot, observe TraceObserver) (TimePS, error) {
+	if err := m.checkBank(bank); err != nil {
+		return at, err
+	}
+	if n < 0 {
+		return at, fmt.Errorf("dram: trace slot count must be non-negative, got %d", n)
+	}
+	if m.banks[bank].open {
+		return at, timingErr("ACT", bank, "bank must be precharged before a trace")
+	}
+	now := at
+	for i := 0; i < n; i++ {
+		s := slot(i)
+		if s.OnTime < m.Timing.TRAS {
+			return now, fmt.Errorf("dram: trace slot %d: OnTime %s below tRAS %s",
+				i, FormatTime(s.OnTime), FormatTime(m.Timing.TRAS))
+		}
+		if s.ExtraOff < 0 {
+			return now, fmt.Errorf("dram: trace slot %d: negative ExtraOff", i)
+		}
+		if err := m.Activate(now, bank, s.Row); err != nil {
+			return now, err
+		}
+		preAt := now + s.OnTime
+		if err := m.Precharge(preAt, bank); err != nil {
+			return now, err
+		}
+		if observe != nil {
+			if err := observe(i, s, preAt); err != nil {
+				return preAt, err
+			}
+		}
+		now += s.Duration(m.Timing)
+	}
+	return now, nil
+}

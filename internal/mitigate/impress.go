@@ -1,0 +1,124 @@
+package mitigate
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+)
+
+// ImPress is an implicit row-press mitigation in the style of Qureshi et
+// al. (arXiv:2407.16006): instead of deploying a separate RowPress
+// defense, an existing activation-counting tracker charges each
+// activation a weight proportional to how long it kept the row open, so a
+// long press dwell consumes as much tracking budget as the many short
+// activations it is disturbance-equivalent to. The tracker itself is a
+// weighted Misra-Gries table (the same structure as Graphene); when a
+// row's weighted estimate reaches Threshold its neighbors are
+// preventively refreshed and the counter rebases on the spillover value.
+//
+// The weight of an activation open for t is 1 + floor(t/Quantum): a
+// minimum-length (tRAS) activation costs 1, like any RowHammer tracker,
+// and every further Quantum of open time costs one more equivalent
+// activation. Quantum is the implicit exchange rate between open-time and
+// activation-count damage; DefaultImPressQuantum calibrates it against
+// this reproduction's disturbance model.
+type ImPress struct {
+	Threshold int // weighted estimate triggering a preventive refresh
+	TableSize int
+	Quantum   dram.TimePS // open time charged as one extra activation
+
+	counts    map[int]int
+	spillover int
+	refreshes uint64
+}
+
+// DefaultImPressQuantum is the default open-time-to-activation exchange
+// rate: the calibrated disturbance model puts one reference activation's
+// RowHammer damage at roughly 250 ns of effective press time (per-row
+// minimum press threshold ≈ 47 ms vs minimum hammer threshold ≈ 2×10⁵
+// activations), so a 7.8 µs dwell is charged ≈ 32 activations.
+const DefaultImPressQuantum = 250 * dram.Nanosecond
+
+// NewImPress builds an ImPress tracker. It panics on non-positive
+// parameters (configuration bug), mirroring NewGraphene.
+func NewImPress(threshold, tableSize int, quantum dram.TimePS) *ImPress {
+	if threshold <= 0 || tableSize <= 0 || quantum <= 0 {
+		panic(fmt.Sprintf("mitigate: bad ImPress config T=%d size=%d quantum=%d",
+			threshold, tableSize, quantum))
+	}
+	return &ImPress{
+		Threshold: threshold,
+		TableSize: tableSize,
+		Quantum:   quantum,
+		counts:    make(map[int]int, tableSize),
+	}
+}
+
+// Name implements Mitigation.
+func (im *ImPress) Name() string { return "ImPress" }
+
+// weight converts an activation's open time into equivalent activations.
+func (im *ImPress) weight(openFor dram.TimePS) int {
+	if openFor <= 0 {
+		return 1
+	}
+	return 1 + int(openFor/im.Quantum)
+}
+
+// OnActivate implements Mitigation: with no open-time information the
+// activation is charged the minimum weight, degrading ImPress to a plain
+// Graphene-style tracker.
+func (im *ImPress) OnActivate(row int) []int { return im.OnActivateTimed(row, 0) }
+
+// OnActivateTimed implements TimedMitigation with the weighted
+// Misra-Gries update rule.
+func (im *ImPress) OnActivateTimed(row int, openFor dram.TimePS) []int {
+	w := im.weight(openFor)
+	if c, ok := im.counts[row]; ok {
+		c += w
+		im.counts[row] = c
+		if c >= im.Threshold {
+			im.counts[row] = im.spillover
+			im.refreshes++
+			return victimsOf(row)
+		}
+		return nil
+	}
+	if len(im.counts) < im.TableSize {
+		im.counts[row] = im.spillover + w
+		if im.counts[row] >= im.Threshold {
+			im.counts[row] = im.spillover
+			im.refreshes++
+			return victimsOf(row)
+		}
+		return nil
+	}
+	// Table full: weighted Misra-Gries decrement — raise the spillover by
+	// the unmatched activation's full weight and evict entries that fall
+	// to it. This keeps the undercount bound proportional to total
+	// weighted activations, so long dwells cannot hide in the spillover.
+	im.spillover += w
+	for r, c := range im.counts {
+		if c <= im.spillover {
+			delete(im.counts, r)
+		}
+	}
+	return nil
+}
+
+// OnRefreshWindow implements Mitigation: counters reset every tREFW.
+func (im *ImPress) OnRefreshWindow() {
+	clear(im.counts)
+	im.spillover = 0
+}
+
+// PreventiveRefreshes returns the cumulative preventive refresh count.
+func (im *ImPress) PreventiveRefreshes() uint64 { return im.refreshes }
+
+// EstimatedCount returns the weighted Misra-Gries estimate for a row.
+func (im *ImPress) EstimatedCount(row int) int {
+	if c, ok := im.counts[row]; ok {
+		return c
+	}
+	return im.spillover
+}

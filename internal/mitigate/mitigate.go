@@ -1,9 +1,13 @@
 // Package mitigate implements the read-disturb mitigation mechanisms the
 // paper builds on and extends (§6, §7): the in-DRAM target row refresh
 // (TRR) samplers the attack must bypass, the PARA and Graphene RowHammer
-// mitigations, and the paper's adaptation methodology that re-configures
-// them (tighter threshold + capped row-open time) to also stop RowPress.
+// mitigations, the paper's adaptation methodology that re-configures
+// them (tighter threshold + capped row-open time) to also stop RowPress,
+// and an ImPress-style implicit RowPress mitigation (arXiv:2407.16006)
+// that charges long row-open times as extra tracked activations.
 package mitigate
+
+import "repro/internal/dram"
 
 // Mitigation observes row activations in one bank and decides which rows
 // to preventively refresh. Implementations are per-bank; callers own one
@@ -17,6 +21,27 @@ type Mitigation interface {
 	// OnRefreshWindow notifies that a refresh window (tREFW) completed;
 	// counter-based mechanisms reset here.
 	OnRefreshWindow()
+}
+
+// TimedMitigation is implemented by mechanisms whose bookkeeping depends
+// on how long an activation kept the row open (ImPress). Callers that
+// know the open time (the scenario playback harness, a memory controller)
+// should prefer OnActivateTimed over OnActivate; plain OnActivate remains
+// correct but sees every activation as a minimum-length one.
+type TimedMitigation interface {
+	Mitigation
+	// OnActivateTimed records an activation of row that kept it open for
+	// openFor and returns the rows to preventively refresh right now.
+	OnActivateTimed(row int, openFor dram.TimePS) []int
+}
+
+// Observe feeds one activation to a mitigation, routing through the
+// open-time-aware hook when the mechanism has one.
+func Observe(m Mitigation, row int, openFor dram.TimePS) []int {
+	if tm, ok := m.(TimedMitigation); ok {
+		return tm.OnActivateTimed(row, openFor)
+	}
+	return m.OnActivate(row)
 }
 
 // None is the no-mitigation baseline.

@@ -1,0 +1,63 @@
+package scenario
+
+import (
+	"encoding/csv"
+	"fmt"
+	"strings"
+
+	"repro/internal/dram"
+	"repro/internal/report"
+)
+
+// This file renders the scenario matrix for the two listing transports:
+// MatrixText for `rowpress scenarios` and MatrixCSV for -format csv.
+// GET /v1/scenarios serves Catalog() as JSON directly.
+
+// matrixHeaders is the shared column lattice of both renderings.
+var matrixHeaders = []string{"name", "kind", "sides", "taggon", "burst", "extra_off", "decoys", "pattern"}
+
+func matrixRow(s Spec) []string {
+	taggon, burst := "-", "-"
+	switch s.Kind {
+	case Press:
+		taggon = dram.FormatTime(s.TAggON)
+	case Combined:
+		taggon = dram.FormatTime(s.TAggON)
+		burst = fmt.Sprint(s.Burst)
+	}
+	extraOff := "-"
+	if s.ExtraOff > 0 {
+		extraOff = dram.FormatTime(s.ExtraOff)
+	}
+	decoys := "-"
+	if s.DecoyRows > 0 {
+		if s.DecoyEvery > 0 {
+			decoys = fmt.Sprintf("%d/%d", s.DecoyRows, s.DecoyEvery)
+		} else {
+			decoys = fmt.Sprintf("%d/REF-sync", s.DecoyRows)
+		}
+	}
+	return []string{s.Name, s.Kind.String(), fmt.Sprint(s.Sides), taggon, burst, extraOff, decoys, s.Pattern()}
+}
+
+// MatrixText renders the catalog as the operator-facing table.
+func MatrixText() string {
+	var rows [][]string
+	for _, s := range Catalog() {
+		rows = append(rows, matrixRow(s))
+	}
+	return report.Section("Attack-scenario matrix", report.Table(matrixHeaders, rows))
+}
+
+// MatrixCSV renders the catalog as RFC 4180 CSV (encoding/csv handles
+// quoting, so pattern descriptions may contain any character).
+func MatrixCSV() string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	_ = w.Write(matrixHeaders)
+	for _, s := range Catalog() {
+		_ = w.Write(matrixRow(s))
+	}
+	w.Flush()
+	return b.String()
+}

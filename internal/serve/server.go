@@ -8,6 +8,8 @@
 //
 //	GET  /healthz             liveness + uptime
 //	GET  /v1/experiments      registered experiment ids and titles
+//	GET  /v1/scenarios        the attack-scenario matrix (internal/scenario
+//	                          catalog) played by the scenario experiments
 //	GET  /v1/run/{exp}        run one experiment (?scale, ?seed, ?modules,
 //	                          ?format=json|text), reporting cache stats
 //	POST /v1/sweep            batched parameter sweep (sweep.Spec in the
@@ -30,6 +32,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/scenario"
 	"repro/internal/sweep"
 )
 
@@ -98,9 +101,15 @@ type Server struct {
 	start time.Time
 	now   func() time.Time // test hook
 
-	mu       sync.Mutex
-	results  []ResultRecord // newest first
-	failures uint64         // failed runs + failed sweep points
+	mu sync.Mutex
+	// results is a fixed-size ring: head is the next insert position and
+	// count ≤ maxResults. Inserting overwrites the oldest entry in place —
+	// O(1) per completed run, where rebuilding a newest-first slice was
+	// O(n) allocations per request under load.
+	results  [maxResults]ResultRecord
+	head     int
+	count    int
+	failures uint64 // failed runs + failed sweep points
 }
 
 // New builds a server around the given engine (nil = a fresh
@@ -113,6 +122,7 @@ func New(eng *engine.Engine) *Server {
 	s.start = s.now()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	s.mux.HandleFunc("GET /v1/run/{exp}", s.handleRun)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/results", s.handleResults)
@@ -159,6 +169,26 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 	var out []exp
 	for _, e := range core.List() {
 		out = append(out, exp{ID: e.ID, Title: e.Title})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// ScenarioInfo is one entry of /v1/scenarios: the spec plus derived
+// presentation fields, so clients can discover the scenario matrix
+// without parsing CLI output.
+type ScenarioInfo struct {
+	scenario.Spec
+	Kind    string `json:"kind"`
+	Pattern string `json:"pattern"`
+}
+
+// handleScenarios mirrors /v1/experiments for the attack-scenario
+// matrix: the catalog played by the scenario-grid and
+// scenario-mitigation experiments.
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	var out []ScenarioInfo
+	for _, sc := range scenario.Catalog() {
+		out = append(out, ScenarioInfo{Spec: sc, Kind: sc.KindName(), Pattern: sc.Pattern()})
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -335,25 +365,33 @@ func sweepFingerprint(spec sweep.Spec) string {
 	return engine.Key("sweep", string(b))
 }
 
-// record prepends one history entry and adds failed to the process-wide
-// failure counter (a failed run is 1; a sweep contributes its failed
-// point count).
+// record appends one history entry to the ring and adds failed to the
+// process-wide failure counter (a failed run is 1; a sweep contributes
+// its failed point count).
 func (s *Server) record(rec ResultRecord, failed uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.failures += failed
-	s.results = append([]ResultRecord{rec}, s.results...)
-	if len(s.results) > maxResults {
-		s.results = s.results[:maxResults]
+	s.results[s.head] = rec
+	s.head = (s.head + 1) % maxResults
+	if s.count < maxResults {
+		s.count++
 	}
 }
 
-func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+// recentResults snapshots the ring newest-first.
+func (s *Server) recentResults() []ResultRecord {
 	s.mu.Lock()
-	out := make([]ResultRecord, len(s.results))
-	copy(out, s.results)
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, out)
+	defer s.mu.Unlock()
+	out := make([]ResultRecord, s.count)
+	for i := 0; i < s.count; i++ {
+		out[i] = s.results[(s.head-1-i+maxResults)%maxResults]
+	}
+	return out
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.recentResults())
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

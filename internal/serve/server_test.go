@@ -11,7 +11,9 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/dram"
 	"repro/internal/engine"
+	"repro/internal/scenario"
 	"repro/internal/sweep"
 )
 
@@ -419,5 +421,75 @@ func TestConcurrentSweepAndRunConsistency(t *testing.T) {
 	}
 	if st := s.Engine().Cache().Stats(); st.Entries != 3 {
 		t.Fatalf("cache entries=%d", st.Entries)
+	}
+}
+
+// TestResultsRingOrderingAndOverflow pins the ring-buffer history: with
+// more completed records than the ring holds, /v1/results returns
+// exactly maxResults entries, newest first, and the oldest are the ones
+// dropped. Records are inserted through record() directly so the test
+// exercises the ring, not the experiment engine.
+func TestResultsRingOrderingAndOverflow(t *testing.T) {
+	s, ts := newTestServer(t)
+	total := maxResults + 40
+	for i := 0; i < total; i++ {
+		s.record(ResultRecord{Experiment: fmt.Sprintf("exp-%d", i), Kind: "run"}, 0)
+	}
+	var results []ResultRecord
+	getJSON(t, ts.URL+"/v1/results", &results)
+	if len(results) != maxResults {
+		t.Fatalf("ring returned %d records, want %d", len(results), maxResults)
+	}
+	for i, rec := range results {
+		want := fmt.Sprintf("exp-%d", total-1-i)
+		if rec.Experiment != want {
+			t.Fatalf("results[%d] = %q, want %q (newest first)", i, rec.Experiment, want)
+		}
+	}
+}
+
+// TestResultsRingPartiallyFilled: below capacity the ring reports only
+// what was recorded, still newest first.
+func TestResultsRingPartiallyFilled(t *testing.T) {
+	s, ts := newTestServer(t)
+	for i := 0; i < 3; i++ {
+		s.record(ResultRecord{Experiment: fmt.Sprintf("exp-%d", i), Kind: "run"}, 0)
+	}
+	var results []ResultRecord
+	getJSON(t, ts.URL+"/v1/results", &results)
+	if len(results) != 3 {
+		t.Fatalf("got %d records, want 3", len(results))
+	}
+	for i, want := range []string{"exp-2", "exp-1", "exp-0"} {
+		if results[i].Experiment != want {
+			t.Fatalf("results[%d] = %q, want %q", i, results[i].Experiment, want)
+		}
+	}
+}
+
+// TestScenariosListed mirrors TestExperimentsListed for the scenario
+// matrix: every catalog entry is discoverable with its structural
+// fields, no CLI parsing required.
+func TestScenariosListed(t *testing.T) {
+	_, ts := newTestServer(t)
+	var out []ScenarioInfo
+	resp := getJSON(t, ts.URL+"/v1/scenarios", &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(out) != len(scenario.Catalog()) {
+		t.Fatalf("listed %d scenarios, want %d", len(out), len(scenario.Catalog()))
+	}
+	byName := map[string]ScenarioInfo{}
+	for _, sc := range out {
+		byName[sc.Name] = sc
+	}
+	ds, ok := byName["ds-hammer"]
+	if !ok || ds.Kind != "hammer" || ds.Sides != 2 || ds.Pattern == "" {
+		t.Fatalf("ds-hammer entry malformed: %+v", ds)
+	}
+	cb, ok := byName["combined-b4-7.8us"]
+	if !ok || cb.Kind != "combined" || cb.Burst != 4 || cb.TAggON != 7800*dram.Nanosecond {
+		t.Fatalf("combined entry malformed: %+v", cb)
 	}
 }

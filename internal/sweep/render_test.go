@@ -1,0 +1,76 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+// TestCSVEscapingRoundTrip pins the renderer against encoding/csv: cells
+// containing separators, quotes, or newlines — module names are
+// user-supplied strings, and error messages routinely quote them — must
+// survive an RFC 4180 parse with every field intact.
+func TestCSVEscapingRoundTrip(t *testing.T) {
+	res := &Result{
+		Experiment: `weird,"exp"`,
+		Points: []PointResult{
+			{
+				Point:  Point{Scale: 0.5, Seed: 7, Modules: []string{`S0,x`, `H"quoted"`, "M\nnewline"}},
+				Report: "irrelevant",
+			},
+			{
+				Point: Point{Scale: 1, Seed: 1},
+				Error: `module "S0,broken" not found, giving up`,
+			},
+		},
+	}
+	out := res.CSV()
+	recs, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatalf("rendered CSV does not parse: %v\n%s", err, out)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want header + 2 points", len(recs))
+	}
+	header := recs[0]
+	if header[0] != "experiment" || header[len(header)-1] != "error" {
+		t.Fatalf("header malformed: %v", header)
+	}
+	for i, rec := range recs[1:] {
+		if len(rec) != len(header) {
+			t.Fatalf("point %d has %d fields, want %d", i, len(rec), len(header))
+		}
+	}
+	if recs[1][0] != `weird,"exp"` {
+		t.Errorf("experiment field corrupted: %q", recs[1][0])
+	}
+	if want := `S0,x+H"quoted"+M` + "\nnewline"; recs[1][3] != want {
+		t.Errorf("modules field corrupted: %q, want %q", recs[1][3], want)
+	}
+	if recs[2][3] != "representative" {
+		t.Errorf("empty module set rendered %q", recs[2][3])
+	}
+	if want := `module "S0,broken" not found, giving up`; recs[2][len(header)-1] != want {
+		t.Errorf("error field corrupted: %q", recs[2][len(header)-1])
+	}
+}
+
+// TestCSVPlainCellsUnquoted: the fast path must not quote cells that
+// need no quoting (spreadsheet friendliness and byte-stability).
+func TestCSVPlainCellsUnquoted(t *testing.T) {
+	res := &Result{
+		Experiment: "fig6",
+		Points:     []PointResult{{Point: Point{Scale: 0.1, Seed: 2, Modules: []string{"S0", "S3"}}}},
+	}
+	out := res.CSV()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if strings.Contains(lines[1], `"`) {
+		t.Fatalf("plain cells were quoted: %s", lines[1])
+	}
+	if !strings.HasPrefix(lines[1], "fig6,0.1,2,S0+S3,") {
+		t.Fatalf("row malformed: %s", lines[1])
+	}
+}
