@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -54,6 +55,7 @@ func main() {
 	workers := fs.Int("workers", 0, "concurrent shards per experiment (0 = GOMAXPROCS)")
 	serveAddr := fs.String("serve", "", "after running, serve the warmed engine over HTTP on this address")
 	addr := fs.String("addr", ":8271", "listen address (serve command)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file (run/sweep/all)")
 
 	opts := func() core.Options {
 		o := core.DefaultOptions()
@@ -75,7 +77,7 @@ func main() {
 		if err := fs.Parse(os.Args[2:]); err != nil {
 			os.Exit(2)
 		}
-		rejectFlags(fs, "scenarios", "scale", "seed", "modules", "scales", "seeds", "modulesets")
+		rejectFlags(fs, "scenarios", "scale", "seed", "modules", "scales", "seeds", "modulesets", "cpuprofile")
 		switch *format {
 		case "text":
 			fmt.Print(scenario.MatrixText())
@@ -97,7 +99,9 @@ func main() {
 		}
 		rejectFlags(fs, "run", "scales", "seeds", "modulesets", "format")
 		e := eng()
+		stop := startProfile(*cpuprofile)
 		runOne(e, id, opts())
+		stop()
 		maybeServe(e, *serveAddr)
 	case "sweep":
 		rest := os.Args[2:]
@@ -122,7 +126,9 @@ func main() {
 			os.Exit(2)
 		}
 		e := eng()
+		stop := startProfile(*cpuprofile)
 		runSweep(e, spec, *format)
+		stop()
 		maybeServe(e, *serveAddr)
 	case "all":
 		if err := fs.Parse(os.Args[2:]); err != nil {
@@ -130,14 +136,17 @@ func main() {
 		}
 		rejectFlags(fs, "all", "scales", "seeds", "modulesets", "format")
 		e := eng()
+		stop := startProfile(*cpuprofile)
 		for _, exp := range core.List() {
 			runOne(e, exp.ID, opts())
 		}
+		stop()
 		maybeServe(e, *serveAddr)
 	case "serve":
 		if err := fs.Parse(os.Args[2:]); err != nil {
 			os.Exit(2)
 		}
+		rejectFlags(fs, "serve", "cpuprofile") // the profile would never stop
 		target := *serveAddr
 		if target == "" {
 			target = *addr
@@ -146,6 +155,30 @@ func main() {
 	default:
 		usage()
 		os.Exit(2)
+	}
+}
+
+// startProfile begins CPU profiling into path (no-op when empty) and
+// returns the stop function. Profiles cover the measured runs only, not
+// any serving phase that follows.
+func startProfile(path string) func() {
+	if path == "" {
+		return func() {}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rowpress: -cpuprofile: %v\n", err)
+		os.Exit(1)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "rowpress: -cpuprofile: %v\n", err)
+		os.Exit(1)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "rowpress: -cpuprofile: %v\n", err)
+		}
 	}
 }
 
@@ -261,6 +294,6 @@ commands:
   all [flags]          run every experiment
   serve [flags]        serve the experiment engine over HTTP (see rowpressd)
 
-flags: -scale F  -modules S0,S3,...  -seed N  -workers N  -serve ADDR  -addr ADDR
+flags: -scale F  -modules S0,S3,...  -seed N  -workers N  -serve ADDR  -addr ADDR  -cpuprofile FILE
 sweep flags: -scales F,F,...  -seeds N,N,...  -modulesets "S0,S3;H0,H4"  -format text|json|csv`)
 }

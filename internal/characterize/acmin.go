@@ -81,22 +81,21 @@ func maxActivations(budget dram.TimePS, slot dram.TimePS, aggressors int) int {
 // induces at least one bitflip at the site, with the paper's modified
 // bisection (§4.1): terminate when the bracket is within Accuracy of the
 // current estimate; report not-found when even the budget-limited maximum
-// produces no flips. One trial.
+// produces no flips. One trial, on a fresh probe harness; sweeps thread
+// one prober through all their searches instead.
 func SearchACmin(b *bender.Bench, s site, onTime dram.TimePS, cfg Config) (RowResult, error) {
-	slot := onTime + b.Mod.Timing.TRP
-	hi := maxActivations(cfg.TimeBudget, slot, len(s.aggressors))
+	return newProber(b, cfg).searchACmin(s, onTime)
+}
 
-	probe := func(ac int) ([]bender.Flip, error) {
-		if err := s.prepare(b, cfg.Pattern); err != nil {
-			return nil, err
-		}
-		if err := s.hammer(b, ac, onTime, 0); err != nil {
-			return nil, err
-		}
-		return s.check(b, cfg.Pattern)
-	}
+// searchACmin runs the doubling-free probe(hi) + bisection of §4.1 on the
+// replay-free prober: every probe is a closed-form exposure evaluation
+// plus a pure flip check, so the search costs O(site × log N) cell
+// evaluations instead of O(N log N) simulated commands.
+func (p *prober) searchACmin(s site, onTime dram.TimePS) (RowResult, error) {
+	slot := onTime + p.b.Mod.Timing.TRP
+	hi := maxActivations(p.cfg.TimeBudget, slot, len(s.aggressors))
 
-	flips, err := probe(hi)
+	flips, err := p.probe(s, hi, onTime, 0)
 	if err != nil {
 		return RowResult{}, fmt.Errorf("characterize: probe(%d): %w", hi, err)
 	}
@@ -105,9 +104,9 @@ func SearchACmin(b *bender.Bench, s site, onTime dram.TimePS, cfg Config) (RowRe
 	}
 	lo := 0
 	best := flips
-	for hi-lo > 1 && float64(hi-lo) > cfg.Accuracy*float64(hi) {
+	for hi-lo > 1 && float64(hi-lo) > p.cfg.Accuracy*float64(hi) {
 		mid := lo + (hi-lo)/2
-		flips, err := probe(mid)
+		flips, err := p.probe(s, mid, onTime, 0)
 		if err != nil {
 			return RowResult{}, fmt.Errorf("characterize: probe(%d): %w", mid, err)
 		}
@@ -120,13 +119,13 @@ func SearchACmin(b *bender.Bench, s site, onTime dram.TimePS, cfg Config) (RowRe
 	return RowResult{Loc: s.loc, ACmin: hi, Found: true, Flips: best}, nil
 }
 
-// searchACminTrials repeats SearchACmin over cfg.Trials measurement
+// searchACminTrials repeats the search over cfg.Trials measurement
 // repetitions and keeps the minimum observed ACmin, as the paper does.
-func searchACminTrials(b *bender.Bench, s site, onTime dram.TimePS, cfg Config) (RowResult, error) {
+func searchACminTrials(p *prober, s site, onTime dram.TimePS) (RowResult, error) {
 	result := RowResult{Loc: s.loc}
-	for trial := 1; trial <= cfg.Trials; trial++ {
-		b.SetTrial(uint64(trial))
-		r, err := SearchACmin(b, s, onTime, cfg)
+	for trial := 1; trial <= p.cfg.Trials; trial++ {
+		p.b.SetTrial(uint64(trial))
+		r, err := p.searchACmin(s, onTime)
 		if err != nil {
 			return RowResult{}, err
 		}
@@ -134,7 +133,7 @@ func searchACminTrials(b *bender.Bench, s site, onTime dram.TimePS, cfg Config) 
 			result = r
 		}
 	}
-	b.SetTrial(0)
+	p.b.SetTrial(0)
 	return result, nil
 }
 
@@ -158,12 +157,13 @@ func ACminSweep(spec chipgen.ModuleSpec, cfg Config, tempC float64, tAggONs []dr
 	if err != nil {
 		return nil, err
 	}
+	p := newProber(b, cfg)
 	locs := testedLocations(cfg.Geometry, cfg.RowsToTest)
 	points := make([]SweepPoint, 0, len(tAggONs))
 	for _, on := range tAggONs {
 		pt := SweepPoint{TAggON: on}
 		for _, loc := range locs {
-			r, err := searchACminTrials(b, siteFor(loc, cfg.Sided), on, cfg)
+			r, err := searchACminTrials(p, siteFor(loc, cfg.Sided), on)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,126 @@
+package characterize
+
+import (
+	"testing"
+
+	"repro/internal/bender"
+	"repro/internal/dram"
+)
+
+// commandPathSearchACmin is the pre-refactor search, retained verbatim as
+// the reference implementation: every probe prepares, hammers, and checks
+// through the bench's command path.
+func commandPathSearchACmin(p *prober, s site, onTime dram.TimePS) (RowResult, error) {
+	b, cfg := p.b, p.cfg
+	slot := onTime + b.Mod.Timing.TRP
+	hi := maxActivations(cfg.TimeBudget, slot, len(s.aggressors))
+
+	probe := func(ac int) ([]bender.Flip, error) {
+		if err := s.prepare(b, cfg.Pattern); err != nil {
+			return nil, err
+		}
+		if err := s.hammer(b, ac, onTime, 0); err != nil {
+			return nil, err
+		}
+		return s.check(b, cfg.Pattern)
+	}
+
+	flips, err := probe(hi)
+	if err != nil {
+		return RowResult{}, err
+	}
+	if len(flips) == 0 {
+		return RowResult{Loc: s.loc}, nil
+	}
+	lo := 0
+	best := flips
+	for hi-lo > 1 && float64(hi-lo) > cfg.Accuracy*float64(hi) {
+		mid := lo + (hi-lo)/2
+		flips, err := probe(mid)
+		if err != nil {
+			return RowResult{}, err
+		}
+		if len(flips) > 0 {
+			hi, best = mid, flips
+		} else {
+			lo = mid
+		}
+	}
+	return RowResult{Loc: s.loc, ACmin: hi, Found: true, Flips: best}, nil
+}
+
+// TestProberMatchesCommandPath is the fast-path equivalence contract for
+// the characterization searches: the replay-free prober must return the
+// same ACmin, the same found/not-found outcome, and the same flip list as
+// the per-command reference, across modules, sidedness, dwell lengths,
+// trials, and back-to-back searches that thread state from one to the
+// next.
+func TestProberMatchesCommandPath(t *testing.T) {
+	taggons := []dram.TimePS{
+		36 * dram.Nanosecond,
+		636 * dram.Nanosecond,
+		7800 * dram.Nanosecond,
+		70200 * dram.Nanosecond,
+		6 * dram.Millisecond,
+	}
+	for _, id := range []string{"S3", "H0", "M3"} {
+		for _, sided := range []Sidedness{SingleSided, DoubleSided} {
+			cfg := quickConfig(3)
+			cfg.Sided = sided
+			cfg.Trials = 2
+
+			// Two identically-built benches: one drives the reference
+			// command path, one the prober. Both must see the same
+			// bench-sequence history across every (taggon, loc, trial).
+			bRef, err := NewBench(mustSpec(t, id), cfg, 50)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bNew, err := NewBench(mustSpec(t, id), cfg, 50)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pRef := newProber(bRef, cfg) // carries bench + cfg for the reference
+			pNew := newProber(bNew, cfg)
+
+			for _, on := range taggons {
+				for _, loc := range testedLocations(cfg.Geometry, cfg.RowsToTest) {
+					s := siteFor(loc, sided)
+					for trial := uint64(1); trial <= uint64(cfg.Trials); trial++ {
+						bRef.SetTrial(trial)
+						bNew.SetTrial(trial)
+						want, err := commandPathSearchACmin(pRef, s, on)
+						if err != nil {
+							t.Fatal(err)
+						}
+						got, err := pNew.searchACmin(s, on)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if want.Found != got.Found || want.ACmin != got.ACmin {
+							t.Fatalf("%s %s %s loc %d trial %d: command path (found=%v ACmin=%d) != prober (found=%v ACmin=%d)",
+								id, sided, dram.FormatTime(on), loc, trial,
+								want.Found, want.ACmin, got.Found, got.ACmin)
+						}
+						if len(want.Flips) != len(got.Flips) {
+							t.Fatalf("%s %s %s loc %d: flip count %d != %d",
+								id, sided, dram.FormatTime(on), loc, len(want.Flips), len(got.Flips))
+						}
+						for i := range want.Flips {
+							if want.Flips[i] != got.Flips[i] {
+								t.Fatalf("%s %s %s loc %d: flip %d differs: %+v != %+v",
+									id, sided, dram.FormatTime(on), loc, i, want.Flips[i], got.Flips[i])
+							}
+						}
+						if bRef.Now() != bNew.Now() {
+							t.Fatalf("%s %s %s loc %d: bench clocks diverged: %d != %d",
+								id, sided, dram.FormatTime(on), loc, bRef.Now(), bNew.Now())
+						}
+					}
+					bRef.SetTrial(0)
+					bNew.SetTrial(0)
+				}
+			}
+		}
+	}
+}

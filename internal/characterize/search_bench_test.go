@@ -1,0 +1,71 @@
+package characterize
+
+import (
+	"testing"
+
+	"repro/internal/chipgen"
+	"repro/internal/dram"
+)
+
+// Search-path benchmarks: the replay-free prober against the retained
+// per-command reference, over the same sweep shape the fig6 experiment
+// runs per module. The ratio between the two is the payoff of the
+// closed-form accrual + pure-probe rework; CI records both in the
+// BENCH_4.json artifact.
+
+var benchTaggons = []dram.TimePS{
+	36 * dram.Nanosecond,
+	7800 * dram.Nanosecond,
+	70200 * dram.Nanosecond,
+	6 * dram.Millisecond,
+}
+
+func benchSpec(b *testing.B) chipgen.ModuleSpec {
+	b.Helper()
+	spec, ok := chipgen.ByID("S3")
+	if !ok {
+		b.Fatal("unknown module S3")
+	}
+	return spec
+}
+
+// BenchmarkACminSearchProbe measures the production path: virtual
+// prepare/hammer/check probes.
+func BenchmarkACminSearchProbe(b *testing.B) {
+	spec := benchSpec(b)
+	cfg := quickConfig(4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ACminSweep(spec, cfg, 50, benchTaggons); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkACminSearchCommandPath measures the same sweep driven through
+// the per-command reference probes (prepare/hammer/check on the module).
+func BenchmarkACminSearchCommandPath(b *testing.B) {
+	spec := benchSpec(b)
+	cfg := quickConfig(4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bench, err := NewBench(spec, cfg, 50)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := newProber(bench, cfg)
+		locs := testedLocations(cfg.Geometry, cfg.RowsToTest)
+		for _, on := range benchTaggons {
+			for _, loc := range locs {
+				s := siteFor(loc, cfg.Sided)
+				for trial := uint64(1); trial <= uint64(cfg.Trials); trial++ {
+					bench.SetTrial(trial)
+					if _, err := commandPathSearchACmin(p, s, on); err != nil {
+						b.Fatal(err)
+					}
+				}
+				bench.SetTrial(0)
+			}
+		}
+	}
+}

@@ -36,22 +36,25 @@ func (p TAggONminPoint) Values() []float64 {
 // SearchTAggONmin bisects over the row-open time to find the minimum
 // tAggON that induces at least one bitflip at the given total activation
 // count. The upper bound is the time budget divided across the activations
-// (the paper bounds every measurement within the refresh window).
+// (the paper bounds every measurement within the refresh window). One
+// search on a fresh probe harness; sweeps thread one prober through all
+// their searches instead.
 func SearchTAggONmin(b *bender.Bench, s site, ac int, cfg Config) (TAggONminResult, error) {
-	tRAS, tRP := b.Mod.Timing.TRAS, b.Mod.Timing.TRP
-	hi := cfg.TimeBudget/dram.TimePS(ac) - tRP
+	return newProber(b, cfg).searchTAggONmin(s, ac)
+}
+
+// searchTAggONmin is the replay-free bisection over the row-open time:
+// probes are closed-form exposure evaluations, so widening or narrowing
+// the dwell costs the same O(site) work regardless of the dwell length.
+func (p *prober) searchTAggONmin(s site, ac int) (TAggONminResult, error) {
+	tRAS, tRP := p.b.Mod.Timing.TRAS, p.b.Mod.Timing.TRP
+	hi := p.cfg.TimeBudget/dram.TimePS(ac) - tRP
 	if hi <= tRAS {
 		return TAggONminResult{Loc: s.loc}, nil
 	}
 
 	probe := func(on dram.TimePS) (bool, error) {
-		if err := s.prepare(b, cfg.Pattern); err != nil {
-			return false, err
-		}
-		if err := s.hammer(b, ac, on, 0); err != nil {
-			return false, err
-		}
-		flips, err := s.check(b, cfg.Pattern)
+		flips, err := p.probe(s, ac, on, 0)
 		return len(flips) > 0, err
 	}
 
@@ -63,7 +66,7 @@ func SearchTAggONmin(b *bender.Bench, s site, ac int, cfg Config) (TAggONminResu
 		return TAggONminResult{Loc: s.loc}, nil
 	}
 	lo := tRAS
-	for hi-lo > 1 && float64(hi-lo) > cfg.Accuracy*float64(hi) {
+	for hi-lo > 1 && float64(hi-lo) > p.cfg.Accuracy*float64(hi) {
 		mid := lo + (hi-lo)/2
 		ok, err := probe(mid)
 		if err != nil {
@@ -78,11 +81,11 @@ func SearchTAggONmin(b *bender.Bench, s site, ac int, cfg Config) (TAggONminResu
 	return TAggONminResult{Loc: s.loc, TAggONmin: hi, Found: true}, nil
 }
 
-func searchTAggONminTrials(b *bender.Bench, s site, ac int, cfg Config) (TAggONminResult, error) {
+func searchTAggONminTrials(p *prober, s site, ac int) (TAggONminResult, error) {
 	result := TAggONminResult{Loc: s.loc}
-	for trial := 1; trial <= cfg.Trials; trial++ {
-		b.SetTrial(uint64(trial))
-		r, err := SearchTAggONmin(b, s, ac, cfg)
+	for trial := 1; trial <= p.cfg.Trials; trial++ {
+		p.b.SetTrial(uint64(trial))
+		r, err := p.searchTAggONmin(s, ac)
 		if err != nil {
 			return TAggONminResult{}, err
 		}
@@ -90,7 +93,7 @@ func searchTAggONminTrials(b *bender.Bench, s site, ac int, cfg Config) (TAggONm
 			result = r
 		}
 	}
-	b.SetTrial(0)
+	p.b.SetTrial(0)
 	return result, nil
 }
 
@@ -105,12 +108,13 @@ func TAggONminSweep(spec chipgen.ModuleSpec, cfg Config, tempC float64, acs []in
 	if err != nil {
 		return nil, err
 	}
+	p := newProber(b, cfg)
 	locs := testedLocations(cfg.Geometry, cfg.RowsToTest)
 	points := make([]TAggONminPoint, 0, len(acs))
 	for _, ac := range acs {
 		pt := TAggONminPoint{AC: ac}
 		for _, loc := range locs {
-			r, err := searchTAggONminTrials(b, siteFor(loc, cfg.Sided), ac, cfg)
+			r, err := searchTAggONminTrials(p, siteFor(loc, cfg.Sided), ac)
 			if err != nil {
 				return nil, err
 			}
@@ -129,15 +133,18 @@ func TAggONminTempSweep(spec chipgen.ModuleSpec, cfg Config) (map[float64]TAggON
 	if err != nil {
 		return nil, err
 	}
+	p := newProber(b, cfg)
 	locs := testedLocations(cfg.Geometry, cfg.RowsToTest)
 	out := make(map[float64]TAggONminPoint)
 	for temp := 50.0; temp <= 80; temp += 5 {
+		// The prober keeps the bench clock current, so the heater-rig
+		// settle lands at the right simulated time.
 		if err := b.SetTemperature(temp); err != nil {
 			return nil, err
 		}
 		pt := TAggONminPoint{AC: 1}
 		for _, loc := range locs {
-			r, err := searchTAggONminTrials(b, siteFor(loc, cfg.Sided), 1, cfg)
+			r, err := searchTAggONminTrials(p, siteFor(loc, cfg.Sided), 1)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// -update regenerates the golden reports. Only use it for deliberate,
+// reviewed output changes: the goldens pin every experiment report to the
+// byte-exact output of the original per-command simulation path, so the
+// batched/closed-form fast paths cannot drift without failing here.
+var updateGolden = flag.Bool("update", false, "rewrite golden experiment reports")
+
+// goldenOptions mirrors TestEngineDeterminismAndCache's configuration so
+// the two suites pin the same reports.
+func goldenOptions() Options {
+	return Options{Scale: 0.05, Seed: 1, Modules: []string{"S0", "S3", "M3"}}
+}
+
+// TestGoldenReports asserts that every registered experiment reproduces
+// its checked-in pre-refactor report byte-for-byte, at one worker and at
+// eight. This is the acceptance gate for the closed-form accrual and
+// replay-free search rework: any numerical or ordering drift in the fast
+// paths shows up as a diff here.
+func TestGoldenReports(t *testing.T) {
+	o := goldenOptions()
+	serial := engine.New(1, 0)
+	wide := engine.New(8, 0)
+	for _, e := range List() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			path := filepath.Join("testdata", "golden", e.ID+".golden")
+			got, err := RunWith(serial, e.ID, o)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if *updateGolden {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("report differs from golden %s\n--- want ---\n%s\n--- got ---\n%s",
+					path, want, got)
+			}
+			wideOut, err := RunWith(wide, e.ID, o)
+			if err != nil {
+				t.Fatalf("run (8 workers): %v", err)
+			}
+			if wideOut != got {
+				t.Error("8-worker report differs from serial report")
+			}
+		})
+	}
+}

@@ -20,7 +20,10 @@ type Model struct {
 	cache    map[uint64]*rowProfile
 }
 
-var _ dram.Disturber = (*Model)(nil)
+var (
+	_ dram.Disturber  = (*Model)(nil)
+	_ dram.FlipProber = (*Model)(nil)
+)
 
 // NewModel builds a model with the given parameters for a module with the
 // given geometry. seed identifies the individual module (chip-to-chip
@@ -89,17 +92,35 @@ func (m *Model) ApplyFlips(bank, row int, data []byte, nb dram.NeighborData, exp
 	}
 	prof := m.profile(bank, row)
 	flips := 0
-	flips += m.applyPress(prof, data, nb, exp)
-	flips += m.applyHammer(prof, data, nb, exp)
-	flips += m.applyRetention(prof, data, exp)
+	flips += m.applyPress(prof, data, nb, exp, true)
+	flips += m.applyHammer(prof, data, nb, exp, true)
+	flips += m.applyRetention(prof, data, exp, true)
 	return flips
+}
+
+// WouldFlip reports whether ApplyFlips would flip at least one cell, as a
+// pure function: data is only read, no module or model state changes, and
+// evaluation stops at the first crossing cell. Searches probe candidate
+// exposures through it without perturbing the measurement — the predicate
+// agrees exactly with ApplyFlips(...) > 0 on the same inputs (press flips
+// are evaluated first in both, so the press→hammer data interplay inside a
+// committing evaluation can never change the any-flip answer).
+func (m *Model) WouldFlip(bank, row int, data []byte, nb dram.NeighborData, exp dram.Exposure) bool {
+	if data == nil {
+		return false
+	}
+	prof := m.profile(bank, row)
+	return m.applyPress(prof, data, nb, exp, false) > 0 ||
+		m.applyHammer(prof, data, nb, exp, false) > 0 ||
+		m.applyRetention(prof, data, exp, false) > 0
 }
 
 // applyPress flips charged cells whose accumulated press exposure crosses
 // their threshold. RowPress pulls electrons out of the victim (concurrent
 // Samsung work, footnote 14), so flips discharge the cell: 1→0 on true
-// cells — the opposite direction of RowHammer (Obsv. 8).
-func (m *Model) applyPress(prof *rowProfile, data []byte, nb dram.NeighborData, exp dram.Exposure) int {
+// cells — the opposite direction of RowHammer (Obsv. 8). With commit
+// false it only probes: no mutation, early exit at the first flip.
+func (m *Model) applyPress(prof *rowProfile, data []byte, nb dram.NeighborData, exp dram.Exposure, commit bool) int {
 	pa, pb := exp.PressAbove, exp.PressBelow
 	if pa == 0 && pb == 0 {
 		return 0
@@ -126,6 +147,9 @@ func (m *Model) applyPress(prof *rowProfile, data []byte, nb dram.NeighborData, 
 			damage -= 2 * rho * math.Sqrt(sideA*sideB)
 		}
 		if damage >= m.effThreshold(*c) {
+			if !commit {
+				return 1
+			}
 			setBit(data, c.col, c.bit, !c.trueCell) // discharge
 			flips++
 		}
@@ -135,7 +159,7 @@ func (m *Model) applyPress(prof *rowProfile, data []byte, nb dram.NeighborData, 
 
 // applyHammer flips discharged cells: hammering injects electrons into the
 // victim, charging it up (0→1 on true cells).
-func (m *Model) applyHammer(prof *rowProfile, data []byte, nb dram.NeighborData, exp dram.Exposure) int {
+func (m *Model) applyHammer(prof *rowProfile, data []byte, nb dram.NeighborData, exp dram.Exposure, commit bool) int {
 	ha, hb := exp.HammerAbove, exp.HammerBelow
 	if ha == 0 && hb == 0 {
 		return 0
@@ -163,6 +187,9 @@ func (m *Model) applyHammer(prof *rowProfile, data []byte, nb dram.NeighborData,
 			damage += 2 * m.p.HammerCrossBoost * math.Sqrt(sideA*sideB)
 		}
 		if damage >= m.effThreshold(*c) {
+			if !commit {
+				return 1
+			}
 			setBit(data, c.col, c.bit, c.trueCell) // charge up
 			flips++
 		}
@@ -172,7 +199,7 @@ func (m *Model) applyHammer(prof *rowProfile, data []byte, nb dram.NeighborData,
 
 // applyRetention discharges charged cells whose retention threshold (in
 // stress-seconds) has been exceeded since the last charge restore.
-func (m *Model) applyRetention(prof *rowProfile, data []byte, exp dram.Exposure) int {
+func (m *Model) applyRetention(prof *rowProfile, data []byte, exp dram.Exposure, commit bool) int {
 	if exp.Retention <= 0 {
 		return 0
 	}
@@ -188,6 +215,9 @@ func (m *Model) applyRetention(prof *rowProfile, data []byte, exp dram.Exposure)
 			continue
 		}
 		if exp.Retention >= m.effThreshold(*c) {
+			if !commit {
+				return 1
+			}
 			setBit(data, c.col, c.bit, !c.trueCell)
 			flips++
 		}

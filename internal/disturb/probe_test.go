@@ -1,0 +1,67 @@
+package disturb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dram"
+)
+
+// TestWouldFlipMatchesApplyFlips is the pure-probe contract: for arbitrary
+// exposures, rows, and data patterns, WouldFlip must agree exactly with
+// ApplyFlips(...) > 0 and must not touch the data.
+func TestWouldFlipMatchesApplyFlips(t *testing.T) {
+	geo := dram.Geometry{Banks: 2, RowsPerBank: 64, RowBytes: 256}
+	m := NewModel(DefaultParams(), geo, 7)
+	f := func(seed uint64, scale float64) bool {
+		if scale < 0 {
+			scale = -scale
+		}
+		row := int(seed % 60)
+		bank := int((seed / 61) % 2)
+		fill := byte(seed)
+		data := make([]byte, geo.RowBytes)
+		dram.Fill(data, fill)
+		nbData := make([]byte, geo.RowBytes)
+		dram.Fill(nbData, ^fill)
+		nb := dram.NeighborData{Above: nbData}
+		if seed%3 == 0 {
+			nb.Below, nb.Above = nbData, nil
+		}
+		// Exposures spanning sub- and super-threshold regimes.
+		exp := dram.Exposure{
+			HammerAbove: scale * float64(seed%5) * 1e5,
+			HammerBelow: scale * float64((seed/5)%4) * 1e5,
+			PressAbove:  scale * float64((seed/7)%3) * 0.05,
+			PressBelow:  scale * float64((seed/11)%3) * 0.05,
+			Retention:   scale * float64((seed/13)%2) * 50,
+		}
+
+		before := append([]byte(nil), data...)
+		would := m.WouldFlip(bank, row, data, nb, exp)
+		for i := range data {
+			if data[i] != before[i] {
+				t.Logf("WouldFlip mutated data at byte %d", i)
+				return false
+			}
+		}
+		applied := m.ApplyFlips(bank, row, data, nb, exp)
+		if would != (applied > 0) {
+			t.Logf("bank=%d row=%d exp=%+v: WouldFlip=%v but ApplyFlips=%d", bank, row, would, exp, applied)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWouldFlipNilData mirrors ApplyFlips' nil-row contract.
+func TestWouldFlipNilData(t *testing.T) {
+	geo := dram.Geometry{Banks: 1, RowsPerBank: 8, RowBytes: 64}
+	m := NewModel(DefaultParams(), geo, 1)
+	if m.WouldFlip(0, 0, nil, dram.NeighborData{}, dram.Exposure{HammerAbove: 1e12}) {
+		t.Fatal("nil data must never flip")
+	}
+}

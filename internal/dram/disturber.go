@@ -52,6 +52,15 @@ type Disturber interface {
 	ApplyFlips(bank, row int, data []byte, nb NeighborData, exp Exposure) int
 }
 
+// FlipProber is the optional Disturber extension for pure flip
+// predicates: WouldFlip reports whether ApplyFlips on the same inputs
+// would flip at least one cell, without mutating data. Models that
+// implement it let Module.ProbeWouldFlip answer searches with an
+// early-exit evaluation and no row copies.
+type FlipProber interface {
+	WouldFlip(bank, row int, data []byte, nb NeighborData, exp Exposure) bool
+}
+
 // NopDisturber ignores all disturbance. It stands in for a hypothetical
 // disturbance-free DRAM and is useful for testing the command machinery in
 // isolation.

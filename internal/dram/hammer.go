@@ -82,9 +82,10 @@ func (m *Module) Hammer(at TimePS, spec HammerSpec) (TimePS, error) {
 
 // HammerBatch applies the same access pattern as Hammer in O(aggressors ×
 // blast radius) instead of O(count), exploiting that every iteration after
-// the first delivers an identical disturbance increment. The observable
-// effect on every row's exposure is equivalent to Hammer (up to float
-// summation order); a property test enforces this.
+// the first delivers an identical disturbance increment (the closed form
+// in accrual.go). The observable effect on every row's exposure is
+// equivalent to Hammer (up to float summation order); a property test
+// enforces this.
 func (m *Module) HammerBatch(at TimePS, spec HammerSpec) (TimePS, error) {
 	if err := spec.Validate(m); err != nil {
 		return at, err
@@ -94,53 +95,48 @@ func (m *Module) HammerBatch(at TimePS, spec HammerSpec) (TimePS, error) {
 	}
 	n := len(spec.Rows)
 	slot := spec.SlotTime(m.Timing)
-	// Steady-state off time of one aggressor between its own activations:
-	// the other aggressors' on-times plus every slot's gap.
-	steadyOff := TimePS(n-1)*spec.OnTime + TimePS(n)*(m.Timing.TRP+spec.ExtraOff)
-	if steadyOff > recoveredOff {
-		steadyOff = recoveredOff
-	}
-	type aggInfo struct {
-		acts     int
-		lastSlot int
-	}
-	infos := make([]aggInfo, n)
+	steadyOff := spec.SteadyOff(m.Timing)
+	sched := spec.Schedule()
 	// A listed row that never activates (Count < len(Rows)) behaves as a
 	// plain victim, so the skip set only contains rows with ≥1 activation.
 	isAggressor := make(map[int]bool, n)
-	for idx, r := range spec.Rows {
-		acts := spec.Count / n
-		if idx < spec.Count%n {
-			acts++
-		}
-		infos[idx] = aggInfo{acts: acts, lastSlot: idx + (acts-1)*n}
-		if acts > 0 {
-			isAggressor[r] = true
+	for _, ag := range sched {
+		if ag.Acts > 0 {
+			isAggressor[ag.Row] = true
 		}
 	}
 
 	// Phase 1: each aggressor's first activation restores its own charge,
 	// materializing any pre-loop exposure exactly as the command path does.
-	for idx, row := range spec.Rows {
-		if infos[idx].acts > 0 {
-			m.restoreRow(spec.Bank, row, at+TimePS(idx)*slot)
+	for idx, ag := range sched {
+		if ag.Acts > 0 {
+			m.restoreRow(spec.Bank, ag.Row, at+TimePS(idx)*slot)
 		}
 	}
 
-	// Phase 2: bulk-accrue disturbance to non-aggressor victims. The first
-	// activation uses the off time preceding the loop; the rest use the
-	// steady-state off time.
-	for idx, row := range spec.Rows {
-		acts := infos[idx].acts
-		if acts == 0 {
+	// Phase 2: bulk-accrue disturbance to non-aggressor victims through the
+	// shared closed form. The first activation uses the off time preceding
+	// the loop; the rest use the steady-state off time.
+	addExposure := func(victim int, above bool, h, p float64) {
+		rs := m.row(spec.Bank, victim)
+		if above {
+			rs.exp.HammerAbove += h
+			rs.exp.PressAbove += p
+		} else {
+			rs.exp.HammerBelow += h
+			rs.exp.PressBelow += p
+		}
+	}
+	for idx, ag := range sched {
+		if ag.Acts == 0 {
 			continue
 		}
 		firstActAt := at + TimePS(idx)*slot
-		firstOff := m.prevOff(spec.Bank, row, firstActAt)
+		firstOff := m.prevOff(spec.Bank, ag.Row, firstActAt)
 		tempC := m.TemperatureAt(at)
-		m.accrueSkipping(spec.Bank, row, spec.OnTime, firstOff, tempC, 1, isAggressor)
-		if acts > 1 {
-			m.accrueSkipping(spec.Bank, row, spec.OnTime, steadyOff, tempC, acts-1, isAggressor)
+		accrueSpec(m.dist, m.Geo.RowsPerBank, ag.Row, spec.OnTime, firstOff, tempC, 1, isAggressor, addExposure)
+		if ag.Acts > 1 {
+			accrueSpec(m.dist, m.Geo.RowsPerBank, ag.Row, spec.OnTime, steadyOff, tempC, ag.Acts-1, isAggressor, addExposure)
 		}
 	}
 
@@ -149,14 +145,13 @@ func (m *Module) HammerBatch(at TimePS, spec HammerSpec) (TimePS, error) {
 	// only retains increments from slots after its own last activation.
 	// Reset exposure without applying flips (the command path wiped it one
 	// sub-threshold increment at a time), then replay the tail slots.
-	for idx, row := range spec.Rows {
-		if infos[idx].acts == 0 {
+	for _, ag := range sched {
+		if ag.Acts == 0 {
 			continue
 		}
-		rs := m.row(spec.Bank, row)
+		rs := m.row(spec.Bank, ag.Row)
 		rs.exp = Exposure{}
-		rs.lastRestore = at + TimePS(infos[idx].lastSlot)*slot
-		rs.touched = true
+		rs.lastRestore = at + TimePS(ag.LastSlot)*slot
 	}
 	tailStart := spec.Count - n
 	if tailStart < 0 {
@@ -171,7 +166,7 @@ func (m *Module) HammerBatch(at TimePS, spec HammerSpec) (TimePS, error) {
 		}
 		tempC := m.TemperatureAt(at)
 		for j, victim := range spec.Rows {
-			if j == actIdx || infos[j].lastSlot >= s || infos[j].acts == 0 {
+			if j == actIdx || sched[j].LastSlot >= s || sched[j].Acts == 0 {
 				continue
 			}
 			d := victim - actRow
@@ -195,41 +190,17 @@ func (m *Module) HammerBatch(at TimePS, spec HammerSpec) (TimePS, error) {
 	}
 
 	// Phase 4: bookkeeping — last PRE time per aggressor, counters, clock.
-	for idx, row := range spec.Rows {
-		if infos[idx].acts == 0 {
+	for _, ag := range sched {
+		if ag.Acts == 0 {
 			continue
 		}
-		m.recordPre(spec.Bank, row, at+TimePS(infos[idx].lastSlot)*slot+spec.OnTime)
-		m.acts += uint64(infos[idx].acts)
-		m.pres += uint64(infos[idx].acts)
+		m.recordPre(spec.Bank, ag.Row, at+TimePS(ag.LastSlot)*slot+spec.OnTime)
+		m.acts += uint64(ag.Acts)
+		m.pres += uint64(ag.Acts)
 	}
 	end := at + TimePS(spec.Count)*slot
 	m.banks[spec.Bank].hasPre = true
 	m.banks[spec.Bank].lastPreAt = end - m.Timing.TRP - spec.ExtraOff // last PRE instant
 	m.advance(end)
 	return end, nil
-}
-
-// accrueSkipping adds n activation increments from aggRow to rows in the
-// blast radius, skipping rows in the skip set (used for aggressor rows,
-// whose mutual exposure is handled exactly by the tail replay).
-func (m *Module) accrueSkipping(bank, aggRow int, onTime, offTime TimePS, tempC float64, n int, skip map[int]bool) {
-	fn := float64(n)
-	for d := 1; d <= BlastRadius; d++ {
-		h := m.dist.HammerIncrement(onTime, offTime, tempC, d) * fn
-		p := m.dist.PressIncrement(onTime, offTime, tempC, d) * fn
-		if h == 0 && p == 0 {
-			continue
-		}
-		if v := aggRow - d; v >= 0 && !skip[v] {
-			rs := m.row(bank, v)
-			rs.exp.HammerAbove += h
-			rs.exp.PressAbove += p
-		}
-		if v := aggRow + d; v < m.Geo.RowsPerBank && !skip[v] {
-			rs := m.row(bank, v)
-			rs.exp.HammerBelow += h
-			rs.exp.PressBelow += p
-		}
-	}
 }

@@ -2,12 +2,18 @@ package dram
 
 import (
 	"fmt"
+	"sort"
 )
 
-// recoveredOff is the row-off time assumed for an aggressor's first
+// RecoveredOff is the row-off time assumed for an aggressor's first
 // activation (or any activation after a very long idle period): long enough
 // that all transient disturbance from earlier activity has fully recovered.
-const recoveredOff = 10 * Millisecond
+// Exported so replay-free probe harnesses can thread the same first-
+// activation semantics as the command path.
+const RecoveredOff = 10 * Millisecond
+
+// recoveredOff is the internal alias predating the export.
+const recoveredOff = RecoveredOff
 
 // bankState is the per-bank command FSM (§2.2): a bank is either precharged
 // (idle) or has exactly one open row.
@@ -20,15 +26,19 @@ type bankState struct {
 	refBusyTill TimePS // bank unavailable until this time after REF
 }
 
-// rowState is the sparse per-row storage: contents plus accumulated
-// disturbance since the last charge restore.
+// rowState is the per-row storage: contents plus accumulated disturbance
+// since the last charge restore. Rows live in a dense per-bank array (see
+// Module.rows); present distinguishes rows the command path has touched
+// from pristine zero-value entries, replacing the sparse map membership the
+// module used to rely on.
 type rowState struct {
 	data        []byte // nil until first write
 	exp         Exposure
 	lastRestore TimePS
 	lastPreAt   TimePS // when this row was last closed (for off-time tracking)
 	lastPreSet  bool
-	touched     bool
+	present     bool   // the command path has state for this row
+	epoch       uint32 // checkpoint journal stamp (see snapshot.go)
 }
 
 type tempPoint struct {
@@ -47,11 +57,22 @@ type Module struct {
 
 	dist  Disturber
 	banks []bankState
-	rows  []map[int]*rowState // one sparse map per bank
+
+	// rows holds one dense exposure window per bank, allocated lazily on
+	// the bank's first touch. The dense layout keeps the PRE-path accrual
+	// (up to 2×BlastRadius victim updates per precharge) allocation- and
+	// hash-free: a victim update is one bounds-checked index instead of a
+	// map lookup plus a possible *rowState allocation. At the experiment
+	// geometries (≤ 4096 rows/bank) a fully dense window costs ≲ 400 KiB
+	// per touched bank, far below what the old per-victim allocations
+	// churned through a long hammer run.
+	rows [][]rowState
 
 	temps      []tempPoint // non-decreasing in time
 	lastCmdAt  TimePS
 	refCounter int // which refresh chunk the next REF covers
+
+	journal journal // active checkpoint state (see snapshot.go)
 
 	// Stats counters, exported via Counters().
 	acts, pres, reads, writes, refs uint64
@@ -72,18 +93,14 @@ func NewModule(geo Geometry, timing Timing, tempC float64, dist Disturber) *Modu
 	if dist == nil {
 		dist = NopDisturber{}
 	}
-	m := &Module{
+	return &Module{
 		Geo:    geo,
 		Timing: timing,
 		dist:   dist,
 		banks:  make([]bankState, geo.Banks),
-		rows:   make([]map[int]*rowState, geo.Banks),
+		rows:   make([][]rowState, geo.Banks),
 		temps:  []tempPoint{{at: 0, tempC: tempC}},
 	}
-	for b := range m.rows {
-		m.rows[b] = make(map[int]*rowState)
-	}
-	return m
 }
 
 // Counters returns the command counters.
@@ -104,16 +121,34 @@ func (m *Module) SetTemperature(at TimePS, tempC float64) {
 	m.temps = append(m.temps, tempPoint{at: at, tempC: tempC})
 }
 
+// tempSegment returns the index of the temperature segment covering time
+// at: the last point with p.at <= at, or 0 when at precedes the schedule.
+// Binary search keeps long thermal traces off the per-command critical
+// path (TemperatureAt runs on every PRE).
+func (m *Module) tempSegment(at TimePS) int {
+	// Fast path: most commands land in the latest segment.
+	if n := len(m.temps); n == 1 || m.temps[n-1].at <= at {
+		return n - 1
+	}
+	i := sort.Search(len(m.temps), func(i int) bool { return m.temps[i].at > at })
+	if i == 0 {
+		return 0
+	}
+	return i - 1
+}
+
 // TemperatureAt returns the chip temperature at time at.
 func (m *Module) TemperatureAt(at TimePS) float64 {
-	t := m.temps[0].tempC
-	for _, p := range m.temps {
-		if p.at > at {
-			break
-		}
-		t = p.tempC
-	}
-	return t
+	return m.temps[m.tempSegment(at)].tempC
+}
+
+// RetentionStress integrates RetentionAccel(T(t)) dt (seconds) over
+// [from, to] across the temperature schedule — the retention exposure a
+// row accumulates between charge restores. It reads the schedule without
+// modifying anything; pure probe harnesses use it to evaluate candidate
+// stop points analytically.
+func (m *Module) RetentionStress(from, to TimePS) float64 {
+	return m.retentionStress(from, to)
 }
 
 // retentionStress integrates RetentionAccel(T(t)) dt (seconds) over
@@ -125,10 +160,10 @@ func (m *Module) retentionStress(from, to TimePS) float64 {
 	var stress float64
 	cur := from
 	curTemp := m.TemperatureAt(from)
-	for _, p := range m.temps {
-		if p.at <= cur {
-			continue
-		}
+	// Segments ending at or before cur contribute nothing; binary-search
+	// the first boundary past cur instead of scanning the whole schedule.
+	for i := m.tempSegment(from) + 1; i < len(m.temps); i++ {
+		p := m.temps[i]
 		if p.at >= to {
 			break
 		}
@@ -162,13 +197,37 @@ func (m *Module) advance(at TimePS) {
 // Now returns the timestamp of the latest command the module has seen.
 func (m *Module) Now() TimePS { return m.lastCmdAt }
 
-func (m *Module) row(bank, row int) *rowState {
-	rs := m.rows[bank][row]
-	if rs == nil {
-		rs = &rowState{}
-		m.rows[bank][row] = rs
+// bankRows returns the dense row window of a bank, allocating it on first
+// touch.
+func (m *Module) bankRows(bank int) []rowState {
+	rows := m.rows[bank]
+	if rows == nil {
+		rows = make([]rowState, m.Geo.RowsPerBank)
+		m.rows[bank] = rows
 	}
+	return rows
+}
+
+// row returns the mutable state of (bank, row), marking the row present
+// and journaling its prior state when a checkpoint is active. Every
+// mutation of row state must go through here so Rollback can restore it.
+func (m *Module) row(bank, row int) *rowState {
+	rs := &m.bankRows(bank)[row]
+	if m.journal.active && rs.epoch != m.journal.epoch {
+		m.journal.saveRow(bank, row, rs)
+	}
+	rs.present = true
 	return rs
+}
+
+// peekRow returns the state of (bank, row) for reading only, or nil when
+// the row (or its whole bank) has never been touched.
+func (m *Module) peekRow(bank, row int) *rowState {
+	rows := m.rows[bank]
+	if rows == nil || !rows[row].present {
+		return nil
+	}
+	return &rows[row]
 }
 
 // Activate opens row in bank at time at. Opening a row restores its cells'
@@ -227,18 +286,16 @@ func (m *Module) Precharge(at TimePS, bank int) error {
 	return nil
 }
 
-// perRowPre tracks each row's last precharge so the off time preceding the
-// next activation of the same row can be computed. Stored inside rowState
-// to keep the sparse layout.
+// recordPre tracks each row's last precharge so the off time preceding the
+// next activation of the same row can be computed.
 func (m *Module) recordPre(bank, row int, at TimePS) {
 	rs := m.row(bank, row)
-	rs.touched = true
 	rs.lastPreSet = true
 	rs.lastPreAt = at
 }
 
 func (m *Module) prevOff(bank, row int, actAt TimePS) TimePS {
-	rs := m.rows[bank][row]
+	rs := m.peekRow(bank, row)
 	if rs == nil || !rs.lastPreSet {
 		return recoveredOff
 	}
@@ -250,65 +307,77 @@ func (m *Module) prevOff(bank, row int, actAt TimePS) TimePS {
 }
 
 // accrue adds one activation's worth of disturbance from aggressor (bank,
-// aggRow) to every row within the blast radius.
+// aggRow) to every row within the blast radius, through the shared
+// accrual walk (accrual.go).
 func (m *Module) accrue(bank, aggRow int, onTime, offTime TimePS, tempC float64) {
-	for d := 1; d <= BlastRadius; d++ {
-		h := m.dist.HammerIncrement(onTime, offTime, tempC, d)
-		p := m.dist.PressIncrement(onTime, offTime, tempC, d)
-		if h == 0 && p == 0 {
-			continue
-		}
-		if v := aggRow - d; v >= 0 {
-			rs := m.row(bank, v)
-			rs.exp.HammerAbove += h // aggressor sits above (higher index)
-			rs.exp.PressAbove += p
-		}
-		if v := aggRow + d; v < m.Geo.RowsPerBank {
-			rs := m.row(bank, v)
-			rs.exp.HammerBelow += h
-			rs.exp.PressBelow += p
-		}
-	}
+	accrueSpec(m.dist, m.Geo.RowsPerBank, aggRow, onTime, offTime, tempC, 1, nil,
+		func(victim int, above bool, h, p float64) {
+			rs := m.row(bank, victim)
+			if above { // aggressor sits above (higher index)
+				rs.exp.HammerAbove += h
+				rs.exp.PressAbove += p
+			} else {
+				rs.exp.HammerBelow += h
+				rs.exp.PressBelow += p
+			}
+		})
 }
 
 // restoreRow materializes accumulated disturbance as bitflips and resets
-// the row's exposure. Called on ACT and on refresh.
-func (m *Module) restoreRow(bank, row int, at TimePS) {
-	rs := m.rows[bank][row]
-	if rs == nil {
-		rs = m.row(bank, row)
-		rs.lastRestore = at
-		return
-	}
+// the row's exposure, returning the number of bits flipped. Called on ACT
+// and on refresh.
+func (m *Module) restoreRow(bank, row int, at TimePS) int {
+	rs := m.row(bank, row)
 	exp := rs.exp
 	exp.Retention = m.retentionStress(rs.lastRestore, at)
+	flips := 0
 	if rs.data != nil && (!exp.IsZero() || exp.Retention > 0) {
-		nb := NeighborData{}
-		if above := m.rows[bank][row+1]; above != nil {
-			nb.Above = above.data
-		}
-		if below := m.rows[bank][row-1]; below != nil {
-			nb.Below = below.data
-		}
-		m.dist.ApplyFlips(bank, row, rs.data, nb, exp)
+		flips = m.dist.ApplyFlips(bank, row, rs.data, m.neighborData(bank, row), exp)
 	}
 	rs.exp = Exposure{}
 	rs.lastRestore = at
+	return flips
+}
+
+// neighborData collects the adjacent rows' contents for the data-coupling
+// component of flip evaluation.
+func (m *Module) neighborData(bank, row int) NeighborData {
+	nb := NeighborData{}
+	if row+1 < m.Geo.RowsPerBank {
+		if above := m.peekRow(bank, row+1); above != nil {
+			nb.Above = above.data
+		}
+	}
+	if row-1 >= 0 {
+		if below := m.peekRow(bank, row-1); below != nil {
+			nb.Below = below.data
+		}
+	}
+	return nb
 }
 
 // RestoreRow refreshes a single row's charge at time at, materializing any
 // pending flips first (this is what a targeted/preventive refresh does).
 // TRR and RowHammer mitigations use it.
 func (m *Module) RestoreRow(at TimePS, bank, row int) error {
+	_, err := m.RestoreRowCounted(at, bank, row)
+	return err
+}
+
+// RestoreRowCounted is RestoreRow reporting how many bitflips the restore
+// materialized. Searches track mid-play materialization through it: once
+// a preventive refresh has burned a flip into a victim, "did anything
+// flip?" can no longer be answered by pending-exposure probes alone.
+func (m *Module) RestoreRowCounted(at TimePS, bank, row int) (int, error) {
 	if err := m.checkBank(bank); err != nil {
-		return err
+		return 0, err
 	}
 	if err := m.checkRow(row); err != nil {
-		return err
+		return 0, err
 	}
-	m.restoreRow(bank, row, at)
+	flips := m.restoreRow(bank, row, at)
 	m.advance(at)
-	return nil
+	return flips, nil
 }
 
 // Read returns the cache block at the given block index of the open row.
@@ -369,6 +438,12 @@ func (m *Module) Write(at TimePS, bank, block int, data []byte) error {
 // Refresh executes one REF command at time at. All banks must be
 // precharged. Each REF restores the next 1/RefreshesPerWindow slice of every
 // bank's rows, so that a full window's worth of REFs covers the module.
+//
+// Touched rows restore in ascending row order. The order is observable:
+// flip evaluation reads neighbor-row contents for data coupling, so two
+// neighbors restored within the same chunk must restore in a fixed order
+// for the outcome to be deterministic (the old sparse-map iteration was
+// not).
 func (m *Module) Refresh(at TimePS) error {
 	for bank := range m.banks {
 		if m.banks[bank].open {
@@ -383,11 +458,13 @@ func (m *Module) Refresh(at TimePS) error {
 		end = m.Geo.RowsPerBank
 	}
 	for bank := range m.banks {
-		// Only touched rows carry state worth restoring; iterate the sparse
-		// map rather than the full range.
-		for row, rs := range m.rows[bank] {
-			if row >= start && row < end && rs != nil {
-				m.restoreRow(bank, row, at)
+		// Only touched rows carry state worth restoring; the dense window
+		// makes the scan a contiguous sweep in sorted row order.
+		if rows := m.rows[bank]; rows != nil {
+			for row := start; row < end; row++ {
+				if rows[row].present {
+					m.restoreRow(bank, row, at)
+				}
 			}
 		}
 		m.banks[bank].refBusyTill = at + m.Timing.TRFC
@@ -416,7 +493,6 @@ func (m *Module) InitRow(at TimePS, bank, row int, fill byte) error {
 	Fill(rs.data, fill)
 	rs.exp = Exposure{}
 	rs.lastRestore = at
-	rs.touched = true
 	m.advance(at)
 	return nil
 }
@@ -444,10 +520,10 @@ func (m *Module) FetchRow(at TimePS, bank, row int) ([]byte, TimePS, error) {
 // PeekRow returns the row's raw stored bytes without issuing commands and
 // without materializing pending disturbance. Test-only introspection.
 func (m *Module) PeekRow(bank, row int) []byte {
-	if bank < 0 || bank >= m.Geo.Banks {
+	if bank < 0 || bank >= m.Geo.Banks || row < 0 || row >= m.Geo.RowsPerBank {
 		return nil
 	}
-	rs := m.rows[bank][row]
+	rs := m.peekRow(bank, row)
 	if rs == nil || rs.data == nil {
 		return nil
 	}
@@ -459,7 +535,10 @@ func (m *Module) PeekRow(bank, row int) []byte {
 // PendingExposure returns the accumulated exposure of a row (test/analysis
 // introspection; does not modify state).
 func (m *Module) PendingExposure(bank, row int) Exposure {
-	if rs := m.rows[bank][row]; rs != nil {
+	if bank < 0 || bank >= m.Geo.Banks || row < 0 || row >= m.Geo.RowsPerBank {
+		return Exposure{}
+	}
+	if rs := m.peekRow(bank, row); rs != nil {
 		return rs.exp
 	}
 	return Exposure{}

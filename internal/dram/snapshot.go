@@ -1,0 +1,101 @@
+package dram
+
+// Checkpoint/rollback of module state.
+//
+// Monotone searches (the scenario min-exposure bisection, and any caller
+// probing a prefix family of command streams) used to replay the whole
+// pattern from scratch for every probe. A checkpoint makes the probe loop
+// incremental: arm a checkpoint at the bracket's lower bound, play forward
+// to the probe point, inspect, and either roll back (probe flipped) or
+// re-arm at the probe point (it did not). The journal is copy-on-write at
+// row granularity — a hammer run touches only the rows inside its blast
+// radius, so a checkpoint costs a handful of row snapshots regardless of
+// how many million activations the play spans.
+
+// journalEntry preserves one row's state as it was when the active
+// checkpoint was armed. prev.data is a deep copy taken before any
+// post-checkpoint mutation could reach the live buffer.
+type journalEntry struct {
+	bank, row int
+	prev      rowState
+}
+
+// journal is the module's active checkpoint. epoch stamps rows on first
+// post-checkpoint touch so each row is saved at most once per arming.
+type journal struct {
+	active bool
+	epoch  uint32
+	rows   []journalEntry
+
+	banks      []bankState
+	nTemps     int
+	lastCmdAt  TimePS
+	refCounter int
+	counters   Counters
+}
+
+// saveRow records a row's pre-mutation state. Called from Module.row on
+// the first touch of each row after the checkpoint was armed.
+func (j *journal) saveRow(bank, row int, rs *rowState) {
+	prev := *rs
+	if rs.data != nil {
+		prev.data = append([]byte(nil), rs.data...)
+	}
+	j.rows = append(j.rows, journalEntry{bank: bank, row: row, prev: prev})
+	rs.epoch = j.epoch
+}
+
+// Checkpoint arms copy-on-write journaling of all module state. Only one
+// checkpoint can be active; arming while one is active panics (a
+// programming error in the caller's search loop — use Rollback to return
+// to the armed point or ReleaseCheckpoint to discard it first).
+func (m *Module) Checkpoint() {
+	if m.journal.active {
+		panic("dram: Checkpoint with a checkpoint already active")
+	}
+	m.armCheckpoint()
+}
+
+func (m *Module) armCheckpoint() {
+	m.journal.active = true
+	m.journal.epoch++
+	m.journal.rows = m.journal.rows[:0]
+	m.journal.banks = append(m.journal.banks[:0], m.banks...)
+	m.journal.nTemps = len(m.temps)
+	m.journal.lastCmdAt = m.lastCmdAt
+	m.journal.refCounter = m.refCounter
+	m.journal.counters = m.Counters()
+}
+
+// Rollback restores the module to the state it had when Checkpoint was
+// armed. The checkpoint stays armed, so a search can roll back repeatedly
+// to the same point. It panics when no checkpoint is active.
+func (m *Module) Rollback() {
+	if !m.journal.active {
+		panic("dram: Rollback without an active checkpoint")
+	}
+	j := &m.journal
+	for i := range j.rows {
+		e := &j.rows[i]
+		// The saved copy becomes the live buffer; the mutated one is
+		// dropped. Restoring clears the epoch stamp implicitly via prev.
+		m.rows[e.bank][e.row] = e.prev
+	}
+	copy(m.banks, j.banks)
+	m.temps = m.temps[:j.nTemps]
+	m.lastCmdAt = j.lastCmdAt
+	m.refCounter = j.refCounter
+	m.acts, m.pres = j.counters.Activates, j.counters.Precharges
+	m.reads, m.writes, m.refs = j.counters.Reads, j.counters.Writes, j.counters.Refreshes
+	// Re-arm: bump the epoch so rows journaled before this rollback are
+	// saved again on their next touch.
+	m.armCheckpoint()
+}
+
+// ReleaseCheckpoint discards the active checkpoint, keeping the current
+// state. A search advances its bracket by releasing and re-arming at the
+// new lower bound. Releasing with no active checkpoint is a no-op.
+func (m *Module) ReleaseCheckpoint() {
+	m.journal.active = false
+	m.journal.rows = m.journal.rows[:0]
+}

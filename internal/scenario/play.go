@@ -489,15 +489,22 @@ func measure(module chipgen.ModuleSpec, spec Spec, kind MitigationKind, cfg Conf
 	for si, site := range sites {
 		res.Sites++
 		seed := cfg.siteSeed(spec, si)
-		play := func(acts int) (Outcome, error) {
-			mit, err := cfg.NewMitigation(kind, seed)
-			if err != nil {
-				return Outcome{}, err
-			}
-			return cfg.playSite(module, spec, site, mit, acts)
-		}
-		full, err := play(cfg.MaxActs)
+		// Full-budget play on the incremental player; the final victim
+		// check runs through the module's pure probe, which reports the
+		// same flips an executed check stream would.
+		mit, err := cfg.NewMitigation(kind, seed)
 		if err != nil {
+			return Result{}, err
+		}
+		pl, err := cfg.newPlayer(module, spec, site, mit)
+		if err != nil {
+			return Result{}, err
+		}
+		if err := pl.playTo(cfg.MaxActs); err != nil {
+			return Result{}, err
+		}
+		full := pl.outcome()
+		if full.BitFlips, err = pl.flips(); err != nil {
 			return Result{}, err
 		}
 		res.BitFlips += full.BitFlips
@@ -515,7 +522,7 @@ func measure(module chipgen.ModuleSpec, spec Spec, kind MitigationKind, cfg Conf
 			res.FlipFound = true
 			continue
 		}
-		minActs, minTime, err := searchMinActs(play, full.AggActs, full.Elapsed, cfg.Accuracy)
+		minActs, minTime, err := cfg.searchMinActs(module, spec, site, kind, seed, full)
 		if err != nil {
 			return Result{}, err
 		}
@@ -530,10 +537,82 @@ func measure(module chipgen.ModuleSpec, spec Spec, kind MitigationKind, cfg Conf
 }
 
 // searchMinActs finds the smallest aggressor-activation count at which
-// play produces a bitflip, knowing play(hi) does and took hiElapsed.
+// the play produces a bitflip, knowing the full-budget play (full) does.
 // Doubling bounds the bracket from below, bisection narrows it to the
-// accuracy fraction.
-func searchMinActs(play func(acts int) (Outcome, error), hi int, hiElapsed dram.TimePS, accuracy float64) (int, dram.TimePS, error) {
+// accuracy fraction — probing replay-free: one player walks forward,
+// pauses at each probe point for a pure flip check, and checkpoints at
+// the bracket's lower bound so a failed probe rolls back instead of
+// replaying the prefix. Probe outcomes are identical to the replayed
+// reference (prefix determinism), so the search returns the same bracket.
+func (c Config) searchMinActs(module chipgen.ModuleSpec, spec Spec, site sitePlan,
+	kind MitigationKind, seed uint64, full Outcome) (int, dram.TimePS, error) {
+	hi, hiElapsed := full.AggActs, full.Elapsed
+	mit, err := c.NewMitigation(kind, seed)
+	if err != nil {
+		return 0, 0, err
+	}
+	p, err := c.newPlayer(module, spec, site, mit)
+	if err != nil {
+		return 0, 0, err
+	}
+	if !p.checkpointable() {
+		return c.searchMinActsReplay(module, spec, site, kind, seed, hi, hiElapsed)
+	}
+	lo := 0
+	bestActs, bestTime := hi, hiElapsed
+	p.checkpoint()
+	// The search only branches on "did anything flip?", so probes go
+	// through the early-exit WouldFlip predicate — no row copies.
+	probeHit := func(target int) (bool, error) {
+		if err := p.playTo(target); err != nil {
+			return false, err
+		}
+		return p.wouldFlip()
+	}
+	for probe := 256; probe < hi; probe *= 2 {
+		hit, err := probeHit(probe)
+		if err != nil {
+			return 0, 0, err
+		}
+		if hit {
+			bestActs, bestTime = p.out.AggActs, p.stopAt
+			hi = p.out.AggActs
+			p.rollback()
+			break
+		}
+		lo = p.out.AggActs
+		p.advanceCheckpoint()
+	}
+	for hi-lo > 1 && float64(hi-lo) > c.Accuracy*float64(hi) {
+		mid := lo + (hi-lo)/2
+		hit, err := probeHit(mid)
+		if err != nil {
+			return 0, 0, err
+		}
+		if hit {
+			hi, bestActs, bestTime = p.out.AggActs, p.out.AggActs, p.stopAt
+			p.rollback()
+		} else {
+			lo = p.out.AggActs
+			p.advanceCheckpoint()
+		}
+	}
+	p.release()
+	return bestActs, bestTime, nil
+}
+
+// searchMinActsReplay is the reference search for mitigations without
+// checkpoint support: every probe replays the pattern from scratch
+// through playSite.
+func (c Config) searchMinActsReplay(module chipgen.ModuleSpec, spec Spec, site sitePlan,
+	kind MitigationKind, seed uint64, hi int, hiElapsed dram.TimePS) (int, dram.TimePS, error) {
+	play := func(acts int) (Outcome, error) {
+		mit, err := c.NewMitigation(kind, seed)
+		if err != nil {
+			return Outcome{}, err
+		}
+		return c.playSite(module, spec, site, mit, acts)
+	}
 	lo := 0
 	bestActs, bestTime := hi, hiElapsed
 	for probe := 256; probe < hi; probe *= 2 {
@@ -548,7 +627,7 @@ func searchMinActs(play func(acts int) (Outcome, error), hi int, hiElapsed dram.
 		}
 		lo = out.AggActs
 	}
-	for hi-lo > 1 && float64(hi-lo) > accuracy*float64(hi) {
+	for hi-lo > 1 && float64(hi-lo) > c.Accuracy*float64(hi) {
 		mid := lo + (hi-lo)/2
 		out, err := play(mid)
 		if err != nil {

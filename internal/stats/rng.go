@@ -46,6 +46,14 @@ type RNG struct {
 // NewRNG returns a generator seeded with seed.
 func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
 
+// State returns the generator's current internal state, for
+// checkpoint/restore of consumers that must replay deterministically.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState rewinds (or advances) the generator to a previously captured
+// state.
+func (r *RNG) SetState(s uint64) { r.state = s }
+
 // Uint64 returns the next raw 64-bit value.
 func (r *RNG) Uint64() uint64 { return SplitMix64(&r.state) }
 
