@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/report"
 	"repro/internal/sweep"
 )
 
@@ -37,7 +38,7 @@ func benchExperiment(b *testing.B, id string, modules []string) {
 			b.Fatalf("%s: %v", id, err)
 		}
 		if _, done := printOnce.LoadOrStore(id, true); !done {
-			fmt.Printf("\n%s\n", out)
+			fmt.Printf("\n%s\n", report.Text(out))
 		}
 	}
 }

@@ -6,9 +6,16 @@
 // benchmarks through it and uploads the result as the BENCH artifact
 // tracking the perf trajectory.
 //
+// With -baseline, the record is additionally gated against a prior
+// BENCH_*.json: the geometric mean of per-benchmark ns/op ratios
+// (new/old, over the benchmarks both records share) must stay at or
+// under -regress, or the command exits non-zero after writing the
+// record — CI's perf-regression tripwire.
+//
 // Usage:
 //
-//	go test -run=NONE -bench=. -benchmem ./... | benchjson -note "PR 4" > BENCH_4.json
+//	go test -run=NONE -bench=. -benchmem ./... | benchjson -note "PR 5" > BENCH_5.json
+//	go test -run=NONE -bench=. -benchmem ./... | benchjson -baseline BENCH_4.json > BENCH_5.json
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"strconv"
@@ -43,6 +51,8 @@ type Record struct {
 
 func main() {
 	note := flag.String("note", "", "free-form provenance note stored in the record")
+	baseline := flag.String("baseline", "", "prior benchmark record to gate against (geomean ns/op)")
+	regress := flag.Float64("regress", 1.25, "allowed geomean slowdown vs -baseline before failing")
 	flag.Parse()
 
 	rec := Record{
@@ -77,6 +87,63 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+	if *baseline != "" {
+		if err := gate(rec, *baseline, *regress); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// gate compares the new record against the baseline file: the geomean
+// of new/old ns/op over shared benchmark names must not exceed allowed.
+// Benchmark name suffixes like "-8" (GOMAXPROCS) are stripped so records
+// from machines with different core counts still compare.
+func gate(rec Record, baselinePath string, allowed float64) error {
+	b, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base Record
+	if err := json.Unmarshal(b, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	old := make(map[string]float64, len(base.Results))
+	for _, r := range base.Results {
+		old[trimProcs(r.Name)] = r.NsPerOp
+	}
+	var logSum float64
+	var n int
+	for _, r := range rec.Results {
+		prev, ok := old[trimProcs(r.Name)]
+		if !ok || prev <= 0 || r.NsPerOp <= 0 {
+			continue
+		}
+		ratio := r.NsPerOp / prev
+		fmt.Fprintf(os.Stderr, "benchjson: %-40s %12.0f -> %12.0f ns/op (%.2fx)\n",
+			trimProcs(r.Name), prev, r.NsPerOp, ratio)
+		logSum += math.Log(ratio)
+		n++
+	}
+	if n == 0 {
+		return fmt.Errorf("gate: no benchmarks shared with baseline %s", baselinePath)
+	}
+	gm := math.Exp(logSum / float64(n))
+	fmt.Fprintf(os.Stderr, "benchjson: geomean over %d shared benchmarks: %.3fx (allowed %.2fx)\n", n, gm, allowed)
+	if gm > allowed {
+		return fmt.Errorf("gate: geomean regression %.3fx exceeds %.2fx vs %s", gm, allowed, baselinePath)
+	}
+	return nil
+}
+
+// trimProcs drops the trailing "-N" GOMAXPROCS suffix go test appends.
+func trimProcs(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
 }
 
 // parseLine parses "BenchmarkX-8  10  123 ns/op  45 B/op  6 allocs/op".

@@ -9,15 +9,22 @@
 // -serve keeps the process alive after the requested runs and exposes
 // the warmed engine over HTTP (same API as rowpressd).
 //
+// Runs produce typed result documents (internal/report): -format picks
+// the rendering (text, the canonical JSON document, or CSV), -cache-dir
+// layers a persistent shard cache under the in-memory one so a later
+// invocation (or daemon) warm-starts from disk, and -stats prints a
+// cache-tier summary line after the run.
+//
 // Usage:
 //
 //	rowpress list
 //	rowpress scenarios [-format text|csv]
 //	rowpress run <id> [-scale 0.5] [-modules S0,S3] [-seed 7] [-workers 8]
+//	                  [-format text|json|csv] [-cache-dir DIR] [-stats]
 //	rowpress sweep <id> [-scales 0.05,0.1] [-seeds 1,2] [-modulesets "S0,S3;H0,H4"]
 //	                    [-format text|json|csv] [-workers 8]
 //	rowpress all [-scale 0.1] [-workers 8] [-serve :8271]
-//	rowpress serve [-addr :8271] [-workers 8]
+//	rowpress serve [-addr :8271] [-workers 8] [-cache-dir DIR]
 package main
 
 import (
@@ -33,6 +40,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/report"
 	"repro/internal/scenario"
 	"repro/internal/serve"
 	"repro/internal/sweep"
@@ -51,11 +59,13 @@ func main() {
 	scales := fs.String("scales", "", "comma-separated scale list (sweep command)")
 	seeds := fs.String("seeds", "", "comma-separated seed list (sweep command)")
 	moduleSets := fs.String("modulesets", "", `semicolon-separated module sets, e.g. "S0,S3;H0,H4" (sweep command)`)
-	format := fs.String("format", "text", "sweep output rendering: text|json|csv")
+	format := fs.String("format", "text", "output rendering: text|json|csv (run/sweep; scenarios supports text|csv)")
 	workers := fs.Int("workers", 0, "concurrent shards per experiment (0 = GOMAXPROCS)")
 	serveAddr := fs.String("serve", "", "after running, serve the warmed engine over HTTP on this address")
 	addr := fs.String("addr", ":8271", "listen address (serve command)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file (run/sweep/all)")
+	cacheDir := fs.String("cache-dir", "", "persistent shard-cache directory (warm-starts across invocations and daemons)")
+	stats := fs.Bool("stats", false, "print a cache-tier summary line after the run (run/sweep/all)")
 
 	opts := func() core.Options {
 		o := core.DefaultOptions()
@@ -66,7 +76,32 @@ func main() {
 		}
 		return o
 	}
-	eng := func() *engine.Engine { return engine.New(*workers, 0) }
+	eng := func() *engine.Engine {
+		e := engine.New(*workers, 0)
+		if *cacheDir != "" {
+			dc, err := engine.OpenDiskCache(*cacheDir, 0)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rowpress: -cache-dir: %v\n", err)
+				os.Exit(1)
+			}
+			e.AttachDiskCache(dc)
+		}
+		return e
+	}
+	// finish flushes the disk-cache index and prints the -stats summary;
+	// every run-executing command calls it before exiting or serving.
+	finish := func(e *engine.Engine) {
+		if d := e.Disk(); d != nil {
+			if err := d.Flush(); err != nil {
+				fmt.Fprintf(os.Stderr, "rowpress: cache flush: %v\n", err)
+			}
+		}
+		if *stats {
+			// Diagnostics go to stderr so -format json/csv stdout stays
+			// machine-parseable.
+			fmt.Fprint(os.Stderr, statsLine(e))
+		}
+	}
 
 	switch cmd {
 	case "list":
@@ -77,7 +112,7 @@ func main() {
 		if err := fs.Parse(os.Args[2:]); err != nil {
 			os.Exit(2)
 		}
-		rejectFlags(fs, "scenarios", "scale", "seed", "modules", "scales", "seeds", "modulesets", "cpuprofile")
+		rejectFlags(fs, "scenarios", "scale", "seed", "modules", "scales", "seeds", "modulesets", "cpuprofile", "cache-dir", "stats")
 		switch *format {
 		case "text":
 			fmt.Print(scenario.MatrixText())
@@ -97,11 +132,18 @@ func main() {
 		if err := fs.Parse(rest[1:]); err != nil {
 			os.Exit(2)
 		}
-		rejectFlags(fs, "run", "scales", "seeds", "modulesets", "format")
+		rejectFlags(fs, "run", "scales", "seeds", "modulesets")
+		switch *format {
+		case "text", "json", "csv":
+		default:
+			fmt.Fprintf(os.Stderr, "rowpress: bad -format %q: want text|json|csv\n", *format)
+			os.Exit(2)
+		}
 		e := eng()
 		stop := startProfile(*cpuprofile)
-		runOne(e, id, opts())
+		runOne(e, id, opts(), *format)
 		stop()
+		finish(e)
 		maybeServe(e, *serveAddr)
 	case "sweep":
 		rest := os.Args[2:]
@@ -129,6 +171,7 @@ func main() {
 		stop := startProfile(*cpuprofile)
 		runSweep(e, spec, *format)
 		stop()
+		finish(e)
 		maybeServe(e, *serveAddr)
 	case "all":
 		if err := fs.Parse(os.Args[2:]); err != nil {
@@ -138,15 +181,18 @@ func main() {
 		e := eng()
 		stop := startProfile(*cpuprofile)
 		for _, exp := range core.List() {
-			runOne(e, exp.ID, opts())
+			runOne(e, exp.ID, opts(), "text")
 		}
 		stop()
+		finish(e)
 		maybeServe(e, *serveAddr)
 	case "serve":
 		if err := fs.Parse(os.Args[2:]); err != nil {
 			os.Exit(2)
 		}
-		rejectFlags(fs, "serve", "cpuprofile") // the profile would never stop
+		// cpuprofile would never stop; stats and format only apply to
+		// commands that run experiments and print their output.
+		rejectFlags(fs, "serve", "cpuprofile", "stats", "format")
 		target := *serveAddr
 		if target == "" {
 			target = *addr
@@ -182,14 +228,41 @@ func startProfile(path string) func() {
 	}
 }
 
-func runOne(eng *engine.Engine, id string, o core.Options) {
+func runOne(eng *engine.Engine, id string, o core.Options, format string) {
 	start := time.Now()
-	out, err := core.RunWith(eng, id, o)
+	doc, err := core.RunWith(eng, id, o)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rowpress: %s: %v\n", id, err)
 		os.Exit(1)
 	}
-	fmt.Printf("# %s (%.1fs)\n%s\n", id, time.Since(start).Seconds(), out)
+	switch format {
+	case "json":
+		b, err := report.JSON(doc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rowpress: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(b)
+	case "csv":
+		fmt.Print(report.CSV(doc))
+	default:
+		fmt.Printf("# %s (%.1fs)\n%s\n", id, time.Since(start).Seconds(), report.Text(doc))
+	}
+}
+
+// statsLine summarizes both cache tiers after the measured runs — the
+// operator-facing view of the /v1/metrics counters.
+func statsLine(eng *engine.Engine) string {
+	m := eng.Metrics()
+	line := fmt.Sprintf("# stats: runs=%d shards=%d executed=%d cache_hits=%d | mem entries=%d hits=%d misses=%d evictions=%d",
+		m.Runs, m.ShardsPlanned, m.ShardsExecuted, m.CacheHits,
+		m.Mem.Entries, m.Mem.Hits, m.Mem.Misses, m.Mem.Evictions)
+	if eng.Disk() != nil {
+		line += fmt.Sprintf(" | disk entries=%d bytes=%d hits=%d misses=%d evictions=%d writes=%d write_errors=%d",
+			m.Disk.Entries, m.Disk.Bytes, m.Disk.Hits, m.Disk.Misses, m.Disk.Evictions,
+			m.Disk.Writes, m.Disk.WriteErrors)
+	}
+	return line + "\n"
 }
 
 // rejectFlags exits when any of the named flags was set explicitly: the
@@ -295,5 +368,6 @@ commands:
   serve [flags]        serve the experiment engine over HTTP (see rowpressd)
 
 flags: -scale F  -modules S0,S3,...  -seed N  -workers N  -serve ADDR  -addr ADDR  -cpuprofile FILE
-sweep flags: -scales F,F,...  -seeds N,N,...  -modulesets "S0,S3;H0,H4"  -format text|json|csv`)
+       -format text|json|csv  -cache-dir DIR (persistent warm-start cache)  -stats (cache-tier summary)
+sweep flags: -scales F,F,...  -seeds N,N,...  -modulesets "S0,S3;H0,H4"`)
 }

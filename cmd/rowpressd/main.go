@@ -2,25 +2,40 @@
 // exposes every registered experiment regenerator over HTTP, executing
 // runs on a sharded worker-pool engine and memoizing completed shards in
 // a content-addressed cache so repeated and overlapping requests are
-// served from memory.
+// served from memory. With -cache-dir, completed shards are also
+// persisted to a size-bounded on-disk store, so a restarted daemon
+// answers previously computed runs without re-executing anything.
+//
+// The daemon shuts down gracefully: SIGINT/SIGTERM stop the listener,
+// in-flight requests drain through http.Server.Shutdown (bounded by
+// -drain-timeout), and the disk-cache index is flushed before exit.
 //
 // Usage:
 //
 //	rowpressd [-addr :8271] [-workers N] [-cache ENTRIES] [-warm 0.05]
+//	          [-cache-dir DIR] [-cache-disk-bytes N] [-drain-timeout 10s]
 //
 // Endpoints: /healthz, /v1/experiments, /v1/scenarios, /v1/run/{exp},
 // /v1/sweep, /v1/results, /v1/metrics. Examples:
 //
 //	curl 'localhost:8271/v1/run/fig6?scale=0.1&modules=S0,S3&format=text'
+//	curl 'localhost:8271/v1/run/fig6?scale=0.1&format=ndjson'   # stream shard events
+//	curl 'localhost:8271/v1/scenarios?format=csv'
 //	curl -X POST 'localhost:8271/v1/sweep?format=csv' \
 //	  -d '{"experiment":"fig6","scales":[0.05,0.1],"module_sets":[["S0","S3"],["H0","H4"]]}'
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -30,11 +45,24 @@ import (
 func main() {
 	addr := flag.String("addr", ":8271", "listen address")
 	workers := flag.Int("workers", 0, "concurrent shards (0 = GOMAXPROCS)")
-	cacheEntries := flag.Int("cache", engine.DefaultCacheEntries, "max cached shard results")
+	cacheEntries := flag.Int("cache", engine.DefaultCacheEntries, "max cached shard results (in-memory tier)")
+	cacheDir := flag.String("cache-dir", "", "persistent shard-cache directory (warm-start across restarts)")
+	cacheDiskBytes := flag.Int64("cache-disk-bytes", engine.DefaultDiskCacheBytes, "disk-cache size bound in bytes")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown bound for in-flight requests")
 	warm := flag.Float64("warm", 0, "if > 0, pre-warm the cache by running every experiment at this scale before serving")
 	flag.Parse()
 
 	eng := engine.New(*workers, *cacheEntries)
+	if *cacheDir != "" {
+		dc, err := engine.OpenDiskCache(*cacheDir, *cacheDiskBytes)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rowpressd: -cache-dir: %v\n", err)
+			os.Exit(1)
+		}
+		eng.AttachDiskCache(dc)
+		st := dc.Stats()
+		log.Printf("disk cache %s: %d entries, %d bytes (bound %d)", dc.Dir(), st.Entries, st.Bytes, st.MaxBytes)
+	}
 	if *warm > 0 {
 		o := core.DefaultOptions()
 		o.Scale = *warm
@@ -49,7 +77,32 @@ func main() {
 	}
 
 	s := serve.New(eng)
+	srv := &http.Server{Addr: *addr, Handler: s, ReadHeaderTimeout: 10 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("rowpressd serving %d experiments on %s (%d workers, %d-entry cache)",
 		len(core.List()), *addr, eng.Workers(), *cacheEntries)
-	log.Fatal(s.ListenAndServe(*addr))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // restore default signal behavior: a second signal kills immediately
+
+	log.Printf("shutting down: draining in-flight requests (up to %s)", *drainTimeout)
+	sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("shutdown: %v", err)
+	}
+	if dc := eng.Disk(); dc != nil {
+		if err := dc.Flush(); err != nil {
+			log.Printf("disk-cache flush: %v", err)
+		} else {
+			log.Printf("disk-cache index flushed (%d entries)", dc.Stats().Entries)
+		}
+	}
 }

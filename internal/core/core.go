@@ -1,21 +1,26 @@
 // Package core is the public façade of the RowPress reproduction: a
 // registry of experiment regenerators, one per table and figure of the
-// paper, each returning a rendered textual report. The CLI
+// paper, each producing a typed result document (report.Doc). The CLI
 // (cmd/rowpress), the serving daemon (cmd/rowpressd), the examples, and
-// the benchmark harness all go through this package.
+// the benchmark harness all go through this package and render the
+// document through internal/report (Text, JSON, CSV).
 //
 // Experiments no longer register opaque closures: each registers a
 // planner that decomposes its run into deterministic engine shards
 // (per-module or per-configuration slices of the characterize/simperf
-// sweeps) plus a merge that reassembles the exact serial report. Plans
-// execute on an engine.Engine — concurrently when the engine has more
-// than one worker, and served from its content-addressed cache when the
-// same (experiment, Options, shard) has completed before.
+// sweeps) plus a merge that assembles the shards into the result
+// document — report.Text of which is byte-identical to the historical
+// serial report. Plans execute on an engine.Engine — concurrently when
+// the engine has more than one worker, and served from its
+// content-addressed cache tiers when the same (experiment, Options,
+// shard) has completed before, in this process or (with a disk cache
+// attached) a previous one.
 //
 // Usage:
 //
-//	out, err := core.Run("fig6", core.Options{Scale: 0.5})      // default engine
-//	out, err = core.RunWith(engine.New(8, 0), "fig6", opts)     // explicit engine
+//	doc, err := core.Run("fig6", core.Options{Scale: 0.5})      // default engine
+//	doc, err = core.RunWith(engine.New(8, 0), "fig6", opts)     // explicit engine
+//	fmt.Print(report.Text(doc))
 package core
 
 import (
@@ -28,6 +33,7 @@ import (
 	"repro/internal/chipgen"
 	"repro/internal/dram"
 	"repro/internal/engine"
+	"repro/internal/report"
 )
 
 // Options scales and seeds an experiment run. The zero value is not
@@ -135,7 +141,7 @@ type Experiment struct {
 }
 
 // Run executes the experiment on the default engine.
-func (e Experiment) Run(o Options) (string, error) { return RunWith(defaultEngine, e.ID, o) }
+func (e Experiment) Run(o Options) (*report.Doc, error) { return RunWith(defaultEngine, e.ID, o) }
 
 // ErrUnknownExperiment reports an id not present in the registry;
 // callers (the HTTP layer) match it with errors.Is.
@@ -155,13 +161,22 @@ func registerPlan(id, title string, plan planner) {
 // register registers a monolithic experiment as a single-shard plan, for
 // regenerators whose work does not decompose (demo-system grids, catalog
 // walks). The run closure receives the full Options, so the module list
-// is folded into the shard key.
-func register(id, title string, run func(Options) (string, error)) {
+// is folded into the shard key. The cached payload is the document
+// itself; the merge hands out a shallow copy so PlanFor's metadata
+// stamping never mutates a value other runs share through the cache.
+func register(id, title string, run func(Options) (*report.Doc, error)) {
 	registerPlan(id, title, func(o Options) (engine.Plan, error) {
 		key := "all;modules=" + strings.Join(o.Modules, ",")
 		return engine.Plan{
 			Shards: []engine.Shard{{Key: key, Run: func() (any, error) { return run(o) }}},
-			Merge:  func(parts []any) (string, error) { return parts[0].(string), nil },
+			Merge: func(parts []any) (*report.Doc, error) {
+				d, ok := parts[0].(*report.Doc)
+				if !ok {
+					return nil, fmt.Errorf("core: shard %q payload is %T, want *report.Doc", key, parts[0])
+				}
+				cp := *d
+				return &cp, nil
+			},
 		}, nil
 	})
 }
@@ -204,7 +219,34 @@ func PlanFor(id string, o Options) (engine.Plan, error) {
 	}
 	p.Experiment = id
 	p.Fingerprint = o.fingerprint()
+	// Stamp the document's identity and run parameters after the merge:
+	// merges only build sections, so every experiment's metadata is
+	// uniform and the text rendering (sections only) stays byte-stable.
+	inner := p.Merge
+	p.Merge = func(parts []any) (*report.Doc, error) {
+		d, err := inner(parts)
+		if err != nil {
+			return nil, err
+		}
+		d.Experiment = id
+		d.Title = e.Title
+		d.Params = o.params()
+		return d, nil
+	}
 	return p, nil
+}
+
+// params renders the normalized run options as document metadata.
+func (o Options) params() []report.Param {
+	mods := "representative"
+	if len(o.Modules) > 0 {
+		mods = strings.Join(o.Modules, ",")
+	}
+	return []report.Param{
+		{Key: "scale", Value: fmt.Sprintf("%g", o.Scale)},
+		{Key: "seed", Value: fmt.Sprintf("%d", o.Seed)},
+		{Key: "modules", Value: mods},
+	}
 }
 
 // defaultEngine backs Run: process-wide, so repeated runs within one
@@ -215,17 +257,18 @@ var defaultEngine = engine.New(0, 0)
 func DefaultEngine() *engine.Engine { return defaultEngine }
 
 // Run executes the experiment with the given id on the default engine.
-func Run(id string, o Options) (string, error) {
+func Run(id string, o Options) (*report.Doc, error) {
 	return RunWith(defaultEngine, id, o)
 }
 
-// RunWith executes the experiment on the given engine. Output is
-// byte-identical across worker counts: shards are deterministic and the
-// merge consumes them in plan order.
-func RunWith(eng *engine.Engine, id string, o Options) (string, error) {
+// RunWith executes the experiment on the given engine. The resulting
+// document — and therefore report.Text of it — is byte-identical across
+// worker counts: shards are deterministic and the merge consumes them
+// in plan order.
+func RunWith(eng *engine.Engine, id string, o Options) (*report.Doc, error) {
 	p, err := PlanFor(id, o)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	out, _, err := eng.Execute(p)
 	return out, err

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/engine"
+	"repro/internal/report"
 	"repro/internal/scenario"
 )
 
@@ -22,14 +23,15 @@ func TestEngineDeterminismAndCache(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			got1, stats1, err := serial.Execute(p)
+			doc1, stats1, err := serial.Execute(p)
 			if err != nil {
 				t.Fatalf("workers=1: %v", err)
 			}
-			got8, stats8, err := wide.Execute(p)
+			doc8, stats8, err := wide.Execute(p)
 			if err != nil {
 				t.Fatalf("workers=8: %v", err)
 			}
+			got1, got8 := report.Text(doc1), report.Text(doc8)
 			if got1 != got8 {
 				t.Fatalf("workers=1 and workers=8 reports differ:\n--- w1 ---\n%s\n--- w8 ---\n%s", got1, got8)
 			}
@@ -43,7 +45,7 @@ func TestEngineDeterminismAndCache(t *testing.T) {
 			if warmStats.Executed != 0 || warmStats.CacheHits != warmStats.Shards {
 				t.Fatalf("warm run re-executed shards: %+v", warmStats)
 			}
-			if warm != got8 {
+			if report.Text(warm) != got8 {
 				t.Fatal("cached report differs from computed report")
 			}
 		})
@@ -110,7 +112,7 @@ func TestRunMatchesRunWithSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a != b {
+	if report.Text(a) != report.Text(b) {
 		t.Fatal("default engine and serial engine reports differ")
 	}
 }

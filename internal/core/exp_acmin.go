@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"strings"
 
 	"repro/internal/characterize"
 	"repro/internal/chipgen"
@@ -61,10 +60,10 @@ func registerSweep(id, title string, sided characterize.Sidedness, tempC float64
 		}
 		return append(row, report.Num(stats.FitLogLog(xs, ys).Slope)), nil
 	}
-	merge := func(o Options, specs []chipgen.ModuleSpec, parts [][]string) (string, error) {
+	merge := func(o Options, specs []chipgen.ModuleSpec, parts [][]string) (*report.Doc, error) {
 		headers := append(taggonHeaders(sweepTAggONs(o)), "slope(log-log,≥7.8us)")
 		title2 := fmt.Sprintf("Mean ACmin per module (%s, %g°C)", sided, tempC)
-		return report.Section(title2, report.Table(headers, parts)), nil
+		return report.NewDoc(report.TableSection(title2, headers, parts)), nil
 	}
 	registerPerModule(id, title, work, merge)
 }
@@ -86,9 +85,9 @@ func workFig7(o Options, spec chipgen.ModuleSpec) ([]string, error) {
 	return row, nil
 }
 
-func mergeFig7(o Options, specs []chipgen.ModuleSpec, parts [][]string) (string, error) {
-	return report.Section("ACmin in the linear region (Fig. 7): note the decreasing reduction rate",
-		report.Table(taggonHeaders(fig7Taggons), parts)), nil
+func mergeFig7(o Options, specs []chipgen.ModuleSpec, parts [][]string) (*report.Doc, error) {
+	return report.NewDoc(report.TableSection("ACmin in the linear region (Fig. 7): note the decreasing reduction rate",
+		taggonHeaders(fig7Taggons), parts)), nil
 }
 
 func registerFraction(id, title string, tempC float64) {
@@ -105,9 +104,9 @@ func registerFraction(id, title string, tempC float64) {
 		}
 		return row, nil
 	}
-	merge := func(o Options, specs []chipgen.ModuleSpec, parts [][]string) (string, error) {
+	merge := func(o Options, specs []chipgen.ModuleSpec, parts [][]string) (*report.Doc, error) {
 		title2 := fmt.Sprintf("Fraction of tested rows with ≥1 bitflip (%g°C)", tempC)
-		return report.Section(title2, report.Table(taggonHeaders(sweepTAggONs(o)), parts)), nil
+		return report.NewDoc(report.TableSection(title2, taggonHeaders(sweepTAggONs(o)), parts)), nil
 	}
 	registerPerModule(id, title, work, merge)
 }
@@ -126,9 +125,9 @@ func workFig12(o Options, spec chipgen.ModuleSpec) ([]string, error) {
 	return row, nil
 }
 
-func mergeFig12(o Options, specs []chipgen.ModuleSpec, parts [][]string) (string, error) {
-	return report.Section("Fraction of 1→0 bitflips (Fig. 12): RowHammer ≈0%, RowPress ≈100% on true-cell dies",
-		report.Table(taggonHeaders(sweepTAggONs(o)), parts)), nil
+func mergeFig12(o Options, specs []chipgen.ModuleSpec, parts [][]string) (*report.Doc, error) {
+	return report.NewDoc(report.TableSection("Fraction of 1→0 bitflips (Fig. 12): RowHammer ≈0%, RowPress ≈100% on true-cell dies",
+		taggonHeaders(sweepTAggONs(o)), parts)), nil
 }
 
 func workFig13(o Options, spec chipgen.ModuleSpec) ([]string, error) {
@@ -154,9 +153,9 @@ func workFig13(o Options, spec chipgen.ModuleSpec) ([]string, error) {
 	return row, nil
 }
 
-func mergeFig13(o Options, specs []chipgen.ModuleSpec, parts [][]string) (string, error) {
-	return report.Section("ACmin at 80°C normalized to 50°C (Fig. 13): < 1 everywhere RowPress acts",
-		report.Table(taggonHeaders(sweepTAggONs(o)), parts)), nil
+func mergeFig13(o Options, specs []chipgen.ModuleSpec, parts [][]string) (*report.Doc, error) {
+	return report.NewDoc(report.TableSection("ACmin at 80°C normalized to 50°C (Fig. 13): < 1 everywhere RowPress acts",
+		taggonHeaders(sweepTAggONs(o)), parts)), nil
 }
 
 // fig9ACs is the activation-count lattice at this scale.
@@ -185,14 +184,14 @@ func workFig9(o Options, spec chipgen.ModuleSpec) ([]string, error) {
 	return append(row, report.Num(stats.FitLogLog(xs, ys).Slope)), nil
 }
 
-func mergeFig9(o Options, specs []chipgen.ModuleSpec, parts [][]string) (string, error) {
+func mergeFig9(o Options, specs []chipgen.ModuleSpec, parts [][]string) (*report.Doc, error) {
 	headers := []string{"module", "die"}
 	for _, ac := range fig9ACs(o) {
 		headers = append(headers, fmt.Sprintf("AC=%d", ac))
 	}
 	headers = append(headers, "slope")
-	return report.Section("Mean tAggONmin vs activation count (Fig. 9), 50°C; paper slope ≈ −1.000",
-		report.Table(headers, parts)), nil
+	return report.NewDoc(report.TableSection("Mean tAggONmin vs activation count (Fig. 9), 50°C; paper slope ≈ −1.000",
+		headers, parts)), nil
 }
 
 // fig15Temps is the Fig. 15 temperature lattice.
@@ -221,13 +220,13 @@ func workFig15(o Options, spec chipgen.ModuleSpec) ([]string, error) {
 	return row, nil
 }
 
-func mergeFig15(o Options, specs []chipgen.ModuleSpec, parts [][]string) (string, error) {
+func mergeFig15(o Options, specs []chipgen.ModuleSpec, parts [][]string) (*report.Doc, error) {
 	headers := []string{"module", "die"}
 	for _, t := range fig15Temps() {
 		headers = append(headers, fmt.Sprintf("%g°C", t))
 	}
-	return report.Section("Mean tAggONmin @AC=1 vs temperature (Fig. 15)",
-		report.Table(headers, parts)), nil
+	return report.NewDoc(report.TableSection("Mean tAggONmin @AC=1 vs temperature (Fig. 15)",
+		headers, parts)), nil
 }
 
 // registerSingleMinusDouble shards Fig. 18 / Appendix F per module: each
@@ -263,19 +262,19 @@ func registerSingleMinusDouble(id, title string, temps []float64) {
 		}
 		return perTemp, nil
 	}
-	merge := func(o Options, specs []chipgen.ModuleSpec, parts [][][]string) (string, error) {
+	merge := func(o Options, specs []chipgen.ModuleSpec, parts [][][]string) (*report.Doc, error) {
 		headers := taggonHeaders(sweepTAggONs(o))
-		var sections []string
+		doc := report.NewDoc()
 		for ti, tempC := range temps {
 			var rows [][]string
 			for si := range specs {
 				rows = append(rows, parts[si][ti])
 			}
-			sections = append(sections, report.Section(
+			doc.Add(report.TableSection(
 				fmt.Sprintf("Single-sided minus double-sided mean ACmin at %g°C (negative: single better)", tempC),
-				report.Table(headers, rows)))
+				headers, rows))
 		}
-		return strings.Join(sections, "\n"), nil
+		return doc, nil
 	}
 	registerPerModule(id, title, work, merge)
 }
@@ -303,8 +302,8 @@ func workFig1(o Options, spec chipgen.ModuleSpec) ([][]characterize.SweepPoint, 
 
 // mergeFig1 pools the per-module sweeps per manufacturer and renders the
 // ACmin distribution boxes.
-func mergeFig1(o Options, specs []chipgen.ModuleSpec, parts [][][]characterize.SweepPoint) (string, error) {
-	var sections []string
+func mergeFig1(o Options, specs []chipgen.ModuleSpec, parts [][][]characterize.SweepPoint) (*report.Doc, error) {
+	doc := report.NewDoc()
 	for si, sided := range fig1Sides {
 		var rows [][]string
 		perMfr := map[chipgen.Manufacturer]map[dram.TimePS][]float64{}
@@ -325,9 +324,9 @@ func mergeFig1(o Options, specs []chipgen.ModuleSpec, parts [][][]characterize.S
 				})
 			}
 		}
-		sections = append(sections, report.Section(
+		doc.Add(report.TableSection(
 			fmt.Sprintf("ACmin distributions at 80°C, %s (Fig. 1)", sided),
-			report.Table([]string{"mfr", "tAggON", "ACmin distribution"}, rows)))
+			[]string{"mfr", "tAggON", "ACmin distribution"}, rows))
 	}
-	return strings.Join(sections, "\n"), nil
+	return doc, nil
 }

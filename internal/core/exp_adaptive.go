@@ -18,13 +18,13 @@ func init() {
 // the same NUM_READS, flips more bits when the MC speculatively holds the
 // row open after the last read — and the attacker saves the cache-flush
 // work that extra reads would have cost.
-func runSec63(o Options) (string, error) {
+func runSec63(o Options) (*report.Doc, error) {
 	headers := []string{"MC policy", "NUM_READS", "effective tAggON", "bitflips", "rows w/ flips"}
 	var rows [][]string
 	for _, hold := range []int{0, 250, 500} {
 		sys, err := demoSystem(o)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		cfg := attackConfig(o)
 		cfg.NumAggrActs = 4
@@ -32,7 +32,7 @@ func runSec63(o Options) (string, error) {
 		cfg.AdaptiveHoldNs = hold
 		r, err := attack.Run(sys, cfg)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		policy := "open-row (no speculation)"
 		if hold > 0 {
@@ -43,6 +43,6 @@ func runSec63(o Options) (string, error) {
 			fmt.Sprint(r.Bitflips), fmt.Sprint(r.RowsWithFlips),
 		})
 	}
-	return report.Section("Adaptive row policies hand the attacker tAggON (§6.3)",
-		report.Table(headers, rows)), nil
+	return report.NewDoc(report.TableSection("Adaptive row policies hand the attacker tAggON (§6.3)",
+		headers, rows)), nil
 }

@@ -21,11 +21,11 @@ func init() {
 	registerKeyed("fig22", "BER of the RowPress-ONOFF pattern (representative die)",
 		staticKeys("single/50", "single/80", "double/50", "double/80"), workFig22, joinSections)
 	registerPerModule("appC", "ONOFF BER for all die revisions",
-		func(o Options, spec chipgen.ModuleSpec) (string, error) {
+		func(o Options, spec chipgen.ModuleSpec) (report.DocSection, error) {
 			return onoffReport(spec, o, characterize.SingleSided, 50)
 		},
-		func(o Options, specs []chipgen.ModuleSpec, parts []string) (string, error) {
-			return strings.Join(parts, "\n"), nil
+		func(o Options, specs []chipgen.ModuleSpec, parts []report.DocSection) (*report.Doc, error) {
+			return report.NewDoc(parts...), nil
 		})
 	registerPerModule("appE", "Repeatability of bitflips across 5 trials", workAppE, mergeAppE)
 	registerECC("fig25", "64-bit words by bitflip count @tAggON=7.8µs + ECC outcomes", 7800*dram.Nanosecond)
@@ -35,10 +35,10 @@ func init() {
 	registerPerModule("table6", "Per-module maximum bit error rate (Table 6)", workTable6, mergeTable6)
 }
 
-// joinSections is the merge for experiments whose shards each render a
-// complete report section.
-func joinSections(o Options, parts []string) (string, error) {
-	return strings.Join(parts, "\n"), nil
+// joinSections is the merge for experiments whose shards each produce a
+// complete, typed report section.
+func joinSections(o Options, parts []report.DocSection) (*report.Doc, error) {
+	return report.NewDoc(parts...), nil
 }
 
 // flattenRows is the merge body for experiments whose shards produce row
@@ -66,14 +66,14 @@ func registerOverlap(id, title string, atMax bool) {
 		}
 		return rows, nil
 	}
-	merge := func(o Options, specs []chipgen.ModuleSpec, parts [][][]string) (string, error) {
+	merge := func(o Options, specs []chipgen.ModuleSpec, parts [][][]string) (*report.Doc, error) {
 		headers := []string{"module", "tAggON", "cells", "overlap w/ RowHammer", "overlap w/ retention"}
 		mode := "@ACmin"
 		if atMax {
 			mode = "@ACmax"
 		}
-		return report.Section("RowPress-vulnerable cell overlap "+mode+" (Obsv. 7: ≈0 beyond tRAS)",
-			report.Table(headers, flattenRows(parts))), nil
+		return report.NewDoc(report.TableSection("RowPress-vulnerable cell overlap "+mode+" (Obsv. 7: ≈0 beyond tRAS)",
+			headers, flattenRows(parts))), nil
 	}
 	registerPerModule(id, title, work, merge)
 }
@@ -121,13 +121,13 @@ func workFig11(o Options, spec chipgen.ModuleSpec) ([][]string, error) {
 	return rows, nil
 }
 
-func mergeFig11(o Options, specs []chipgen.ModuleSpec, parts [][][]string) (string, error) {
+func mergeFig11(o Options, specs []chipgen.ModuleSpec, parts [][][]string) (*report.Doc, error) {
 	headers := []string{"module", "tAggON", "cells", "overlap w/ RowHammer@ACmax", "overlap w/ retention"}
-	return report.Section("RowPress-vulnerable cell overlap @ACmax (Fig. 11)",
-		report.Table(headers, flattenRows(parts))), nil
+	return report.NewDoc(report.TableSection("RowPress-vulnerable cell overlap @ACmax (Fig. 11)",
+		headers, flattenRows(parts))), nil
 }
 
-func dataPatternReport(spec chipgen.ModuleSpec, o Options, sided characterize.Sidedness, tempC float64) (string, error) {
+func dataPatternReport(spec chipgen.ModuleSpec, o Options, sided characterize.Sidedness, tempC float64) (report.DocSection, error) {
 	cfg := o.charConfig()
 	cfg.Sided = sided
 	taggons := characterize.DataPatternTAggONs
@@ -136,7 +136,7 @@ func dataPatternReport(spec chipgen.ModuleSpec, o Options, sided characterize.Si
 	}
 	cells, err := characterize.DataPatternStudy(spec, cfg, tempC, taggons)
 	if err != nil {
-		return "", err
+		return report.DocSection{}, err
 	}
 	byPattern := map[string][]string{}
 	for _, c := range cells {
@@ -155,13 +155,13 @@ func dataPatternReport(spec chipgen.ModuleSpec, o Options, sided characterize.Si
 		rows = append(rows, append([]string{p.String()}, byPattern[p.String()]...))
 	}
 	title := fmt.Sprintf("ACmin normalized to CheckerBoard: %s %s, %s, %g°C", spec.ID, spec.Die.Name(), sided, tempC)
-	return report.Section(title, report.Table(headers, rows)), nil
+	return report.TableSection(title, headers, rows), nil
 }
 
 // workFig19 renders one (representative die, temperature) data-pattern
 // panel per shard. The paper's three representative dies: S 8Gb B,
 // H 16Gb A, M 16Gb F.
-func workFig19(o Options, i int, key string) (string, error) {
+func workFig19(o Options, i int, key string) (report.DocSection, error) {
 	id, tempStr, _ := strings.Cut(key, "/")
 	spec, _ := chipgen.ByID(id)
 	tempC := 50.0
@@ -171,7 +171,7 @@ func workFig19(o Options, i int, key string) (string, error) {
 	return dataPatternReport(spec, o, characterize.SingleSided, tempC)
 }
 
-func workFig20(o Options, i int, key string) (string, error) {
+func workFig20(o Options, i int, key string) (report.DocSection, error) {
 	spec, _ := chipgen.ByID("S0")
 	tempC := 50.0
 	if key == "80" {
@@ -180,12 +180,12 @@ func workFig20(o Options, i int, key string) (string, error) {
 	return dataPatternReport(spec, o, characterize.DoubleSided, tempC)
 }
 
-func onoffReport(spec chipgen.ModuleSpec, o Options, sided characterize.Sidedness, tempC float64) (string, error) {
+func onoffReport(spec chipgen.ModuleSpec, o Options, sided characterize.Sidedness, tempC float64) (report.DocSection, error) {
 	cfg := o.charConfig()
 	cfg.Sided = sided
 	pts, err := characterize.ONOFFSweep(spec, cfg, tempC)
 	if err != nil {
-		return "", err
+		return report.DocSection{}, err
 	}
 	headers := []string{"ΔtA2A"}
 	for _, f := range characterize.OnFracs {
@@ -200,10 +200,10 @@ func onoffReport(spec chipgen.ModuleSpec, o Options, sided characterize.Sidednes
 		rows = append(rows, append([]string{dram.FormatTime(d)}, byDelta[d]...))
 	}
 	title := fmt.Sprintf("Max BER, RowPress-ONOFF: %s %s, %s, %g°C", spec.ID, spec.Die.Name(), sided, tempC)
-	return report.Section(title, report.Table(headers, rows)), nil
+	return report.TableSection(title, headers, rows), nil
 }
 
-func workFig22(o Options, i int, key string) (string, error) {
+func workFig22(o Options, i int, key string) (report.DocSection, error) {
 	spec, _ := chipgen.ByID("S3") // representative 8Gb D-die
 	sidedStr, tempStr, _ := strings.Cut(key, "/")
 	sided := characterize.SingleSided
@@ -236,10 +236,10 @@ func workAppE(o Options, spec chipgen.ModuleSpec) ([][]string, error) {
 	return rows, nil
 }
 
-func mergeAppE(o Options, specs []chipgen.ModuleSpec, parts [][][]string) (string, error) {
+func mergeAppE(o Options, specs []chipgen.ModuleSpec, parts [][][]string) (*report.Doc, error) {
 	headers := []string{"module", "tAggON", "1x", "2x", "3x", "4x", "5x", "flips"}
-	return report.Section("Bitflip repeatability over 5 trials (Appendix E: majority occur in all 5)",
-		report.Table(headers, flattenRows(parts))), nil
+	return report.NewDoc(report.TableSection("Bitflip repeatability over 5 trials (Appendix E: majority occur in all 5)",
+		headers, flattenRows(parts))), nil
 }
 
 func registerECC(id, title string, tAggON dram.TimePS) {
@@ -270,16 +270,16 @@ func registerECC(id, title string, tAggON dram.TimePS) {
 		}
 		return rows, nil
 	}
-	merge := func(o Options, specs []chipgen.ModuleSpec, parts [][][]string) (string, error) {
+	merge := func(o Options, specs []chipgen.ModuleSpec, parts [][][]string) (*report.Doc, error) {
 		headers := []string{"module", "sided", "words 1-2", "words 3-8", "words >8", "max/word",
 			"SECDED silent", "SECDED detected", "beyond Chipkill(x8)"}
 		title2 := fmt.Sprintf("Erroneous 64-bit words at tAggON=%s, max activations, 80°C (§7.1)", dram.FormatTime(tAggON))
-		return report.Section(title2, report.Table(headers, flattenRows(parts))), nil
+		return report.NewDoc(report.TableSection(title2, headers, flattenRows(parts))), nil
 	}
 	registerPerModule(id, title, work, merge)
 }
 
-func runTable1(Options) (string, error) {
+func runTable1(Options) (*report.Doc, error) {
 	headers := []string{"mfr", "die", "modules", "org", "date codes"}
 	type key struct {
 		mfr  chipgen.Manufacturer
@@ -301,8 +301,8 @@ func runTable1(Options) (string, error) {
 			"Mfr. " + string(d.Mfr), d.Name(), fmt.Sprint(count[k]), org[k], strings.Join(dedup(dates[k]), ","),
 		})
 	}
-	return report.Section("Tested DDR4 DRAM modules (Table 1/5 inventory)",
-		report.Table(headers, rows)), nil
+	return report.NewDoc(report.TableSection("Tested DDR4 DRAM modules (Table 1/5 inventory)",
+		headers, rows)), nil
 }
 
 func dedup(vs []string) []string {

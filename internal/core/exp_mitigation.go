@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"sort"
-	"strings"
 
 	"repro/internal/dram"
 	"repro/internal/report"
@@ -60,13 +59,13 @@ func mixGroupNames(groups map[string][][]workload.Profile) []string {
 }
 
 // workTable3 runs the full overhead study for one mitigation kind.
-func workTable3(o Options, i int, key string) (string, error) {
+func workTable3(o Options, i int, key string) (report.DocSection, error) {
 	kind := mitigationKinds[i]
 	cfg := perfConfig(o)
 	mixes := fourCoreMixes(o, o.scaled(2, 1))
 	rows, err := simperf.MitigationStudy(kind, cfg, mixes, o.Seed)
 	if err != nil {
-		return "", err
+		return report.DocSection{}, err
 	}
 	headers := []string{"tmro", "T'RH", "avg overhead", "max overhead"}
 	var out [][]string
@@ -76,9 +75,9 @@ func workTable3(o Options, i int, key string) (string, error) {
 			report.Pct(r.AvgOverhead), report.Pct(r.MaxOverhead),
 		})
 	}
-	return report.Section(
+	return report.TableSection(
 		fmt.Sprintf("%s-RP overhead over %s (Table 3)", kind, kind),
-		report.Table(headers, out)), nil
+		headers, out), nil
 }
 
 // minOpenProfiles is the Appendix D.1 workload set at this scale.
@@ -110,12 +109,12 @@ func registerMinOpenRow(id, title, section string, headers []string,
 		}
 		return rows[0], nil
 	}
-	merge := func(o Options, parts []simperf.MinOpenRowRow) (string, error) {
+	merge := func(o Options, parts []simperf.MinOpenRowRow) (*report.Doc, error) {
 		var out [][]string
 		for _, r := range parts {
 			out = append(out, []string{r.Workload, cell(r)})
 		}
-		return report.Section(section, report.Table(headers, out)), nil
+		return report.NewDoc(report.TableSection(section, headers, out)), nil
 	}
 	registerKeyed(id, title, keys, work, merge)
 }
@@ -164,9 +163,9 @@ func workFig40(o Options, i int, key string) ([]float64, error) {
 	return norms, nil
 }
 
-func mergeFig40(o Options, parts [][]float64) (string, error) {
+func mergeFig40(o Options, parts [][]float64) (*report.Doc, error) {
 	profiles := fig40Profiles(o)
-	var sections []string
+	doc := report.NewDoc()
 	for ki, kind := range mitigationKinds {
 		headers := []string{"workload"}
 		for _, tmro := range simperf.TmroLattice {
@@ -188,11 +187,11 @@ func mergeFig40(o Options, parts [][]float64) (string, error) {
 			gm = append(gm, report.Num(stats.GeoMean(vs)))
 		}
 		out = append(out, gm)
-		sections = append(sections, report.Section(
+		doc.Add(report.TableSection(
 			fmt.Sprintf("Single-core IPC of %s-RP normalized to %s (Fig. 40)", kind, kind),
-			report.Table(headers, out)))
+			headers, out))
 	}
-	return strings.Join(sections, "\n"), nil
+	return doc, nil
 }
 
 // fig41Groups resolves the Appendix D mixes and their ordered names.
@@ -249,9 +248,9 @@ func workFig41(o Options, i int, key string) ([]float64, error) {
 	return avgs, nil
 }
 
-func mergeFig41(o Options, parts [][]float64) (string, error) {
+func mergeFig41(o Options, parts [][]float64) (*report.Doc, error) {
 	_, names := fig41Groups(o)
-	var sections []string
+	doc := report.NewDoc()
 	for ki, kind := range mitigationKinds {
 		headers := []string{"group"}
 		for _, tmro := range simperf.TmroLattice {
@@ -265,9 +264,9 @@ func mergeFig41(o Options, parts [][]float64) (string, error) {
 			}
 			out = append(out, row)
 		}
-		sections = append(sections, report.Section(
+		doc.Add(report.TableSection(
 			fmt.Sprintf("4-core weighted speedup of %s-RP normalized to %s (Fig. 41/Table 9)", kind, kind),
-			report.Table(headers, out)))
+			headers, out))
 	}
-	return strings.Join(sections, "\n"), nil
+	return doc, nil
 }

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/chipgen"
 	"repro/internal/dram"
@@ -70,13 +69,13 @@ func workScenGrid(o Options, i int, key string) (scenario.Result, error) {
 	return scenario.Characterize(mod, sc, scenario.MitNone, scenConfig(o))
 }
 
-func mergeScenGrid(o Options, parts []scenario.Result) (string, error) {
+func mergeScenGrid(o Options, parts []scenario.Result) (*report.Doc, error) {
 	specs, err := o.modules()
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	cat := scenario.Catalog()
-	var sections []string
+	doc := report.NewDoc()
 	for mi, mod := range specs {
 		headers := []string{"scenario", "pattern", "min ACs to flip", "time to flip", "flips@budget", "budget ACs"}
 		var rows [][]string
@@ -94,14 +93,14 @@ func mergeScenGrid(o Options, parts []scenario.Result) (string, error) {
 				fmt.Sprint(r.BitFlips), fmt.Sprint(r.BudgetActs),
 			})
 		}
-		sections = append(sections, report.Section(
+		doc.Add(report.TableSection(
 			fmt.Sprintf("Attack-scenario grid — module %s (%s %s)", mod.ID, mod.Die.Mfr, mod.Die.Name()),
-			report.Table(headers, rows)))
-		if plane := scenPlaneFinding(mod, byName); plane != "" {
-			sections = append(sections, plane)
+			headers, rows))
+		if plane, ok := scenPlaneFinding(mod, byName); ok {
+			doc.Add(plane)
 		}
 	}
-	return strings.Join(sections, "\n"), nil
+	return doc, nil
 }
 
 // scenPlaneFinding renders the arXiv:2406.13080 headline per module: the
@@ -109,10 +108,10 @@ func mergeScenGrid(o Options, parts []scenario.Result) (string, error) {
 // fewer activations than pure double-sided RowHammer, while pure
 // RowPress patterns need several-fold more attack time — the threat
 // surface is the whole hammer-count × row-open-time plane.
-func scenPlaneFinding(mod chipgen.ModuleSpec, byName map[string]scenario.Result) string {
+func scenPlaneFinding(mod chipgen.ModuleSpec, byName map[string]scenario.Result) (report.DocSection, bool) {
 	hammer, okH := byName["ds-hammer"]
 	if !okH || !hammer.FlipFound {
-		return ""
+		return report.DocSection{}, false
 	}
 	// Catalog order keeps the tie-break deterministic (map iteration is
 	// not), which the byte-identical-across-workers contract requires.
@@ -135,19 +134,21 @@ func scenPlaneFinding(mod chipgen.ModuleSpec, byName map[string]scenario.Result)
 		}
 	}
 	if bestCName == "" {
-		return ""
+		return report.DocSection{}, false
 	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "best combined pattern %s: first flip at %d ACs in %s\n",
-		bestCName, bestC.MinActs, dram.FormatTime(bestC.MinTime))
-	fmt.Fprintf(&b, "vs pure ds-hammer: %d ACs (%s of pure RowHammer's activation count)\n",
-		hammer.MinActs, report.Pct(float64(bestC.MinActs)/float64(hammer.MinActs)))
+	lines := []string{
+		fmt.Sprintf("best combined pattern %s: first flip at %d ACs in %s",
+			bestCName, bestC.MinActs, dram.FormatTime(bestC.MinTime)),
+		fmt.Sprintf("vs pure ds-hammer: %d ACs (%s of pure RowHammer's activation count)",
+			hammer.MinActs, report.Pct(float64(bestC.MinActs)/float64(hammer.MinActs))),
+	}
 	if bestPName != "" {
-		fmt.Fprintf(&b, "vs fastest pure press %s: %s to flip (combined interleaving reaches the plane between both pure patterns)\n",
-			bestPName, dram.FormatTime(bestP.MinTime))
+		lines = append(lines, fmt.Sprintf(
+			"vs fastest pure press %s: %s to flip (combined interleaving reaches the plane between both pure patterns)",
+			bestPName, dram.FormatTime(bestP.MinTime)))
 	}
-	return report.Section(
-		fmt.Sprintf("Combined-plane finding (arXiv:2406.13080) — module %s", mod.ID), b.String())
+	return report.FindingsSection(
+		fmt.Sprintf("Combined-plane finding (arXiv:2406.13080) — module %s", mod.ID), lines...), true
 }
 
 func scenMitKeys(o Options) ([]string, error) {
@@ -182,15 +183,15 @@ func workScenMit(o Options, i int, key string) (scenario.Result, error) {
 	return scenario.Evaluate(mod, sc, mits[i%len(mits)], scenConfig(o))
 }
 
-func mergeScenMit(o Options, parts []scenario.Result) (string, error) {
+func mergeScenMit(o Options, parts []scenario.Result) (*report.Doc, error) {
 	specs, err := o.modules()
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	names := scenario.Names()
 	mits := scenario.AllMitigations()
 	perModule := len(names) * len(mits)
-	var sections []string
+	doc := report.NewDoc()
 	for mi, mod := range specs {
 		headers := []string{"scenario"}
 		for _, mk := range mits {
@@ -214,12 +215,12 @@ func mergeScenMit(o Options, parts []scenario.Result) (string, error) {
 			totalRow = append(totalRow, fmt.Sprint(v))
 		}
 		flipRows = append(flipRows, totalRow)
-		sections = append(sections, report.Section(
+		doc.Add(report.TableSection(
 			fmt.Sprintf("Bitflips per scenario × mitigation — module %s", mod.ID),
-			report.Table(headers, flipRows)))
-		sections = append(sections, report.Section(
+			headers, flipRows))
+		doc.Add(report.TableSection(
 			fmt.Sprintf("Preventive refreshes per 1000 aggressor ACTs — module %s", mod.ID),
-			report.Table(headers, ovhRows)))
+			headers, ovhRows))
 	}
-	return strings.Join(sections, "\n"), nil
+	return doc, nil
 }

@@ -21,13 +21,13 @@ func init() {
 // performance simulator, the policy keeps open-row performance (hits still
 // hit the decoupled buffer). The paper's caveats stand: it needs DRAM chip
 // changes and does not mitigate RowHammer.
-func runSec72(o Options) (string, error) {
+func runSec72(o Options) (*report.Doc, error) {
 	// Part 1: attack with and without decoupling at the peak configuration.
 	var rows [][]string
 	for _, decoupled := range []bool{false, true} {
 		sys, err := demoSystem(o)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		cfg := attackConfig(o)
 		cfg.NumAggrActs = 4
@@ -35,7 +35,7 @@ func runSec72(o Options) (string, error) {
 		cfg.RowBufferDecoupled = decoupled
 		r, err := attack.Run(sys, cfg)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		mode := "conventional open-row"
 		if decoupled {
@@ -43,7 +43,6 @@ func runSec72(o Options) (string, error) {
 		}
 		rows = append(rows, []string{mode, fmt.Sprint(r.Bitflips), fmt.Sprint(r.RowsWithFlips)})
 	}
-	part1 := report.Table([]string{"wordline policy", "RowPress bitflips", "rows w/ flips"}, rows)
 
 	// Part 2: performance parity with open-row.
 	cfg := perfConfig(o)
@@ -52,18 +51,20 @@ func runSec72(o Options) (string, error) {
 	open.Policy = memctrl.OpenRow()
 	ro, err := simperf.RunMix(open, []workload.Profile{p}, o.Seed)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	dec := cfg
 	dec.Policy = memctrl.Decoupled()
 	rd, err := simperf.RunMix(dec, []workload.Profile{p}, o.Seed)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
-	part2 := report.Table([]string{"policy", "IPC", "row-hit rate"}, [][]string{
-		{"open-row", report.Num(ro.Cores[0].IPC()), report.Pct(ro.Cores[0].RowHitRate())},
-		{"row-buffer-decoupled", report.Num(rd.Cores[0].IPC()), report.Pct(rd.Cores[0].RowHitRate())},
-	})
-	return report.Section("Row-buffer decoupling (§7.2): stops RowPress at zero row-locality cost", part1) +
-		"\n" + report.Section("Performance parity on the most locality-bound workload", part2), nil
+	return report.NewDoc(
+		report.TableSection("Row-buffer decoupling (§7.2): stops RowPress at zero row-locality cost",
+			[]string{"wordline policy", "RowPress bitflips", "rows w/ flips"}, rows),
+		report.TableSection("Performance parity on the most locality-bound workload",
+			[]string{"policy", "IPC", "row-hit rate"}, [][]string{
+				{"open-row", report.Num(ro.Cores[0].IPC()), report.Pct(ro.Cores[0].RowHitRate())},
+				{"row-buffer-decoupled", report.Num(rd.Cores[0].IPC()), report.Pct(rd.Cores[0].RowHitRate())},
+			})), nil
 }

@@ -44,7 +44,7 @@ func workSummary(o Options, spec chipgen.ModuleSpec) ([][]characterize.SweepPoin
 //   - the same at 80 °C (paper: 48× avg / up to 122×, 438× / up to 1106×);
 //   - the fraction of flipping rows with ACmin = 1 at tAggON = 30 ms
 //     (paper: 13.1 % at 50 °C, 82.8 % at 80 °C).
-func mergeSummary(o Options, specs []chipgen.ModuleSpec, parts [][][]characterize.SweepPoint) (string, error) {
+func mergeSummary(o Options, specs []chipgen.ModuleSpec, parts [][][]characterize.SweepPoint) (*report.Doc, error) {
 	type agg struct {
 		red78, red702 []float64 // per-module mean reduction factors
 		maxRed78      float64
@@ -107,7 +107,7 @@ func mergeSummary(o Options, specs []chipgen.ModuleSpec, parts [][][]characteriz
 			report.Pct(frac),
 		})
 	}
-	body := report.Table([]string{"temp", "ACmin reduction @7.8us", "ACmin reduction @70.2us", "rows w/ ACmin=1 @30ms"}, rows)
-	body += "paper: 50°C -> 21x avg (59x max), 190x (537x), 13.1%;  80°C -> 48x (122x), 438x (1106x), 82.8%\n"
-	return report.Section("Headline RowPress amplification statistics", body), nil
+	return report.NewDoc(report.TableSection("Headline RowPress amplification statistics",
+		[]string{"temp", "ACmin reduction @7.8us", "ACmin reduction @70.2us", "rows w/ ACmin=1 @30ms"}, rows,
+		"paper: 50°C -> 21x avg (59x max), 190x (537x), 13.1%;  80°C -> 48x (122x), 438x (1106x), 82.8%")), nil
 }

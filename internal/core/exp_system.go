@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/attack"
 	"repro/internal/dram"
@@ -30,7 +29,8 @@ func attackConfig(o Options) attack.Config {
 	return cfg
 }
 
-func renderGrid(grid attack.GridResult) string {
+// gridSection renders an attack grid as one titled table section.
+func gridSection(title string, grid attack.GridResult) report.DocSection {
 	headers := []string{"NUM_AGGR_ACTS", "NUM_READS", "tAggON", "fits tREFI", "bitflips", "rows w/ flips"}
 	var rows [][]string
 	for _, c := range grid.Cells {
@@ -47,26 +47,27 @@ func renderGrid(grid attack.GridResult) string {
 			fmt.Sprint(c.RowsWithFlips),
 		})
 	}
-	return report.Table(headers, rows)
+	return report.TableSection(title, headers, rows)
 }
 
-func runFig23(o Options) (string, error) {
+func runFig23(o Options) (*report.Doc, error) {
 	sys, err := demoSystem(o)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	grid, err := attack.RunGrid(sys, attackConfig(o))
 	if err != nil {
-		return "", err
+		return nil, err
 	}
-	return report.Section("User-level program on a TRR-protected system (Fig. 23): NUM_READS=1 is conventional RowHammer",
-		renderGrid(grid)), nil
+	return report.NewDoc(gridSection(
+		"User-level program on a TRR-protected system (Fig. 23): NUM_READS=1 is conventional RowHammer",
+		grid)), nil
 }
 
-func runFig24(o Options) (string, error) {
+func runFig24(o Options) (*report.Doc, error) {
 	sys, err := demoSystem(o)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	samples := o.scaled(2000, 50)
 	firstHist := stats.NewHistogram(180, 260, 16)
@@ -74,7 +75,7 @@ func runFig24(o Options) (string, error) {
 	for i := 0; i < samples; i++ {
 		lat, err := sys.ProbeRowLatencies(1, 100+(i%64)*16)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		firstHist.Add(float64(lat[0]))
 		for _, l := range lat[1:] {
@@ -89,28 +90,28 @@ func runFig24(o Options) (string, error) {
 			report.Pct(restHist.Frequencies()[i]),
 		})
 	}
-	body := report.Table([]string{"latency bin", "first access", "subsequent accesses"}, rows)
-	body += fmt.Sprintf("median first = %s cyc, median subsequent = %s cyc, gap = %s cyc (paper: 30)\n",
-		report.Num(firstHist.Median()), report.Num(restHist.Median()),
-		report.Num(firstHist.Median()-restHist.Median()))
-	return report.Section("Cache-block access latency (Fig. 24): the MC keeps rows open across block reads", body), nil
+	return report.NewDoc(report.TableSection(
+		"Cache-block access latency (Fig. 24): the MC keeps rows open across block reads",
+		[]string{"latency bin", "first access", "subsequent accesses"}, rows,
+		fmt.Sprintf("median first = %s cyc, median subsequent = %s cyc, gap = %s cyc (paper: 30)",
+			report.Num(firstHist.Median()), report.Num(restHist.Median()),
+			report.Num(firstHist.Median()-restHist.Median())))), nil
 }
 
-func runFig49(o Options) (string, error) {
-	var sections []string
+func runFig49(o Options) (*report.Doc, error) {
+	doc := report.NewDoc()
 	for _, variant := range []attack.Variant{attack.Algorithm1, attack.Algorithm2} {
 		sys, err := demoSystem(o)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		cfg := attackConfig(o)
 		cfg.Variant = variant
 		grid, err := attack.RunGrid(sys, cfg)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
-		sections = append(sections, report.Section(
-			fmt.Sprintf("%s results (Appendix G)", variant), renderGrid(grid)))
+		doc.Add(gridSection(fmt.Sprintf("%s results (Appendix G)", variant), grid))
 	}
-	return strings.Join(sections, "\n"), nil
+	return doc, nil
 }

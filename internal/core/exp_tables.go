@@ -51,12 +51,12 @@ func workTable5(o Options, spec chipgen.ModuleSpec) ([]string, error) {
 	}, nil
 }
 
-func mergeTable5(o Options, specs []chipgen.ModuleSpec, parts [][]string) (string, error) {
+func mergeTable5(o Options, specs []chipgen.ModuleSpec, parts [][]string) (*report.Doc, error) {
 	headers := []string{"module", "die",
 		"ACmin@36ns 50C", "ACmin@7.8us 50C", "ACmin@70.2us 50C",
 		"ACmin@7.8us 80C", "tAggONmin@AC=1 50C", "tAggONmin@AC=1 80C"}
-	return report.Section("Per-module vulnerability summary, mean (min) — Table 5",
-		report.Table(headers, parts)), nil
+	return report.NewDoc(report.TableSection("Per-module vulnerability summary, mean (min) — Table 5",
+		headers, parts)), nil
 }
 
 // workTable6 regenerates one module's Table 6 rows: the maximum BER at
@@ -96,8 +96,8 @@ func workTable6(o Options, spec chipgen.ModuleSpec) ([][]string, error) {
 	return rows, nil
 }
 
-func mergeTable6(o Options, specs []chipgen.ModuleSpec, parts [][][]string) (string, error) {
+func mergeTable6(o Options, specs []chipgen.ModuleSpec, parts [][][]string) (*report.Doc, error) {
 	headers := []string{"module", "die", "sided", "BER@36ns", "BER@7.8us", "BER@70.2us"}
-	return report.Section("Maximum bit error rate at max activation count — Table 6",
-		report.Table(headers, flattenRows(parts))), nil
+	return report.NewDoc(report.TableSection("Maximum bit error rate at max activation count — Table 6",
+		headers, flattenRows(parts))), nil
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/engine"
+	"repro/internal/report"
 )
 
 // -update regenerates the golden reports. Only use it for deliberate,
@@ -34,10 +35,11 @@ func TestGoldenReports(t *testing.T) {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
 			path := filepath.Join("testdata", "golden", e.ID+".golden")
-			got, err := RunWith(serial, e.ID, o)
+			doc, err := RunWith(serial, e.ID, o)
 			if err != nil {
 				t.Fatalf("run: %v", err)
 			}
+			got := report.Text(doc)
 			if *updateGolden {
 				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
 					t.Fatal(err)
@@ -52,11 +54,11 @@ func TestGoldenReports(t *testing.T) {
 				t.Errorf("report differs from golden %s\n--- want ---\n%s\n--- got ---\n%s",
 					path, want, got)
 			}
-			wideOut, err := RunWith(wide, e.ID, o)
+			wideDoc, err := RunWith(wide, e.ID, o)
 			if err != nil {
 				t.Fatalf("run (8 workers): %v", err)
 			}
-			if wideOut != got {
+			if report.Text(wideDoc) != got {
 				t.Error("8-worker report differs from serial report")
 			}
 		})

@@ -1,0 +1,26 @@
+package core
+
+import (
+	"repro/internal/characterize"
+	"repro/internal/engine"
+	"repro/internal/report"
+	"repro/internal/scenario"
+	"repro/internal/simperf"
+)
+
+// Shard payloads cross the engine as `any`; the persistent disk-cache
+// tier gob-encodes them, and gob requires every concrete type carried
+// inside an interface to be registered. This registry covers every
+// payload type the experiment work functions return — forget one and
+// that experiment silently degrades to memory-only caching (the disk
+// tier counts the skip in its stats).
+func init() {
+	engine.RegisterPayloadType([]string(nil))                    // one table row per module
+	engine.RegisterPayloadType([][]string(nil))                  // row blocks / per-temperature rows
+	engine.RegisterPayloadType([][]characterize.SweepPoint(nil)) // fig1/summary raw sweeps
+	engine.RegisterPayloadType([]float64(nil))                   // fig40/fig41 normalized series
+	engine.RegisterPayloadType(simperf.MinOpenRowRow{})          // fig38/fig39
+	engine.RegisterPayloadType(scenario.Result{})                // scenario grid and mitigation cells
+	engine.RegisterPayloadType(report.DocSection{})              // section-shard experiments (fig19/20/22, appC, table3)
+	engine.RegisterPayloadType(&report.Doc{})                    // monolithic experiments cache the whole doc
+}

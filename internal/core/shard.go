@@ -5,30 +5,33 @@ import (
 
 	"repro/internal/chipgen"
 	"repro/internal/engine"
+	"repro/internal/report"
 )
 
 // This file holds the typed shard-plan builders experiments register
 // through. Shard payloads cross the engine as `any`; the builders here
 // recover the concrete type on the merge side so experiment code stays
-// typed end to end. Payloads are cached and shared across runs, so work
-// functions must return fresh values and merges must not mutate them.
+// typed end to end. Payloads are cached and shared across runs — in
+// memory and, when a disk tier is attached, across processes (every
+// payload type is gob-registered in payloads.go) — so work functions
+// must return fresh values and merges must not mutate them.
 
 // typedShards converts n typed work units into engine shards plus a merge
 // adapter that hands the typed payload slice to render.
 func typedShards[T any](keys []string, work func(i int) (T, error),
-	render func(parts []T) (string, error)) engine.Plan {
+	render func(parts []T) (*report.Doc, error)) engine.Plan {
 	shards := make([]engine.Shard, len(keys))
 	for i, key := range keys {
 		shards[i] = engine.Shard{Key: key, Run: func() (any, error) { return work(i) }}
 	}
 	return engine.Plan{
 		Shards: shards,
-		Merge: func(parts []any) (string, error) {
+		Merge: func(parts []any) (*report.Doc, error) {
 			ts := make([]T, len(parts))
 			for i, p := range parts {
 				t, ok := p.(T)
 				if !ok {
-					return "", fmt.Errorf("core: shard %q payload is %T, want %T", keys[i], p, t)
+					return nil, fmt.Errorf("core: shard %q payload is %T, want %T", keys[i], p, t)
 				}
 				ts[i] = t
 			}
@@ -43,7 +46,7 @@ func typedShards[T any](keys []string, work func(i int) (T, error),
 // the serial path).
 func registerPerModule[T any](id, title string,
 	work func(o Options, spec chipgen.ModuleSpec) (T, error),
-	merge func(o Options, specs []chipgen.ModuleSpec, parts []T) (string, error)) {
+	merge func(o Options, specs []chipgen.ModuleSpec, parts []T) (*report.Doc, error)) {
 	registerPlan(id, title, func(o Options) (engine.Plan, error) {
 		specs, err := o.modules()
 		if err != nil {
@@ -55,7 +58,7 @@ func registerPerModule[T any](id, title string,
 		}
 		return typedShards(keys,
 			func(i int) (T, error) { return work(o, specs[i]) },
-			func(parts []T) (string, error) { return merge(o, specs, parts) },
+			func(parts []T) (*report.Doc, error) { return merge(o, specs, parts) },
 		), nil
 	})
 }
@@ -66,7 +69,7 @@ func registerPerModule[T any](id, title string,
 func registerKeyed[T any](id, title string,
 	keys func(o Options) ([]string, error),
 	work func(o Options, i int, key string) (T, error),
-	merge func(o Options, parts []T) (string, error)) {
+	merge func(o Options, parts []T) (*report.Doc, error)) {
 	registerPlan(id, title, func(o Options) (engine.Plan, error) {
 		ks, err := keys(o)
 		if err != nil {
@@ -74,7 +77,7 @@ func registerKeyed[T any](id, title string,
 		}
 		return typedShards(ks,
 			func(i int) (T, error) { return work(o, i, ks[i]) },
-			func(parts []T) (string, error) { return merge(o, parts) },
+			func(parts []T) (*report.Doc, error) { return merge(o, parts) },
 		), nil
 	})
 }

@@ -3,6 +3,8 @@ package core
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/report"
 )
 
 func TestSmokeAllExperiments(t *testing.T) {
@@ -10,12 +12,18 @@ func TestSmokeAllExperiments(t *testing.T) {
 	for _, e := range List() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			out, err := e.Run(o)
+			doc, err := e.Run(o)
 			if err != nil {
 				t.Fatalf("%s: %v", e.ID, err)
 			}
-			if !strings.Contains(out, "==") {
-				t.Fatalf("%s: output lacks section header", e.ID)
+			if len(doc.Sections) == 0 {
+				t.Fatalf("%s: document has no sections", e.ID)
+			}
+			if doc.Experiment != e.ID || doc.Title != e.Title || len(doc.Params) == 0 {
+				t.Fatalf("%s: metadata not stamped: %+v", e.ID, doc)
+			}
+			if !strings.Contains(report.Text(doc), "==") {
+				t.Fatalf("%s: text rendering lacks section header", e.ID)
 			}
 		})
 	}

@@ -1,0 +1,171 @@
+package engine
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func init() {
+	// Engine-test payloads are plain strings.
+	RegisterPayloadType("")
+}
+
+func openDisk(t *testing.T, dir string, maxBytes int64) *DiskCache {
+	t.Helper()
+	dc, err := OpenDiskCache(dir, maxBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dc
+}
+
+// TestDiskCacheWarmStart is the warm-start contract: a fresh engine
+// process pointed at a populated cache directory serves a previously
+// computed plan with zero shard executions.
+func TestDiskCacheWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	var n atomic.Int64
+
+	e1 := New(2, 0)
+	e1.AttachDiskCache(openDisk(t, dir, 0))
+	cold, stats, err := e1.Execute(countingPlan("exp", "fp", 5, &n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Executed != 5 || n.Load() != 5 {
+		t.Fatalf("cold run: stats=%+v n=%d", stats, n.Load())
+	}
+	if err := e1.Disk().Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a new engine with a new in-memory cache over the same dir.
+	e2 := New(2, 0)
+	e2.AttachDiskCache(openDisk(t, dir, 0))
+	warm, stats2, err := e2.Execute(countingPlan("exp", "fp", 5, &n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Executed != 0 || stats2.CacheHits != 5 || n.Load() != 5 {
+		t.Fatalf("warm start re-executed shards: stats=%+v n=%d", stats2, n.Load())
+	}
+	if docLine(warm) != docLine(cold) {
+		t.Fatalf("warm doc %q != cold doc %q", docLine(warm), docLine(cold))
+	}
+	ds := e2.Disk().Stats()
+	if ds.Hits != 5 || ds.Entries != 5 {
+		t.Fatalf("disk stats=%+v", ds)
+	}
+	// Promotion: the second lookup of the same plan hits memory, not disk.
+	if _, _, err := e2.Execute(countingPlan("exp", "fp", 5, &n)); err != nil {
+		t.Fatal(err)
+	}
+	if ds2 := e2.Disk().Stats(); ds2.Hits != 5 {
+		t.Fatalf("memory tier did not absorb repeat lookups: %+v", ds2)
+	}
+	m := e2.Metrics()
+	if m.Disk.Entries != 5 || m.Mem.Entries != 5 {
+		t.Fatalf("metrics tiers: mem=%+v disk=%+v", m.Mem, m.Disk)
+	}
+}
+
+// TestDiskCacheWarmStartWithoutFlush: payload files alone are enough —
+// the index only preserves LRU order, so a crash before Flush still
+// warm-starts.
+func TestDiskCacheWarmStartWithoutFlush(t *testing.T) {
+	dir := t.TempDir()
+	var n atomic.Int64
+	e1 := New(1, 0)
+	e1.AttachDiskCache(openDisk(t, dir, 0))
+	if _, _, err := e1.Execute(countingPlan("exp", "fp", 3, &n)); err != nil {
+		t.Fatal(err)
+	}
+	e2 := New(1, 0)
+	e2.AttachDiskCache(openDisk(t, dir, 0))
+	_, stats, err := e2.Execute(countingPlan("exp", "fp", 3, &n))
+	if err != nil || stats.Executed != 0 {
+		t.Fatalf("unflushed warm start: stats=%+v err=%v", stats, err)
+	}
+}
+
+// TestDiskCacheToleratesCorruptPayload: a truncated payload file is a
+// miss (and is dropped), not an error; the shard recomputes and the
+// store heals.
+func TestDiskCacheToleratesCorruptPayload(t *testing.T) {
+	dir := t.TempDir()
+	dc := openDisk(t, dir, 0)
+	key := Key("exp", "fp", "x")
+	dc.Put(key, "payload")
+	if err := os.WriteFile(dc.payloadPath(key), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	dc2 := openDisk(t, dir, 0)
+	if _, ok := dc2.Get(key); ok {
+		t.Fatal("corrupt payload served as a hit")
+	}
+	st := dc2.Stats()
+	if st.Corrupt != 1 || st.Entries != 0 {
+		t.Fatalf("stats=%+v", st)
+	}
+	// The store heals: the key is writable and readable again.
+	dc2.Put(key, "payload")
+	if v, ok := dc2.Get(key); !ok || v.(string) != "payload" {
+		t.Fatalf("healed get: %v %v", v, ok)
+	}
+}
+
+// TestDiskCacheToleratesMangledIndex: index.json is advisory; a mangled
+// one is ignored and the directory scan still finds every payload.
+func TestDiskCacheToleratesMangledIndex(t *testing.T) {
+	dir := t.TempDir()
+	dc := openDisk(t, dir, 0)
+	key := Key("exp", "fp", "x")
+	dc.Put(key, "payload")
+	if err := os.WriteFile(filepath.Join(dir, diskIndexName), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dc2 := openDisk(t, dir, 0)
+	if v, ok := dc2.Get(key); !ok || v.(string) != "payload" {
+		t.Fatalf("mangled index lost the entry: %v %v", v, ok)
+	}
+}
+
+// TestDiskCacheEvictsLRUUnderByteBound: the store stays under its byte
+// bound by dropping least-recently-used entries, and recency survives
+// Gets.
+func TestDiskCacheEvictsLRUUnderByteBound(t *testing.T) {
+	dir := t.TempDir()
+	big := strings.Repeat("v", 100)
+	dc := openDisk(t, dir, 200) // fits one ~120-byte encoded entry, not two
+	dc.Put("a", big)
+	dc.Put("b", big)
+	st := dc.Stats()
+	if st.Entries != 1 || st.Evictions == 0 || st.Bytes > 2*int64(len(big)) {
+		t.Fatalf("stats=%+v", st)
+	}
+	if _, ok := dc.Get("a"); ok {
+		t.Fatal("LRU entry a should have been evicted")
+	}
+	if _, ok := dc.Get("b"); !ok {
+		t.Fatal("newest entry b should survive")
+	}
+	if _, err := os.Stat(dc.payloadPath("a")); !os.IsNotExist(err) {
+		t.Fatalf("evicted payload file still on disk: %v", err)
+	}
+}
+
+// TestDiskCacheSkipsUnregisteredTypes: a payload gob cannot encode is
+// skipped (memory-only), not an error.
+func TestDiskCacheSkipsUnregisteredTypes(t *testing.T) {
+	type unregistered struct{ X int }
+	dc := openDisk(t, t.TempDir(), 0)
+	dc.Put("k", unregistered{1})
+	st := dc.Stats()
+	if st.Skips != 1 || st.Entries != 0 {
+		t.Fatalf("stats=%+v", st)
+	}
+}

@@ -1,9 +1,11 @@
 // Package engine executes experiment plans concurrently. A Plan
 // decomposes one experiment run into deterministic Shards (per-module or
 // per-configuration slices of a sweep); the Engine runs the shards on a
-// bounded worker pool, memoizes every completed shard in a content-addressed
-// cache, and hands the ordered shard payloads to the plan's Merge to
-// rebuild the exact report the serial path would have produced.
+// bounded worker pool, memoizes every completed shard in a
+// content-addressed cache — an in-memory LRU, optionally layered over a
+// persistent DiskCache so a restarted process warm-starts — and hands
+// the ordered shard payloads to the plan's Merge to build the exact
+// result document the serial path would have produced.
 //
 // The engine is generic: it knows nothing about DRAM or the paper. The
 // core package builds plans; cmd/rowpress, cmd/rowpressd, and the bench
@@ -16,6 +18,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"repro/internal/report"
 )
 
 // Shard is one deterministic unit of work within a plan. Key must be
@@ -29,14 +33,29 @@ type Shard struct {
 	Run func() (any, error)
 }
 
+// ShardEvent describes one resolved shard of an Execute call: either a
+// cache hit (Cached, Wall 0) or a completed execution. Err is non-nil
+// when the shard failed.
+type ShardEvent struct {
+	Index  int           // shard index within the plan
+	Key    string        // the shard's plan-level key
+	Cached bool          // served from a cache tier or a joined in-flight run
+	Wall   time.Duration // execution time when this call ran the shard
+	Err    error
+}
+
 // Plan is a decomposed experiment run. Merge receives the shard payloads
-// in shard order (index i holds the result of Shards[i]) and renders the
-// final report.
+// in shard order (index i holds the result of Shards[i]) and assembles
+// the final typed result document. OnShard, when set, is invoked once
+// per shard as it resolves — possibly concurrently from worker
+// goroutines, so observers must synchronize — before Merge runs; the
+// serving layer uses it to stream per-shard completion events.
 type Plan struct {
 	Experiment  string // experiment id, e.g. "fig6"
 	Fingerprint string // canonical encoding of the run options
 	Shards      []Shard
-	Merge       func(parts []any) (string, error)
+	Merge       func(parts []any) (*report.Doc, error)
+	OnShard     func(ShardEvent)
 }
 
 // RunStats describes one Execute call.
@@ -47,7 +66,10 @@ type RunStats struct {
 	Wall      time.Duration // wall-clock time of the whole Execute, merge included
 }
 
-// Metrics are cumulative engine-lifetime counters.
+// Metrics are cumulative engine-lifetime counters plus a snapshot of
+// both cache tiers. CacheHits/CacheMisses are the engine's run-level
+// view (a hit from either tier counts once); Mem and Disk break the
+// tiers out with their own entries/hits/misses/evictions.
 type Metrics struct {
 	Runs           uint64
 	ShardsPlanned  uint64
@@ -57,6 +79,8 @@ type Metrics struct {
 	Errors         uint64
 	TotalWall      time.Duration
 	TotalShardTime time.Duration
+	Mem            CacheStats     // in-memory tier snapshot
+	Disk           DiskCacheStats // disk tier snapshot (zero when none attached)
 }
 
 // Engine is a worker-pool scheduler with a shared result cache. Safe for
@@ -66,6 +90,7 @@ type Metrics struct {
 type Engine struct {
 	workers int
 	cache   *Cache
+	disk    *DiskCache    // optional persistent tier under the LRU
 	sem     chan struct{} // engine-wide worker slots
 
 	ifmu     sync.Mutex
@@ -109,20 +134,62 @@ func New(workers, cacheEntries int) *Engine {
 // Workers returns the concurrency bound.
 func (e *Engine) Workers() int { return e.workers }
 
-// Cache exposes the engine's shard cache (for stats and purging).
+// Cache exposes the engine's in-memory shard cache (for stats and
+// purging).
 func (e *Engine) Cache() *Cache { return e.cache }
 
-// Metrics returns a snapshot of the cumulative counters.
+// AttachDiskCache layers a persistent content-addressed store under the
+// in-memory LRU: lookups fall through to it on a memory miss (promoting
+// hits back into memory), and completed shards are written through to
+// it. Attach before serving; the engine does not synchronize the swap
+// against in-flight Executes.
+func (e *Engine) AttachDiskCache(dc *DiskCache) { e.disk = dc }
+
+// Disk returns the attached persistent tier, or nil.
+func (e *Engine) Disk() *DiskCache { return e.disk }
+
+// Metrics returns a snapshot of the cumulative counters and both cache
+// tiers.
 func (e *Engine) Metrics() Metrics {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.metrics
+	m := e.metrics
+	e.mu.Unlock()
+	m.Mem = e.cache.Stats()
+	if e.disk != nil {
+		m.Disk = e.disk.Stats()
+	}
+	return m
 }
 
-// Execute runs the plan: cached shards are served from memory, the rest
-// run on the worker pool, and Merge assembles the payloads in shard
-// order. The first shard error (by shard index) aborts the run.
-func (e *Engine) Execute(p Plan) (string, RunStats, error) {
+// tierGet looks key up in the memory tier and then the disk tier,
+// promoting disk hits into memory so subsequent lookups stay hot.
+func (e *Engine) tierGet(key string) (any, bool) {
+	if v, ok := e.cache.Get(key); ok {
+		return v, true
+	}
+	if e.disk != nil {
+		if v, ok := e.disk.Get(key); ok {
+			e.cache.Put(key, v)
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// tierPut writes a completed shard payload to both tiers.
+func (e *Engine) tierPut(key string, v any) {
+	e.cache.Put(key, v)
+	if e.disk != nil {
+		e.disk.Put(key, v)
+	}
+}
+
+// Execute runs the plan: cached shards are served from the memory tier
+// (falling back to the disk tier when one is attached), the rest run on
+// the worker pool, and Merge assembles the payloads in shard order into
+// the result document. The first shard error (by shard index) aborts
+// the run.
+func (e *Engine) Execute(p Plan) (*report.Doc, RunStats, error) {
 	start := time.Now()
 	stats := RunStats{Shards: len(p.Shards)}
 
@@ -132,9 +199,12 @@ func (e *Engine) Execute(p Plan) (string, RunStats, error) {
 	keys := make([]string, len(p.Shards))
 	for i, s := range p.Shards {
 		keys[i] = Key(p.Experiment, p.Fingerprint, s.Key)
-		if v, ok := e.cache.Get(keys[i]); ok {
+		if v, ok := e.tierGet(keys[i]); ok {
 			parts[i] = v
 			stats.CacheHits++
+			if p.OnShard != nil {
+				p.OnShard(ShardEvent{Index: i, Key: s.Key, Cached: true})
+			}
 		} else {
 			missing = append(missing, i)
 		}
@@ -150,6 +220,9 @@ func (e *Engine) Execute(p Plan) (string, RunStats, error) {
 			go func(i int) {
 				defer wg.Done()
 				v, ran, d, err := e.runOrJoin(keys[i], p.Shards[i])
+				if p.OnShard != nil {
+					p.OnShard(ShardEvent{Index: i, Key: p.Shards[i].Key, Cached: !ran, Wall: d, Err: err})
+				}
 				tmu.Lock()
 				parts[i], errs[i] = v, err
 				shardTime += d
@@ -172,7 +245,7 @@ func (e *Engine) Execute(p Plan) (string, RunStats, error) {
 		}
 	}
 
-	var out string
+	var out *report.Doc
 	if firstErr == nil {
 		var err error
 		out, err = p.Merge(parts)
@@ -196,7 +269,7 @@ func (e *Engine) Execute(p Plan) (string, RunStats, error) {
 	e.mu.Unlock()
 
 	if firstErr != nil {
-		return "", stats, firstErr
+		return nil, stats, firstErr
 	}
 	return out, stats, nil
 }
@@ -239,10 +312,10 @@ type batchShard struct {
 // shard count, exactly as if the plans had run sequentially through
 // Execute. Per-plan Wall is the compute attributed to that plan (its
 // owned shard time plus its merge), not batch wall clock.
-func (e *Engine) ExecuteBatch(plans []Plan) (outs []string, stats []RunStats, errs []error, bs BatchStats) {
+func (e *Engine) ExecuteBatch(plans []Plan) (outs []*report.Doc, stats []RunStats, errs []error, bs BatchStats) {
 	start := time.Now()
 	bs.Plans = len(plans)
-	outs = make([]string, len(plans))
+	outs = make([]*report.Doc, len(plans))
 	stats = make([]RunStats, len(plans))
 	errs = make([]error, len(plans))
 
@@ -268,7 +341,7 @@ func (e *Engine) ExecuteBatch(plans []Plan) (outs []string, stats []RunStats, er
 
 	var missing []string
 	for _, k := range order {
-		if v, ok := e.cache.Get(k); ok {
+		if v, ok := e.tierGet(k); ok {
 			slots[k].val, slots[k].cached = v, true
 			bs.CacheHits++
 		} else {
@@ -377,7 +450,7 @@ func (e *Engine) runOrJoin(key string, s Shard) (v any, ran bool, d time.Duratio
 	d = time.Since(t0)
 	<-e.sem
 	if c.err == nil {
-		e.cache.Put(key, c.val)
+		e.tierPut(key, c.val)
 	}
 
 	e.ifmu.Lock()

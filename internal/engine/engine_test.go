@@ -7,7 +7,23 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"repro/internal/report"
 )
+
+// docOf wraps one line into a minimal result document; docLine recovers
+// it. Engine tests reason about merge output as a single string, and
+// these adapters keep that shape on the Doc-typed Merge.
+func docOf(line string) *report.Doc {
+	return report.NewDoc(report.FindingsSection("merged", line))
+}
+
+func docLine(d *report.Doc) string {
+	if d == nil || len(d.Sections) == 0 || len(d.Sections[0].Findings) == 0 {
+		return ""
+	}
+	return d.Sections[0].Findings[0]
+}
 
 // countingPlan builds a plan whose shards return their own key and count
 // executions.
@@ -24,12 +40,12 @@ func countingPlan(exp, fp string, n int, executed *atomic.Int64) Plan {
 		Experiment:  exp,
 		Fingerprint: fp,
 		Shards:      shards,
-		Merge: func(parts []any) (string, error) {
+		Merge: func(parts []any) (*report.Doc, error) {
 			ss := make([]string, len(parts))
 			for i, p := range parts {
 				ss[i] = p.(string)
 			}
-			return strings.Join(ss, "|"), nil
+			return docOf(strings.Join(ss, "|")), nil
 		},
 	}
 }
@@ -43,8 +59,8 @@ func TestExecuteMergesInShardOrder(t *testing.T) {
 			t.Fatal(err)
 		}
 		want := "shard-00|shard-01|shard-02|shard-03|shard-04|shard-05|shard-06|shard-07|shard-08"
-		if out != want {
-			t.Fatalf("workers=%d: out=%q", workers, out)
+		if docLine(out) != want {
+			t.Fatalf("workers=%d: out=%q", workers, docLine(out))
 		}
 		if stats.Shards != 9 || stats.Executed != 9 || stats.CacheHits != 0 {
 			t.Fatalf("workers=%d: stats=%+v", workers, stats)
@@ -68,8 +84,8 @@ func TestExecuteServesRepeatsFromCache(t *testing.T) {
 	if n.Load() != 5 || stats.Executed != 0 || stats.CacheHits != 5 {
 		t.Fatalf("warm run executed shards: n=%d stats=%+v", n.Load(), stats)
 	}
-	if !strings.HasPrefix(out, "shard-00|") {
-		t.Fatalf("warm out=%q", out)
+	if !strings.HasPrefix(docLine(out), "shard-00|") {
+		t.Fatalf("warm out=%q", docLine(out))
 	}
 	m := e.Metrics()
 	if m.Runs != 2 || m.ShardsExecuted != 5 || m.CacheHits != 5 {
@@ -113,7 +129,7 @@ func TestExecuteBoundsConcurrency(t *testing.T) {
 	}
 	e := New(workers, 0)
 	_, _, err := e.Execute(Plan{Experiment: "x", Shards: shards,
-		Merge: func([]any) (string, error) { return "", nil }})
+		Merge: func([]any) (*report.Doc, error) { return report.NewDoc(), nil }})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +157,7 @@ func TestWorkerBoundHoldsAcrossConcurrentExecutes(t *testing.T) {
 			}}
 		}
 		return Plan{Experiment: exp, Shards: shards,
-			Merge: func([]any) (string, error) { return "", nil }}
+			Merge: func([]any) (*report.Doc, error) { return report.NewDoc(), nil }}
 	}
 	e := New(workers, 0)
 	var wg sync.WaitGroup
@@ -172,7 +188,7 @@ func TestConcurrentIdenticalRequestsSingleFlight(t *testing.T) {
 				<-release
 				return "payload", nil
 			}}},
-			Merge: func(parts []any) (string, error) { return parts[0].(string), nil }}
+			Merge: func(parts []any) (*report.Doc, error) { return docOf(parts[0].(string)), nil }}
 	}
 	e := New(4, 0)
 	type res struct {
@@ -182,12 +198,12 @@ func TestConcurrentIdenticalRequestsSingleFlight(t *testing.T) {
 	results := make(chan res, 2)
 	go func() {
 		out, stats, _ := e.Execute(plan())
-		results <- res{out, stats}
+		results <- res{docLine(out), stats}
 	}()
 	<-started // first request is mid-shard
 	go func() {
 		out, stats, _ := e.Execute(plan())
-		results <- res{out, stats}
+		results <- res{docLine(out), stats}
 	}()
 	close(release)
 	a, b := <-results, <-results
@@ -229,7 +245,7 @@ func TestExecuteReportsFirstErrorByIndex(t *testing.T) {
 			{Key: "bad1", Run: func() (any, error) { return nil, boom }},
 			{Key: "bad2", Run: func() (any, error) { return nil, errors.New("later") }},
 		},
-		Merge: func([]any) (string, error) { t.Fatal("merge must not run"); return "", nil },
+		Merge: func([]any) (*report.Doc, error) { t.Fatal("merge must not run"); return nil, nil },
 	}
 	e := New(8, 0)
 	_, _, err := e.Execute(p)
@@ -249,21 +265,21 @@ func TestExecuteErrorIsNotCached(t *testing.T) {
 			return nil, errors.New("transient")
 		}
 		return "ok", nil
-	}}}, Merge: func(parts []any) (string, error) { return parts[0].(string), nil }}
+	}}}, Merge: func(parts []any) (*report.Doc, error) { return docOf(parts[0].(string)), nil }}
 	e := New(1, 0)
 	if _, _, err := e.Execute(p); err == nil {
 		t.Fatal("first run should fail")
 	}
 	out, _, err := e.Execute(p)
-	if err != nil || out != "ok" {
-		t.Fatalf("retry: out=%q err=%v", out, err)
+	if err != nil || docLine(out) != "ok" {
+		t.Fatalf("retry: out=%q err=%v", docLine(out), err)
 	}
 }
 
 func TestExecuteRecoversShardPanic(t *testing.T) {
 	p := Plan{Experiment: "x", Shards: []Shard{{Key: "p", Run: func() (any, error) {
 		panic("kaboom")
-	}}}, Merge: func([]any) (string, error) { return "", nil }}
+	}}}, Merge: func([]any) (*report.Doc, error) { return report.NewDoc(), nil }}
 	_, _, err := New(2, 0).Execute(p)
 	if err == nil || !strings.Contains(err.Error(), "kaboom") {
 		t.Fatalf("err=%v", err)
@@ -330,12 +346,12 @@ func overlappingPlan(exp, fp string, keys []string, executed *atomic.Int64) Plan
 		Experiment:  exp,
 		Fingerprint: fp,
 		Shards:      shards,
-		Merge: func(parts []any) (string, error) {
+		Merge: func(parts []any) (*report.Doc, error) {
 			ss := make([]string, len(parts))
 			for i, p := range parts {
 				ss[i] = p.(string)
 			}
-			return strings.Join(ss, "|"), nil
+			return docOf(strings.Join(ss, "|")), nil
 		},
 	}
 }
@@ -354,8 +370,8 @@ func TestExecuteBatchDeduplicatesShards(t *testing.T) {
 			t.Fatalf("plan %d: %v", i, err)
 		}
 	}
-	if outs[0] != "a|b" || outs[1] != "b|c" || outs[2] != "a|b" {
-		t.Fatalf("outs=%q", outs)
+	if docLine(outs[0]) != "a|b" || docLine(outs[1]) != "b|c" || docLine(outs[2]) != "a|b" {
+		t.Fatalf("outs=%v", outs)
 	}
 	if n.Load() != 3 {
 		t.Fatalf("unique shards a,b,c should execute once each, got %d executions", n.Load())
@@ -398,8 +414,8 @@ func TestExecuteBatchSharesCacheWithSingleRuns(t *testing.T) {
 		stats[1].CacheHits != 1 || stats[1].Executed != 1 {
 		t.Fatalf("per-plan stats=%+v", stats)
 	}
-	if outs[0] != "a|b" || outs[1] != "b|c" {
-		t.Fatalf("outs=%q", outs)
+	if docLine(outs[0]) != "a|b" || docLine(outs[1]) != "b|c" {
+		t.Fatalf("outs=%v", outs)
 	}
 	// And the reverse direction: a later single run hits the batch's shards.
 	_, st, err := e.Execute(overlappingPlan("exp", "fp", []string{"c"}, &n))
@@ -412,17 +428,17 @@ func TestExecuteBatchIsolatesFailures(t *testing.T) {
 	boom := errors.New("boom")
 	good := Plan{Experiment: "x", Fingerprint: "fp",
 		Shards: []Shard{{Key: "ok", Run: func() (any, error) { return "fine", nil }}},
-		Merge:  func(parts []any) (string, error) { return parts[0].(string), nil }}
+		Merge:  func(parts []any) (*report.Doc, error) { return docOf(parts[0].(string)), nil }}
 	bad := Plan{Experiment: "x", Fingerprint: "fp",
 		Shards: []Shard{
 			{Key: "ok", Run: func() (any, error) { return "fine", nil }},
 			{Key: "bad", Run: func() (any, error) { return nil, boom }},
 		},
-		Merge: func([]any) (string, error) { t.Fatal("failed plan must not merge"); return "", nil }}
+		Merge: func([]any) (*report.Doc, error) { t.Fatal("failed plan must not merge"); return nil, nil }}
 	e := New(4, 0)
 	outs, _, errs, _ := e.ExecuteBatch([]Plan{good, bad})
-	if errs[0] != nil || outs[0] != "fine" {
-		t.Fatalf("healthy plan poisoned: out=%q err=%v", outs[0], errs[0])
+	if errs[0] != nil || docLine(outs[0]) != "fine" {
+		t.Fatalf("healthy plan poisoned: out=%q err=%v", docLine(outs[0]), errs[0])
 	}
 	if !errors.Is(errs[1], boom) || !strings.Contains(errs[1].Error(), "bad") {
 		t.Fatalf("errs[1]=%v", errs[1])

@@ -1,0 +1,204 @@
+package report
+
+// This file is the typed result model. Experiments used to merge their
+// shards straight into pre-rendered strings; they now build a Doc — an
+// ordered list of typed sections (tables, free-form findings, numeric
+// series) plus run metadata — and the renderers below produce every
+// transport from it: Text reproduces the legacy operator-facing report
+// byte-for-byte (pinned by the golden suite), JSON is the stable
+// canonical encoding served by the daemon, and CSV is the
+// spreadsheet/pandas view mirroring the RowPress artifact's
+// machine-readable figure datasets.
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Param is one (key, value) pair of run metadata. Params are a slice,
+// not a map, so the canonical encoding has a deterministic order.
+type Param struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// TableData is a rendered-value table: rows of formatted cells under
+// headers. Cells are strings (formatted with Num/Pct/Box) so every
+// transport agrees on the exact values the text report shows.
+type TableData struct {
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+// SeriesPoint is one (x, y) sample of a Series.
+type SeriesPoint struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// Series is a numeric (x, y) sequence — the figure-shaped view of a
+// sweep for clients that want to re-plot rather than re-read a table.
+type Series struct {
+	XLabel string        `json:"x_label"`
+	YLabel string        `json:"y_label"`
+	Points []SeriesPoint `json:"points"`
+}
+
+// DocSection is one titled block of a Doc. Bodies compose in a fixed
+// order: the table (if any), then note lines appended under the table,
+// then free-form finding lines, then the series. Every body kind is
+// optional; a section with only Findings is a prose block.
+type DocSection struct {
+	Title    string     `json:"title"`
+	Table    *TableData `json:"table,omitempty"`
+	Notes    []string   `json:"notes,omitempty"`
+	Findings []string   `json:"findings,omitempty"`
+	Series   *Series    `json:"series,omitempty"`
+}
+
+// Doc is one experiment's structured result document. Experiment,
+// Title, and Params are stamped by core.PlanFor after the merge runs;
+// merges only build Sections.
+type Doc struct {
+	Experiment string       `json:"experiment,omitempty"`
+	Title      string       `json:"title,omitempty"`
+	Params     []Param      `json:"params,omitempty"`
+	Sections   []DocSection `json:"sections"`
+}
+
+// NewDoc builds a Doc from sections in order.
+func NewDoc(sections ...DocSection) *Doc {
+	return &Doc{Sections: sections}
+}
+
+// TableSection builds a table-bodied section; notes render as trailing
+// lines under the table.
+func TableSection(title string, headers []string, rows [][]string, notes ...string) DocSection {
+	return DocSection{Title: title, Table: &TableData{Headers: headers, Rows: rows}, Notes: notes}
+}
+
+// FindingsSection builds a prose section of one line per finding.
+func FindingsSection(title string, lines ...string) DocSection {
+	return DocSection{Title: title, Findings: lines}
+}
+
+// Add appends sections and returns the Doc for chaining.
+func (d *Doc) Add(sections ...DocSection) *Doc {
+	d.Sections = append(d.Sections, sections...)
+	return d
+}
+
+// text renders one section exactly as the legacy string path did:
+// Section(title, body) with the body parts concatenated in model order.
+func (s DocSection) text() string {
+	var b strings.Builder
+	if s.Table != nil {
+		b.WriteString(Table(s.Table.Headers, s.Table.Rows))
+	}
+	for _, n := range s.Notes {
+		b.WriteString(n)
+		b.WriteByte('\n')
+	}
+	for _, f := range s.Findings {
+		b.WriteString(f)
+		b.WriteByte('\n')
+	}
+	if s.Series != nil {
+		for _, p := range s.Series.Points {
+			fmt.Fprintf(&b, "%s %s\n", Num(p.X), Num(p.Y))
+		}
+	}
+	return Section(s.Title, b.String())
+}
+
+// Text renders the document as the operator-facing report — the exact
+// bytes the pre-Doc merge path produced (sections joined with a single
+// newline, which reads as a blank line because table bodies end in one).
+func Text(d *Doc) string {
+	if d == nil {
+		return ""
+	}
+	parts := make([]string, len(d.Sections))
+	for i, s := range d.Sections {
+		parts[i] = s.text()
+	}
+	return strings.Join(parts, "\n")
+}
+
+// JSON is the canonical encoding: compact, struct-field-ordered keys
+// (encoding/json emits struct fields in declaration order, and the
+// model holds no maps), trailing newline. Equal Docs encode to equal
+// bytes, so the encoding is usable as a content address.
+func JSON(d *Doc) ([]byte, error) {
+	var b strings.Builder
+	enc := json.NewEncoder(&b)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(d); err != nil {
+		return nil, err
+	}
+	return []byte(b.String()), nil
+}
+
+// CSVEscape quotes a cell when it contains a separator, quote, or
+// newline (RFC 4180).
+func CSVEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+func csvRow(b *strings.Builder, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(CSVEscape(c))
+	}
+	b.WriteByte('\n')
+}
+
+// CSV renders the document for spreadsheet/pandas ingestion: one CSV
+// block per table or series section (header row then data rows),
+// sections separated by a blank line, with document and section
+// metadata on '#'-prefixed comment lines (pandas: comment='#'). Notes
+// and findings become comment lines too, so no report content is lost.
+func CSV(d *Doc) string {
+	if d == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# experiment: %s\n", d.Experiment)
+	if d.Title != "" {
+		fmt.Fprintf(&b, "# title: %s\n", d.Title)
+	}
+	for _, p := range d.Params {
+		fmt.Fprintf(&b, "# param: %s=%s\n", p.Key, p.Value)
+	}
+	for i, s := range d.Sections {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "# section: %s\n", s.Title)
+		if s.Table != nil {
+			csvRow(&b, s.Table.Headers)
+			for _, r := range s.Table.Rows {
+				csvRow(&b, r)
+			}
+		}
+		for _, n := range s.Notes {
+			fmt.Fprintf(&b, "# note: %s\n", n)
+		}
+		for _, f := range s.Findings {
+			fmt.Fprintf(&b, "# finding: %s\n", f)
+		}
+		if s.Series != nil {
+			csvRow(&b, []string{s.Series.XLabel, s.Series.YLabel})
+			for _, p := range s.Series.Points {
+				fmt.Fprintf(&b, "%g,%g\n", p.X, p.Y)
+			}
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,118 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// sampleDoc exercises every section body kind the model supports:
+// table, table+notes, findings, and series.
+func sampleDoc() *Doc {
+	d := NewDoc(
+		TableSection("Plain table", []string{"a", "b"}, [][]string{{"1", "2"}, {"3", "4"}}),
+		TableSection("Table with note", []string{"k"}, [][]string{{"v"}}, "paper: reference values"),
+		FindingsSection("Finding block", "line one", "line two"),
+		DocSection{Title: "Series block", Series: &Series{
+			XLabel: "tAggON", YLabel: "ACmin",
+			Points: []SeriesPoint{{X: 1, Y: 100}, {X: 2, Y: 50.5}},
+		}},
+	)
+	d.Experiment = "sample"
+	d.Title = "Sample document"
+	d.Params = []Param{{Key: "scale", Value: "0.5"}}
+	return d
+}
+
+// TestTextRendersEverySectionKind pins the exact text rendering of each
+// body type: Section(title, body) blocks joined by one newline, tables
+// via the aligned Table renderer, notes/findings one line each, series
+// as "x y" Num-formatted lines.
+func TestTextRendersEverySectionKind(t *testing.T) {
+	want := "== Plain table ==\n" +
+		Table([]string{"a", "b"}, [][]string{{"1", "2"}, {"3", "4"}}) +
+		"\n== Table with note ==\n" +
+		Table([]string{"k"}, [][]string{{"v"}}) +
+		"paper: reference values\n" +
+		"\n== Finding block ==\n" +
+		"line one\nline two\n" +
+		"\n== Series block ==\n" +
+		"1.00 100\n2.00 50.50\n"
+	if got := Text(sampleDoc()); got != want {
+		t.Fatalf("text rendering:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestTextNilAndEmpty(t *testing.T) {
+	if Text(nil) != "" {
+		t.Fatal("nil doc should render empty")
+	}
+	if Text(NewDoc()) != "" {
+		t.Fatal("sectionless doc should render empty")
+	}
+}
+
+// TestCSVRendersEverySectionKind: metadata and prose on '#' comment
+// lines, one CSV block per table/series section, blank line between
+// sections.
+func TestCSVRendersEverySectionKind(t *testing.T) {
+	want := "# experiment: sample\n" +
+		"# title: Sample document\n" +
+		"# param: scale=0.5\n" +
+		"# section: Plain table\n" +
+		"a,b\n1,2\n3,4\n" +
+		"\n# section: Table with note\n" +
+		"k\nv\n# note: paper: reference values\n" +
+		"\n# section: Finding block\n" +
+		"# finding: line one\n# finding: line two\n" +
+		"\n# section: Series block\n" +
+		"tAggON,ACmin\n1,100\n2,50.5\n"
+	if got := CSV(sampleDoc()); got != want {
+		t.Fatalf("csv rendering:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	if CSV(nil) != "" {
+		t.Fatal("nil doc should render empty CSV")
+	}
+}
+
+func TestCSVEscape(t *testing.T) {
+	for in, want := range map[string]string{
+		"plain":      "plain",
+		"a,b":        `"a,b"`,
+		`say "hi"`:   `"say ""hi"""`,
+		"two\nlines": "\"two\nlines\"",
+	} {
+		if got := CSVEscape(in); got != want {
+			t.Errorf("CSVEscape(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestJSONCanonicalRoundTrip: deterministic bytes, lossless round trip,
+// series points included.
+func TestJSONCanonicalRoundTrip(t *testing.T) {
+	d := sampleDoc()
+	j1, err := JSON(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, _ := JSON(d)
+	if !bytes.Equal(j1, j2) {
+		t.Fatal("encoding not deterministic")
+	}
+	var round Doc
+	if err := json.Unmarshal(j1, &round); err != nil {
+		t.Fatal(err)
+	}
+	j3, _ := JSON(&round)
+	if !bytes.Equal(j1, j3) {
+		t.Fatal("round trip changed the encoding")
+	}
+	if Text(&round) != Text(d) {
+		t.Fatal("round trip changed the text rendering")
+	}
+	if !strings.Contains(string(j1), `"series":{"x_label":"tAggON"`) {
+		t.Fatalf("series missing from JSON: %s", j1)
+	}
+}

@@ -10,14 +10,19 @@
 //	GET  /v1/experiments      registered experiment ids and titles
 //	GET  /v1/scenarios        the attack-scenario matrix (internal/scenario
 //	                          catalog) played by the scenario experiments
+//	                          (?format=json|text|csv)
 //	GET  /v1/run/{exp}        run one experiment (?scale, ?seed, ?modules,
-//	                          ?format=json|text), reporting cache stats
+//	                          ?format=json|text|csv|ndjson), reporting
+//	                          cache stats; json carries the typed
+//	                          report.Doc, ndjson streams per-shard
+//	                          completion events before the final document
 //	POST /v1/sweep            batched parameter sweep (sweep.Spec in the
 //	                          body, ?format=json|text|csv); per-point
-//	                          reports/stats plus the aggregate
+//	                          docs/stats plus the aggregate
 //	GET  /v1/results          recent completed runs and sweeps (including
 //	                          failures) with latency + hits
-//	GET  /v1/metrics          cumulative engine, cache, and failure counters
+//	GET  /v1/metrics          cumulative engine, per-cache-tier, and
+//	                          failure counters
 package serve
 
 import (
@@ -32,6 +37,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/report"
 	"repro/internal/scenario"
 	"repro/internal/sweep"
 )
@@ -39,15 +45,18 @@ import (
 // maxResults bounds the /v1/results history ring.
 const maxResults = 256
 
-// RunResponse is the JSON body of /v1/run/{exp}.
+// RunResponse is the JSON body of /v1/run/{exp} (and the "done" event
+// of the NDJSON stream). Doc is the typed result document; Report is
+// its text rendering, kept for operators reading responses raw.
 type RunResponse struct {
-	Experiment string   `json:"experiment"`
-	Title      string   `json:"title,omitempty"`
-	Scale      float64  `json:"scale"`
-	Seed       uint64   `json:"seed"`
-	Modules    []string `json:"modules,omitempty"`
-	Report     string   `json:"report"`
-	Stats      RunStats `json:"stats"`
+	Experiment string      `json:"experiment"`
+	Title      string      `json:"title,omitempty"`
+	Scale      float64     `json:"scale"`
+	Seed       uint64      `json:"seed"`
+	Modules    []string    `json:"modules,omitempty"`
+	Doc        *report.Doc `json:"doc,omitempty"`
+	Report     string      `json:"report"`
+	Stats      RunStats    `json:"stats"`
 }
 
 // RunStats mirrors engine.RunStats for the wire, with latency in
@@ -75,7 +84,10 @@ type ResultRecord struct {
 	CompletedAt time.Time `json:"completed_at"`
 }
 
-// MetricsResponse is the JSON body of /v1/metrics.
+// MetricsResponse is the JSON body of /v1/metrics. The cache_* fields
+// are the in-memory tier (the historical names, kept stable for
+// scrapers); the disk_* fields are the persistent warm-start tier and
+// stay zero when the daemon runs without -cache-dir.
 type MetricsResponse struct {
 	UptimeS        float64 `json:"uptime_s"`
 	Workers        int     `json:"workers"`
@@ -87,6 +99,14 @@ type MetricsResponse struct {
 	CacheEntries   int     `json:"cache_entries"`
 	CacheEvictions uint64  `json:"cache_evictions"`
 	CacheHitRate   float64 `json:"cache_hit_rate"`
+	DiskEnabled    bool    `json:"disk_enabled"`
+	DiskEntries    int     `json:"disk_entries"`
+	DiskBytes      int64   `json:"disk_bytes"`
+	DiskHits       uint64  `json:"disk_hits"`
+	DiskMisses     uint64  `json:"disk_misses"`
+	DiskEvictions  uint64  `json:"disk_evictions"`
+	DiskWrites     uint64  `json:"disk_writes"`
+	DiskWriteErrs  uint64  `json:"disk_write_errors"`
 	Errors         uint64  `json:"errors"`
 	RunFailures    uint64  `json:"run_failures"` // failed runs + failed sweep points served by this process
 	TotalWallMS    float64 `json:"total_wall_ms"`
@@ -184,13 +204,29 @@ type ScenarioInfo struct {
 
 // handleScenarios mirrors /v1/experiments for the attack-scenario
 // matrix: the catalog played by the scenario-grid and
-// scenario-mitigation experiments.
+// scenario-mitigation experiments. Formats are validated exactly like
+// the run and sweep endpoints — unknown values are a 400 naming the
+// allowed list, never a silent JSON fallthrough.
 func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
-	var out []ScenarioInfo
-	for _, sc := range scenario.Catalog() {
-		out = append(out, ScenarioInfo{Spec: sc, Kind: sc.KindName(), Pattern: sc.Pattern()})
+	format, err := parseFormat(r, "json", "text", "csv")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
 	}
-	writeJSON(w, http.StatusOK, out)
+	switch format {
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, scenario.MatrixText())
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		fmt.Fprint(w, scenario.MatrixCSV())
+	default:
+		var out []ScenarioInfo
+		for _, sc := range scenario.Catalog() {
+			out = append(out, ScenarioInfo{Spec: sc, Kind: sc.KindName(), Pattern: sc.Pattern()})
+		}
+		writeJSON(w, http.StatusOK, out)
+	}
 }
 
 // parseOptions decodes ?scale, ?seed, ?modules into core.Options.
@@ -236,9 +272,35 @@ func parseFormat(r *http.Request, allowed ...string) (string, error) {
 	return "", fmt.Errorf("bad format %q: want one of %s", v, strings.Join(allowed, "|"))
 }
 
+// shardEvent is one NDJSON stream line emitted while a /v1/run executes.
+type shardEvent struct {
+	Event  string  `json:"event"` // "shard"
+	Index  int     `json:"index"`
+	Key    string  `json:"key"`
+	Cached bool    `json:"cached"`
+	WallMS float64 `json:"wall_ms"`
+	Error  string  `json:"error,omitempty"`
+}
+
+// streamDone is the final NDJSON line of a successful run: the full
+// run response under an event tag.
+type streamDone struct {
+	Event string `json:"event"` // "done"
+	RunResponse
+}
+
+// streamError is the final NDJSON line of a failed run. A dedicated
+// type, not a zero-valued streamDone: embedding the empty RunResponse
+// would emit fabricated experiment/stats fields a client could
+// mistake for data.
+type streamError struct {
+	Event string `json:"event"` // "error"
+	Error string `json:"error"`
+}
+
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("exp")
-	format, err := parseFormat(r, "json", "text")
+	format, err := parseFormat(r, "json", "text", "csv", "ndjson")
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -257,7 +319,36 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "%v", err)
 		return
 	}
-	out, es, err := s.eng.Execute(p)
+
+	// NDJSON mode: stream per-shard completion events as the engine
+	// resolves them, then the final document. Shard events arrive from
+	// worker goroutines, so writes are serialized and flushed per line.
+	var enc *json.Encoder
+	var wmu sync.Mutex
+	if format == "ndjson" {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		flusher, _ := w.(http.Flusher)
+		enc = json.NewEncoder(w)
+		enc.SetEscapeHTML(false)
+		p.OnShard = func(ev engine.ShardEvent) {
+			wmu.Lock()
+			defer wmu.Unlock()
+			e := shardEvent{
+				Event: "shard", Index: ev.Index, Key: ev.Key, Cached: ev.Cached,
+				WallMS: float64(ev.Wall) / float64(time.Millisecond),
+			}
+			if ev.Err != nil {
+				e.Error = ev.Err.Error()
+			}
+			_ = enc.Encode(e)
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
+
+	doc, es, err := s.eng.Execute(p)
+	text := report.Text(doc)
 	stats := RunStats{
 		Shards:    es.Shards,
 		CacheHits: es.CacheHits,
@@ -269,31 +360,46 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		Experiment:  id,
 		Kind:        "run",
 		Fingerprint: p.Fingerprint,
-		Bytes:       len(out),
+		Bytes:       len(text),
 		Stats:       stats,
 		CompletedAt: s.now().UTC(),
 	}
 	if err != nil {
 		rec.Error = err.Error()
 		s.record(rec, 1)
+		if format == "ndjson" {
+			wmu.Lock()
+			_ = enc.Encode(streamError{Event: "error", Error: err.Error()})
+			wmu.Unlock()
+			return
+		}
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	s.record(rec, 0)
-	if format == "text" {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprint(w, out)
-		return
-	}
 	var title string
 	if e, ok := core.Get(id); ok {
 		title = e.Title
 	}
-	writeJSON(w, http.StatusOK, RunResponse{
+	resp := RunResponse{
 		Experiment: id, Title: title,
 		Scale: o.Scale, Seed: o.Seed, Modules: o.Modules,
-		Report: out, Stats: stats,
-	})
+		Doc: doc, Report: text, Stats: stats,
+	}
+	switch format {
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, text)
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		fmt.Fprint(w, report.CSV(doc))
+	case "ndjson":
+		wmu.Lock()
+		_ = enc.Encode(streamDone{Event: "done", RunResponse: resp})
+		wmu.Unlock()
+	default:
+		writeJSON(w, http.StatusOK, resp)
+	}
 }
 
 // maxSweepBody bounds the /v1/sweep request body (a spec is a few
@@ -396,7 +502,6 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m := s.eng.Metrics()
-	cs := s.eng.Cache().Stats()
 	s.mu.Lock()
 	failures := s.failures
 	s.mu.Unlock()
@@ -408,9 +513,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		ShardsExecuted: m.ShardsExecuted,
 		CacheHits:      m.CacheHits,
 		CacheMisses:    m.CacheMisses,
-		CacheEntries:   cs.Entries,
-		CacheEvictions: cs.Evictions,
-		CacheHitRate:   cs.HitRate(),
+		CacheEntries:   m.Mem.Entries,
+		CacheEvictions: m.Mem.Evictions,
+		CacheHitRate:   m.Mem.HitRate(),
+		DiskEnabled:    s.eng.Disk() != nil,
+		DiskEntries:    m.Disk.Entries,
+		DiskBytes:      m.Disk.Bytes,
+		DiskHits:       m.Disk.Hits,
+		DiskMisses:     m.Disk.Misses,
+		DiskEvictions:  m.Disk.Evictions,
+		DiskWrites:     m.Disk.Writes,
+		DiskWriteErrs:  m.Disk.WriteErrors,
 		Errors:         m.Errors,
 		RunFailures:    failures,
 		TotalWallMS:    float64(m.TotalWall) / float64(time.Millisecond),

@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dram"
 	"repro/internal/engine"
+	"repro/internal/report"
 	"repro/internal/scenario"
 	"repro/internal/sweep"
 )
@@ -179,26 +180,159 @@ func TestModulesParsingNormalized(t *testing.T) {
 	}
 }
 
-func TestUnknownFormatRejected(t *testing.T) {
+// TestFormatMatrix pins ?format handling uniformly across every
+// format-aware endpoint: each supported value serves its content type
+// with a 200, and every unknown value is a 400 whose error names the
+// allowed list — never a silent JSON fallthrough.
+func TestFormatMatrix(t *testing.T) {
 	_, ts := newTestServer(t)
-	if resp := getJSON(t, ts.URL+runQuery+"&format=xml", nil); resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("unknown run format: %d", resp.StatusCode)
+	fetch := func(t *testing.T, endpoint, format string) (*http.Response, string) {
+		t.Helper()
+		url := ts.URL + endpoint
+		if format != "" {
+			sep := "?"
+			if strings.Contains(endpoint, "?") {
+				sep = "&"
+			}
+			url += sep + "format=" + format
+		}
+		var resp *http.Response
+		var err error
+		if endpoint == "/v1/sweep" {
+			resp, err = http.Post(url, "application/json",
+				strings.NewReader(`{"experiment":"fig7","scales":[0.05],"module_sets":[["S0"]]}`))
+		} else {
+			resp, err = http.Get(url)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		return resp, string(raw)
 	}
-	// csv is a sweep rendering, not a run rendering.
-	if resp := getJSON(t, ts.URL+runQuery+"&format=csv", nil); resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("csv on /v1/run: %d", resp.StatusCode)
+
+	endpoints := map[string]struct {
+		ok      map[string]string // format -> content-type prefix
+		allowed string            // list a 400 must name
+	}{
+		runQuery: {
+			ok: map[string]string{
+				"": "application/json", "json": "application/json",
+				"text": "text/plain", "csv": "text/csv", "ndjson": "application/x-ndjson",
+			},
+			allowed: "json|text|csv|ndjson",
+		},
+		"/v1/sweep": {
+			ok: map[string]string{
+				"": "application/json", "json": "application/json",
+				"text": "text/plain", "csv": "text/csv",
+			},
+			allowed: "json|text|csv",
+		},
+		"/v1/scenarios": {
+			ok: map[string]string{
+				"": "application/json", "json": "application/json",
+				"text": "text/plain", "csv": "text/csv",
+			},
+			allowed: "json|text|csv",
+		},
 	}
-	if resp := getJSON(t, ts.URL+runQuery+"&format=json", nil); resp.StatusCode != http.StatusOK {
-		t.Fatalf("explicit json format: %d", resp.StatusCode)
+	for endpoint, tc := range endpoints {
+		for format, wantCT := range tc.ok {
+			t.Run(endpoint+"/format="+format, func(t *testing.T) {
+				resp, body := fetch(t, endpoint, format)
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("status %d: %s", resp.StatusCode, body)
+				}
+				if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, wantCT) {
+					t.Fatalf("content type %q, want prefix %q", ct, wantCT)
+				}
+			})
+		}
+		for _, format := range []string{"xml", "yaml", "JSON"} {
+			t.Run(endpoint+"/bad-format="+format, func(t *testing.T) {
+				resp, body := fetch(t, endpoint, format)
+				if resp.StatusCode != http.StatusBadRequest {
+					t.Fatalf("unknown format %q: status %d", format, resp.StatusCode)
+				}
+				if !strings.Contains(body, tc.allowed) {
+					t.Fatalf("400 body does not name the allowed formats %q: %s", tc.allowed, body)
+				}
+			})
+		}
 	}
-	resp, err := http.Post(ts.URL+"/v1/sweep?format=yaml", "application/json",
-		strings.NewReader(`{"experiment":"fig7"}`))
+}
+
+// TestRunJSONCarriesTypedDoc: the JSON response exposes the structured
+// document, and its text rendering matches the report field.
+func TestRunJSONCarriesTypedDoc(t *testing.T) {
+	_, ts := newTestServer(t)
+	var r RunResponse
+	getJSON(t, ts.URL+runQuery, &r)
+	if r.Doc == nil || len(r.Doc.Sections) == 0 {
+		t.Fatalf("run response carries no doc: %+v", r)
+	}
+	if r.Doc.Experiment != "fig7" || len(r.Doc.Params) == 0 {
+		t.Fatalf("doc metadata missing: %+v", r.Doc)
+	}
+	if report.Text(r.Doc) != r.Report {
+		t.Fatal("doc text rendering differs from report field")
+	}
+}
+
+// TestRunNDJSONStreams: format=ndjson emits one shard event per planned
+// shard (in any order, from worker goroutines) and a final done event
+// whose document matches the JSON response.
+func TestRunNDJSONStreams(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + runQuery + "&format=ndjson")
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("unknown sweep format: %d", resp.StatusCode)
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/x-ndjson") {
+		t.Fatalf("content type %q", ct)
+	}
+	var shardEvents, done int
+	var final struct {
+		Event  string      `json:"event"`
+		Report string      `json:"report"`
+		Stats  RunStats    `json:"stats"`
+		Doc    *report.Doc `json:"doc"`
+	}
+	dec := json.NewDecoder(resp.Body)
+	for dec.More() {
+		var probe struct {
+			Event string `json:"event"`
+		}
+		raw := json.RawMessage{}
+		if err := dec.Decode(&raw); err != nil {
+			t.Fatalf("decode stream line: %v", err)
+		}
+		if err := json.Unmarshal(raw, &probe); err != nil {
+			t.Fatal(err)
+		}
+		switch probe.Event {
+		case "shard":
+			shardEvents++
+			if done != 0 {
+				t.Fatal("shard event after done")
+			}
+		case "done":
+			done++
+			if err := json.Unmarshal(raw, &final); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			t.Fatalf("unexpected event %q", probe.Event)
+		}
+	}
+	if shardEvents != 2 || done != 1 { // fig7 with 2 modules plans 2 shards
+		t.Fatalf("stream shape: %d shard events, %d done", shardEvents, done)
+	}
+	if final.Doc == nil || final.Stats.Shards != 2 || final.Report == "" {
+		t.Fatalf("done event malformed: %+v", final)
 	}
 }
 
@@ -491,5 +625,55 @@ func TestScenariosListed(t *testing.T) {
 	cb, ok := byName["combined-b4-7.8us"]
 	if !ok || cb.Kind != "combined" || cb.Burst != 4 || cb.TAggON != 7800*dram.Nanosecond {
 		t.Fatalf("combined entry malformed: %+v", cb)
+	}
+}
+
+// TestWarmStartAcrossProcesses is the end-to-end warm-start contract:
+// a "restarted daemon" — a second server over a fresh engine whose disk
+// cache points at the first server's directory — answers a previously
+// computed /v1/run with zero shards executed, visible in both the run's
+// stats and /v1/metrics.
+func TestWarmStartAcrossProcesses(t *testing.T) {
+	dir := t.TempDir()
+	newServer := func() (*Server, *httptest.Server) {
+		eng := engine.New(4, 0)
+		dc, err := engine.OpenDiskCache(dir, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.AttachDiskCache(dc)
+		s := New(eng)
+		ts := httptest.NewServer(s)
+		t.Cleanup(ts.Close)
+		return s, ts
+	}
+
+	s1, ts1 := newServer()
+	var cold RunResponse
+	getJSON(t, ts1.URL+runQuery, &cold)
+	if cold.Stats.Executed == 0 {
+		t.Fatalf("cold run executed nothing: %+v", cold.Stats)
+	}
+	if err := s1.Engine().Disk().Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts2 := newServer()
+	var warm RunResponse
+	getJSON(t, ts2.URL+runQuery, &warm)
+	if warm.Stats.Executed != 0 || !warm.Stats.FromCache || warm.Stats.CacheHits != warm.Stats.Shards {
+		t.Fatalf("second process executed shards: %+v", warm.Stats)
+	}
+	if warm.Report != cold.Report {
+		t.Fatal("warm-started report differs from the original")
+	}
+
+	var m MetricsResponse
+	getJSON(t, ts2.URL+"/v1/metrics", &m)
+	if !m.DiskEnabled || m.ShardsExecuted != 0 || m.DiskHits != uint64(warm.Stats.Shards) {
+		t.Fatalf("warm-start metrics: %+v", m)
+	}
+	if m.DiskEntries == 0 {
+		t.Fatalf("disk tier reports no entries: %+v", m)
 	}
 }

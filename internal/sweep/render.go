@@ -3,15 +3,18 @@ package sweep
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/report"
 )
 
 // This file renders a Result for the three transports the daemon and
-// CLI speak: JSON is plain encoding/json over Result; Text is the
-// operator-facing view (every point's report, then the aggregate); CSV
-// is one row per point for spreadsheet/pandas ingestion. Text embeds
-// the point reports verbatim and in grid order, framed by per-point
-// headers and an aggregate footer — the byte-identical-to-single-runs
-// guarantee applies to the Report fields, not to the framed stream.
+// CLI speak, built on the shared internal/report renderers: JSON is
+// plain encoding/json over Result (each point carries its typed
+// report.Doc); Text frames each point's report.Text rendering with
+// per-point headers and an aggregate footer; CSV is one report.CSVEscape'd
+// row per point for spreadsheet/pandas ingestion. The
+// byte-identical-to-single-runs guarantee applies to the Report fields,
+// not to the framed stream.
 
 // modulesLabel renders a point's module list for headers and CSV cells.
 func modulesLabel(mods []string) string {
@@ -50,15 +53,6 @@ func (r *Result) Text() string {
 	return b.String()
 }
 
-// csvEscape quotes a cell when it contains a separator, quote, or
-// newline (RFC 4180).
-func csvEscape(s string) string {
-	if !strings.ContainsAny(s, ",\"\n") {
-		return s
-	}
-	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
-}
-
 // CSV renders one row per point: the grid coordinates, the per-point
 // batch accounting, the report size, and any error. Reports themselves
 // are not embedded — fetch them via JSON or text.
@@ -67,9 +61,9 @@ func (r *Result) CSV() string {
 	b.WriteString("experiment,scale,seed,modules,shards,cache_hits,executed,wall_ms,report_bytes,error\n")
 	for _, p := range r.Points {
 		fmt.Fprintf(&b, "%s,%g,%d,%s,%d,%d,%d,%.3f,%d,%s\n",
-			csvEscape(r.Experiment), p.Scale, p.Seed, csvEscape(modulesLabel(p.Modules)),
+			report.CSVEscape(r.Experiment), p.Scale, p.Seed, report.CSVEscape(modulesLabel(p.Modules)),
 			p.Stats.Shards, p.Stats.CacheHits, p.Stats.Executed, p.Stats.WallMS,
-			len(p.Report), csvEscape(p.Error))
+			len(p.Report), report.CSVEscape(p.Error))
 	}
 	return b.String()
 }

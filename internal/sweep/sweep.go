@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/report"
 	"repro/internal/stats"
 )
 
@@ -53,12 +54,15 @@ type PointStats struct {
 	WallMS    float64 `json:"wall_ms"`
 }
 
-// PointResult is one completed (or failed) grid point.
+// PointResult is one completed (or failed) grid point. Doc is the typed
+// result document; Report is its text rendering (report.Text), kept on
+// the wire so operators can read sweep responses without re-rendering.
 type PointResult struct {
 	Point
-	Report string     `json:"report,omitempty"`
-	Error  string     `json:"error,omitempty"`
-	Stats  PointStats `json:"stats"`
+	Doc    *report.Doc `json:"doc,omitempty"`
+	Report string      `json:"report,omitempty"`
+	Error  string      `json:"error,omitempty"`
+	Stats  PointStats  `json:"stats"`
 }
 
 // Aggregate summarizes a whole sweep: grid size, shard-level
@@ -179,7 +183,7 @@ func Run(eng *engine.Engine, spec Spec) (*Result, error) {
 	}
 	walls := make([]float64, len(points))
 	for i, pt := range points {
-		pr := PointResult{Point: pt, Report: outs[i], Stats: PointStats{
+		pr := PointResult{Point: pt, Doc: outs[i], Report: report.Text(outs[i]), Stats: PointStats{
 			Shards:    runStats[i].Shards,
 			CacheHits: runStats[i].CacheHits,
 			Executed:  runStats[i].Executed,
@@ -187,7 +191,7 @@ func Run(eng *engine.Engine, spec Spec) (*Result, error) {
 		}}
 		if errs[i] != nil {
 			pr.Error = errs[i].Error()
-			pr.Report = ""
+			pr.Doc, pr.Report = nil, ""
 			res.Aggregate.Failed++
 		}
 		res.Aggregate.ReportBytes += len(pr.Report)

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/report"
 )
 
 // testScale keeps sweep tests fast while preserving per-module sharding.
@@ -97,7 +98,7 @@ func TestSweepReusesShardsOfPriorSingleRuns(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		singles[i] = out
+		singles[i] = report.Text(out)
 	}
 	pre := eng.Metrics()
 	if pre.ShardsExecuted != 2 {
@@ -130,10 +131,11 @@ func TestSweepReusesShardsOfPriorSingleRuns(t *testing.T) {
 	// The remaining single run must also be byte-identical.
 	o := core.DefaultOptions()
 	o.Scale, o.Modules = testScale, []string{"M3"}
-	singles[2], err = core.RunWith(eng, "fig7", o)
+	lastDoc, err := core.RunWith(eng, "fig7", o)
 	if err != nil {
 		t.Fatal(err)
 	}
+	singles[2] = report.Text(lastDoc)
 	var concat, sweepConcat strings.Builder
 	for i := range singles {
 		concat.WriteString(singles[i])
