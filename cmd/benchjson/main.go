@@ -12,10 +12,20 @@
 // under -regress, or the command exits non-zero after writing the
 // record — CI's perf-regression tripwire.
 //
+// Raw ns/op comparisons across machines (a committed baseline vs a
+// fresh CI runner) carry the host-speed difference in every ratio, so
+// a tight gate would trip on hardware, not code. -calibrate REGEX
+// names benchmarks whose code paths the change under test does not
+// touch: their geomean ratio estimates the host-speed drift, every
+// gated ratio is divided by it, and the gate measures regression
+// relative to the same machine's unchanged code — tight enough for a
+// 2% zero-overhead gate.
+//
 // Usage:
 //
 //	go test -run=NONE -bench=. -benchmem ./... | benchjson -note "PR 5" > BENCH_5.json
 //	go test -run=NONE -bench=. -benchmem ./... | benchjson -baseline BENCH_4.json > BENCH_5.json
+//	... | benchjson -baseline BENCH_5.json -calibrate 'Search' -regress 1.02 > BENCH_6.json
 package main
 
 import (
@@ -25,6 +35,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"regexp"
 	"runtime"
 	"strconv"
 	"strings"
@@ -53,6 +64,7 @@ func main() {
 	note := flag.String("note", "", "free-form provenance note stored in the record")
 	baseline := flag.String("baseline", "", "prior benchmark record to gate against (geomean ns/op)")
 	regress := flag.Float64("regress", 1.25, "allowed geomean slowdown vs -baseline before failing")
+	calibrate := flag.String("calibrate", "", "regex of benchmarks untouched by the change: their geomean ratio divides out of the gate, cancelling host-speed drift vs the baseline machine")
 	flag.Parse()
 
 	rec := Record{
@@ -88,7 +100,7 @@ func main() {
 		os.Exit(1)
 	}
 	if *baseline != "" {
-		if err := gate(rec, *baseline, *regress); err != nil {
+		if err := gate(rec, *baseline, *regress, *calibrate); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}
@@ -98,8 +110,10 @@ func main() {
 // gate compares the new record against the baseline file: the geomean
 // of new/old ns/op over shared benchmark names must not exceed allowed.
 // Benchmark name suffixes like "-8" (GOMAXPROCS) are stripped so records
-// from machines with different core counts still compare.
-func gate(rec Record, baselinePath string, allowed float64) error {
+// from machines with different core counts still compare. Benchmarks
+// matching calPattern are machine-speed references: their geomean ratio
+// divides out of the gated geomean before the threshold check.
+func gate(rec Record, baselinePath string, allowed float64, calPattern string) error {
 	b, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return fmt.Errorf("baseline: %w", err)
@@ -108,28 +122,50 @@ func gate(rec Record, baselinePath string, allowed float64) error {
 	if err := json.Unmarshal(b, &base); err != nil {
 		return fmt.Errorf("baseline %s: %w", baselinePath, err)
 	}
+	var calRE *regexp.Regexp
+	if calPattern != "" {
+		if calRE, err = regexp.Compile(calPattern); err != nil {
+			return fmt.Errorf("-calibrate: %v", err)
+		}
+	}
 	old := make(map[string]float64, len(base.Results))
 	for _, r := range base.Results {
 		old[trimProcs(r.Name)] = r.NsPerOp
 	}
-	var logSum float64
-	var n int
+	var logSum, calLogSum float64
+	var n, calN int
 	for _, r := range rec.Results {
-		prev, ok := old[trimProcs(r.Name)]
+		name := trimProcs(r.Name)
+		prev, ok := old[name]
 		if !ok || prev <= 0 || r.NsPerOp <= 0 {
 			continue
 		}
 		ratio := r.NsPerOp / prev
-		fmt.Fprintf(os.Stderr, "benchjson: %-40s %12.0f -> %12.0f ns/op (%.2fx)\n",
-			trimProcs(r.Name), prev, r.NsPerOp, ratio)
-		logSum += math.Log(ratio)
-		n++
+		tag := ""
+		if calRE != nil && calRE.MatchString(name) {
+			tag = "  [calibration]"
+			calLogSum += math.Log(ratio)
+			calN++
+		} else {
+			logSum += math.Log(ratio)
+			n++
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %-40s %12.0f -> %12.0f ns/op (%.2fx)%s\n",
+			name, prev, r.NsPerOp, ratio, tag)
 	}
 	if n == 0 {
-		return fmt.Errorf("gate: no benchmarks shared with baseline %s", baselinePath)
+		return fmt.Errorf("gate: no gated benchmarks shared with baseline %s", baselinePath)
 	}
 	gm := math.Exp(logSum / float64(n))
-	fmt.Fprintf(os.Stderr, "benchjson: geomean over %d shared benchmarks: %.3fx (allowed %.2fx)\n", n, gm, allowed)
+	if calRE != nil {
+		if calN == 0 {
+			return fmt.Errorf("gate: -calibrate %q matches no benchmark shared with %s", calPattern, baselinePath)
+		}
+		speed := math.Exp(calLogSum / float64(calN))
+		fmt.Fprintf(os.Stderr, "benchjson: host-speed factor %.3fx from %d calibration benchmarks\n", speed, calN)
+		gm /= speed
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: geomean over %d gated benchmarks: %.3fx (allowed %.2fx)\n", n, gm, allowed)
 	if gm > allowed {
 		return fmt.Errorf("gate: geomean regression %.3fx exceeds %.2fx vs %s", gm, allowed, baselinePath)
 	}

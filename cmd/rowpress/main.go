@@ -15,14 +15,23 @@
 // invocation (or daemon) warm-starts from disk, and -stats prints a
 // cache-tier summary line after the run.
 //
+// Observability: -trace FILE attaches a span recorder to the engine and
+// writes the run's full shard lifecycle (queue wait, tiered cache
+// lookups, execution, merge) as Chrome trace-event JSON loadable in
+// chrome://tracing or Perfetto. `rowpress profile <id>` runs an
+// experiment cold under the recorder and prints the critical-path /
+// shard-dominance analysis instead of the experiment report.
+//
 // Usage:
 //
 //	rowpress list
 //	rowpress scenarios [-format text|csv]
 //	rowpress run <id> [-scale 0.5] [-modules S0,S3] [-seed 7] [-workers 8]
-//	                  [-format text|json|csv] [-cache-dir DIR] [-stats]
+//	                  [-format text|json|csv] [-cache-dir DIR] [-stats] [-trace FILE]
 //	rowpress sweep <id> [-scales 0.05,0.1] [-seeds 1,2] [-modulesets "S0,S3;H0,H4"]
 //	                    [-format text|json|csv] [-workers 8]
+//	rowpress profile <id> [-scale 0.5] [-workers 8] [-top 10] [-format text|json|csv]
+//	                      [-trace FILE]
 //	rowpress all [-scale 0.1] [-workers 8] [-serve :8271]
 //	rowpress serve [-addr :8271] [-workers 8] [-cache-dir DIR]
 package main
@@ -40,6 +49,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/scenario"
 	"repro/internal/serve"
@@ -66,6 +76,8 @@ func main() {
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file (run/sweep/all)")
 	cacheDir := fs.String("cache-dir", "", "persistent shard-cache directory (warm-starts across invocations and daemons)")
 	stats := fs.Bool("stats", false, "print a cache-tier summary line after the run (run/sweep/all)")
+	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON of the run to this file (run/sweep/all/profile)")
+	top := fs.Int("top", 10, "rows in the shard-dominance table (profile command)")
 
 	opts := func() core.Options {
 		o := core.DefaultOptions()
@@ -86,11 +98,21 @@ func main() {
 			}
 			e.AttachDiskCache(dc)
 		}
+		if *tracePath != "" {
+			e.SetRecorder(obs.NewRecorder(0))
+		}
 		return e
 	}
-	// finish flushes the disk-cache index and prints the -stats summary;
-	// every run-executing command calls it before exiting or serving.
+	// finish writes the trace, flushes the disk-cache index, and prints
+	// the -stats summary; every run-executing command calls it before
+	// exiting or serving.
 	finish := func(e *engine.Engine) {
+		if *tracePath != "" {
+			if err := writeTrace(e.Recorder(), *tracePath); err != nil {
+				fmt.Fprintf(os.Stderr, "rowpress: -trace: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		if d := e.Disk(); d != nil {
 			if err := d.Flush(); err != nil {
 				fmt.Fprintf(os.Stderr, "rowpress: cache flush: %v\n", err)
@@ -112,7 +134,7 @@ func main() {
 		if err := fs.Parse(os.Args[2:]); err != nil {
 			os.Exit(2)
 		}
-		rejectFlags(fs, "scenarios", "scale", "seed", "modules", "scales", "seeds", "modulesets", "cpuprofile", "cache-dir", "stats")
+		rejectFlags(fs, "scenarios", "scale", "seed", "modules", "scales", "seeds", "modulesets", "cpuprofile", "cache-dir", "stats", "trace", "top")
 		switch *format {
 		case "text":
 			fmt.Print(scenario.MatrixText())
@@ -132,7 +154,7 @@ func main() {
 		if err := fs.Parse(rest[1:]); err != nil {
 			os.Exit(2)
 		}
-		rejectFlags(fs, "run", "scales", "seeds", "modulesets")
+		rejectFlags(fs, "run", "scales", "seeds", "modulesets", "top")
 		switch *format {
 		case "text", "json", "csv":
 		default:
@@ -155,7 +177,7 @@ func main() {
 		if err := fs.Parse(rest[1:]); err != nil {
 			os.Exit(2)
 		}
-		rejectFlags(fs, "sweep", "scale", "seed", "modules")
+		rejectFlags(fs, "sweep", "scale", "seed", "modules", "top")
 		switch *format {
 		case "text", "json", "csv":
 		default:
@@ -173,11 +195,34 @@ func main() {
 		stop()
 		finish(e)
 		maybeServe(e, *serveAddr)
+	case "profile":
+		rest := os.Args[2:]
+		if len(rest) == 0 {
+			fmt.Fprintln(os.Stderr, "rowpress profile <id> [flags]")
+			os.Exit(2)
+		}
+		id := rest[0]
+		if err := fs.Parse(rest[1:]); err != nil {
+			os.Exit(2)
+		}
+		// Profiling measures a cold run: a warm-start cache or an
+		// already-serving engine would hide exactly the execution being
+		// measured.
+		rejectFlags(fs, "profile", "scales", "seeds", "modulesets", "cache-dir", "serve", "stats")
+		switch *format {
+		case "text", "json", "csv":
+		default:
+			fmt.Fprintf(os.Stderr, "rowpress: bad -format %q: want text|json|csv\n", *format)
+			os.Exit(2)
+		}
+		stop := startProfile(*cpuprofile)
+		runProfile(id, opts(), *workers, *top, *format, *tracePath)
+		stop()
 	case "all":
 		if err := fs.Parse(os.Args[2:]); err != nil {
 			os.Exit(2)
 		}
-		rejectFlags(fs, "all", "scales", "seeds", "modulesets", "format")
+		rejectFlags(fs, "all", "scales", "seeds", "modulesets", "format", "top")
 		e := eng()
 		stop := startProfile(*cpuprofile)
 		for _, exp := range core.List() {
@@ -192,7 +237,7 @@ func main() {
 		}
 		// cpuprofile would never stop; stats and format only apply to
 		// commands that run experiments and print their output.
-		rejectFlags(fs, "serve", "cpuprofile", "stats", "format")
+		rejectFlags(fs, "serve", "cpuprofile", "stats", "format", "trace", "top")
 		target := *serveAddr
 		if target == "" {
 			target = *addr
@@ -250,7 +295,71 @@ func runOne(eng *engine.Engine, id string, o core.Options, format string) {
 	}
 }
 
-// statsLine summarizes both cache tiers after the measured runs — the
+// runProfile executes one experiment cold under a span recorder and
+// prints the critical-path / shard-dominance analysis instead of the
+// experiment report. The engine is always fresh (no warm-start cache,
+// no prior runs), so every shard actually executes and the profile
+// measures real work.
+func runProfile(id string, o core.Options, workers, top int, format, tracePath string) {
+	e := engine.New(workers, 0)
+	rec := obs.NewRecorder(0)
+	e.SetRecorder(rec)
+	start := time.Now()
+	if _, err := core.RunWith(e, id, o); err != nil {
+		fmt.Fprintf(os.Stderr, "rowpress: profile %s: %v\n", id, err)
+		os.Exit(1)
+	}
+	wall := time.Since(start)
+	spans := rec.Snapshot()
+	doc := obs.Analyze(spans).Doc(top)
+	doc.Experiment = id
+	doc.Title = "Execution profile: " + id
+	doc.Params = append(doc.Params,
+		report.Param{Key: "scale", Value: fmt.Sprintf("%g", o.Scale)},
+		report.Param{Key: "workers", Value: strconv.Itoa(e.Workers())},
+	)
+	switch format {
+	case "json":
+		b, err := report.JSON(doc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rowpress: profile %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(b)
+	case "csv":
+		fmt.Print(report.CSV(doc))
+	default:
+		fmt.Printf("# profile %s (%.1fs wall, %d spans)\n%s\n", id, wall.Seconds(), len(spans), report.Text(doc))
+	}
+	if tracePath != "" {
+		if err := writeTrace(rec, tracePath); err != nil {
+			fmt.Fprintf(os.Stderr, "rowpress: -trace: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeTrace dumps the recorder's spans as Chrome trace-event JSON.
+func writeTrace(rec *obs.Recorder, path string) error {
+	if rec == nil {
+		return fmt.Errorf("engine has no span recorder attached")
+	}
+	if d := rec.Dropped(); d > 0 {
+		fmt.Fprintf(os.Stderr, "rowpress: trace ring overflowed; oldest %d spans dropped\n", d)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, rec.Snapshot()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// statsLine summarizes both cache tiers — plus queue wait and
+// tier-attributed lookup latency — after the measured runs: the
 // operator-facing view of the /v1/metrics counters.
 func statsLine(eng *engine.Engine) string {
 	m := eng.Metrics()
@@ -262,6 +371,11 @@ func statsLine(eng *engine.Engine) string {
 			m.Disk.Entries, m.Disk.Bytes, m.Disk.Hits, m.Disk.Misses, m.Disk.Evictions,
 			m.Disk.Writes, m.Disk.WriteErrors)
 	}
+	line += fmt.Sprintf(" | queue waits=%d avg=%s | lookup mem=%d/%s disk=%d/%s miss=%d/%s",
+		m.QueueWait.Count, m.QueueWait.Avg().Round(time.Microsecond),
+		m.MemLookup.Count, m.MemLookup.Avg().Round(time.Microsecond),
+		m.DiskLookup.Count, m.DiskLookup.Avg().Round(time.Microsecond),
+		m.MissLookup.Count, m.MissLookup.Avg().Round(time.Microsecond))
 	return line + "\n"
 }
 
@@ -364,10 +478,13 @@ commands:
   scenarios [flags]    list the attack-scenario matrix (-format text|csv)
   run <id> [flags]     run one experiment and print its report
   sweep <id> [flags]   run a batched parameter grid over one experiment
+  profile <id> [flags] run one experiment cold and print the critical-path /
+                       shard-dominance analysis (-top N rows, -trace FILE)
   all [flags]          run every experiment
   serve [flags]        serve the experiment engine over HTTP (see rowpressd)
 
 flags: -scale F  -modules S0,S3,...  -seed N  -workers N  -serve ADDR  -addr ADDR  -cpuprofile FILE
        -format text|json|csv  -cache-dir DIR (persistent warm-start cache)  -stats (cache-tier summary)
+       -trace FILE (Chrome trace-event JSON of the shard lifecycle; chrome://tracing, Perfetto)
 sweep flags: -scales F,F,...  -seeds N,N,...  -modulesets "S0,S3;H0,H4"`)
 }

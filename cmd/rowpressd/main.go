@@ -6,17 +6,27 @@
 // persisted to a size-bounded on-disk store, so a restarted daemon
 // answers previously computed runs without re-executing anything.
 //
-// The daemon shuts down gracefully: SIGINT/SIGTERM stop the listener,
-// in-flight requests drain through http.Server.Shutdown (bounded by
-// -drain-timeout), and the disk-cache index is flushed before exit.
+// Observability: every request is logged through log/slog (-log-level
+// picks the floor; request id, method, path, status, duration, shard
+// counts), /metrics serves the Prometheus text exposition, /v1/healthz
+// answers liveness/readiness probes (readiness flips to 503 while the
+// daemon drains), and -pprof exposes net/http/pprof under /debug/pprof/.
+//
+// The daemon shuts down gracefully: SIGINT/SIGTERM mark the server
+// draining (readiness goes 503 so load balancers stop routing) and stop
+// the listener, in-flight requests drain through http.Server.Shutdown
+// (bounded by -drain-timeout), and the disk-cache index is flushed
+// before exit.
 //
 // Usage:
 //
 //	rowpressd [-addr :8271] [-workers N] [-cache ENTRIES] [-warm 0.05]
 //	          [-cache-dir DIR] [-cache-disk-bytes N] [-drain-timeout 10s]
+//	          [-log-level info] [-pprof]
 //
-// Endpoints: /healthz, /v1/experiments, /v1/scenarios, /v1/run/{exp},
-// /v1/sweep, /v1/results, /v1/metrics. Examples:
+// Endpoints: /healthz, /v1/healthz, /metrics, /v1/experiments,
+// /v1/scenarios, /v1/run/{exp}, /v1/sweep, /v1/results, /v1/metrics.
+// Examples:
 //
 //	curl 'localhost:8271/v1/run/fig6?scale=0.1&modules=S0,S3&format=text'
 //	curl 'localhost:8271/v1/run/fig6?scale=0.1&format=ndjson'   # stream shard events
@@ -31,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -50,7 +61,15 @@ func main() {
 	cacheDiskBytes := flag.Int64("cache-disk-bytes", engine.DefaultDiskCacheBytes, "disk-cache size bound in bytes")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown bound for in-flight requests")
 	warm := flag.Float64("warm", 0, "if > 0, pre-warm the cache by running every experiment at this scale before serving")
+	logLevel := flag.String("log-level", "info", "structured request-log floor: debug|info|warn|error|off")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
+
+	logger, err := buildLogger(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rowpressd: %v\n", err)
+		os.Exit(2)
+	}
 
 	eng := engine.New(*workers, *cacheEntries)
 	if *cacheDir != "" {
@@ -76,7 +95,12 @@ func main() {
 		log.Printf("cache warmed: %d shard results at scale %g", st.Entries, *warm)
 	}
 
-	s := serve.New(eng)
+	sopts := []serve.Option{serve.WithLogger(logger)}
+	if *pprofOn {
+		sopts = append(sopts, serve.WithPprof())
+		log.Printf("pprof enabled on /debug/pprof/")
+	}
+	s := serve.New(eng, sopts...)
 	srv := &http.Server{Addr: *addr, Handler: s, ReadHeaderTimeout: 10 * time.Second}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
@@ -92,6 +116,7 @@ func main() {
 	}
 	stop() // restore default signal behavior: a second signal kills immediately
 
+	s.SetDraining(true) // /v1/healthz readiness answers 503 from here on
 	log.Printf("shutting down: draining in-flight requests (up to %s)", *drainTimeout)
 	sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
@@ -105,4 +130,26 @@ func main() {
 			log.Printf("disk-cache index flushed (%d entries)", dc.Stats().Entries)
 		}
 	}
+}
+
+// buildLogger maps -log-level onto a stderr slog text logger; "off"
+// discards request logs entirely (daemon lifecycle logs still print
+// through the standard log package).
+func buildLogger(level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	case "off":
+		return slog.New(slog.DiscardHandler), nil
+	default:
+		return nil, fmt.Errorf("bad -log-level %q: want debug|info|warn|error|off", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv})), nil
 }

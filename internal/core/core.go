@@ -28,11 +28,13 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/characterize"
 	"repro/internal/chipgen"
 	"repro/internal/dram"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
@@ -264,11 +266,21 @@ func Run(id string, o Options) (*report.Doc, error) {
 // RunWith executes the experiment on the given engine. The resulting
 // document — and therefore report.Text of it — is byte-identical across
 // worker counts: shards are deterministic and the merge consumes them
-// in plan order.
+// in plan order. When the engine has a span recorder attached, plan
+// decomposition is recorded as a plan_build span so traced runs show
+// the full lifecycle, not just shard execution.
 func RunWith(eng *engine.Engine, id string, o Options) (*report.Doc, error) {
+	var t0 time.Time
+	rec := eng.Recorder()
+	if rec != nil {
+		t0 = time.Now()
+	}
 	p, err := PlanFor(id, o)
 	if err != nil {
 		return nil, err
+	}
+	if rec != nil {
+		rec.Record(obs.PlanBuild, -1, -1, id, "", t0, time.Since(t0), 0)
 	}
 	out, _, err := eng.Execute(p)
 	return out, err

@@ -14,11 +14,14 @@
 package engine
 
 import (
+	"encoding/gob"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
@@ -33,13 +36,27 @@ type Shard struct {
 	Run func() (any, error)
 }
 
+// Cache tiers as they appear in ShardEvent.Tier and the serving
+// layer's metrics. TierJoin marks a shard adopted from a concurrent
+// in-flight execution — cached from this call's point of view, though
+// no cache tier answered it.
+const (
+	TierMem  = "mem"
+	TierDisk = "disk"
+	TierJoin = "join"
+)
+
 // ShardEvent describes one resolved shard of an Execute call: either a
-// cache hit (Cached, Wall 0) or a completed execution. Err is non-nil
-// when the shard failed.
+// cache hit (Cached, Wall 0, Tier naming the tier that answered) or a
+// completed execution (Worker is the pool slot that ran it, Queue the
+// dispatch→execution wait). Err is non-nil when the shard failed.
 type ShardEvent struct {
 	Index  int           // shard index within the plan
 	Key    string        // the shard's plan-level key
 	Cached bool          // served from a cache tier or a joined in-flight run
+	Tier   string        // "mem", "disk", or "join" when Cached; "" when executed
+	Worker int           // worker slot that executed the shard; -1 when cached
+	Queue  time.Duration // time between dispatch and execution start
 	Wall   time.Duration // execution time when this call ran the shard
 	Err    error
 }
@@ -63,7 +80,40 @@ type RunStats struct {
 	Shards    int           // shards in the plan
 	CacheHits int           // shards served from the cache or a concurrent in-flight execution
 	Executed  int           // shards this call actually ran
+	QueueWait time.Duration // summed dispatch→execution wait across executed shards
 	Wall      time.Duration // wall-clock time of the whole Execute, merge included
+}
+
+// LatencyStats is an always-on (count, total) latency aggregate — the
+// cheap complement of the span recorder, maintained whether or not
+// tracing is enabled so /v1/metrics can report queue dynamics and
+// tier-attributed cache latency at all times.
+type LatencyStats struct {
+	Count uint64
+	Total time.Duration
+}
+
+// Avg returns Total/Count, or 0 before any observation.
+func (s LatencyStats) Avg() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Total / time.Duration(s.Count)
+}
+
+// latCounter is the lock-free accumulator behind LatencyStats.
+type latCounter struct {
+	count atomic.Uint64
+	ns    atomic.Int64
+}
+
+func (l *latCounter) add(d time.Duration) {
+	l.count.Add(1)
+	l.ns.Add(int64(d))
+}
+
+func (l *latCounter) stats() LatencyStats {
+	return LatencyStats{Count: l.count.Load(), Total: time.Duration(l.ns.Load())}
 }
 
 // Metrics are cumulative engine-lifetime counters plus a snapshot of
@@ -81,6 +131,13 @@ type Metrics struct {
 	TotalShardTime time.Duration
 	Mem            CacheStats     // in-memory tier snapshot
 	Disk           DiskCacheStats // disk tier snapshot (zero when none attached)
+
+	// Queue dynamics and tier-attributed lookup latency, maintained
+	// regardless of whether a span recorder is attached.
+	QueueWait  LatencyStats // dispatch→execution wait per executed shard
+	MemLookup  LatencyStats // lookups answered by the in-memory tier
+	DiskLookup LatencyStats // lookups answered by the persistent tier
+	MissLookup LatencyStats // lookups answered by neither tier
 }
 
 // Engine is a worker-pool scheduler with a shared result cache. Safe for
@@ -90,8 +147,15 @@ type Metrics struct {
 type Engine struct {
 	workers int
 	cache   *Cache
-	disk    *DiskCache    // optional persistent tier under the LRU
-	sem     chan struct{} // engine-wide worker slots
+	disk    *DiskCache // optional persistent tier under the LRU
+	sem     chan int   // engine-wide worker slots; the value is the slot id
+	rec     *obs.Recorder
+
+	// Always-on latency aggregates (see Metrics).
+	queueWait latCounter
+	memLat    latCounter
+	diskLat   latCounter
+	missLat   latCounter
 
 	ifmu     sync.Mutex
 	inflight map[string]*inflightShard
@@ -123,12 +187,16 @@ func New(workers, cacheEntries int) *Engine {
 	if cacheEntries <= 0 {
 		cacheEntries = DefaultCacheEntries
 	}
-	return &Engine{
+	e := &Engine{
 		workers:  workers,
 		cache:    NewCache(cacheEntries),
-		sem:      make(chan struct{}, workers),
+		sem:      make(chan int, workers),
 		inflight: map[string]*inflightShard{},
 	}
+	for i := 0; i < workers; i++ {
+		e.sem <- i
+	}
+	return e
 }
 
 // Workers returns the concurrency bound.
@@ -148,6 +216,16 @@ func (e *Engine) AttachDiskCache(dc *DiskCache) { e.disk = dc }
 // Disk returns the attached persistent tier, or nil.
 func (e *Engine) Disk() *DiskCache { return e.disk }
 
+// SetRecorder attaches a span recorder: every subsequent shard
+// lifecycle (queue wait, cache lookup, execute, merge, barrier) is
+// recorded into it. nil detaches — the engine then pays only a
+// pointer check per potential span. Attach before executing; the
+// engine does not synchronize the swap against in-flight runs.
+func (e *Engine) SetRecorder(r *obs.Recorder) { e.rec = r }
+
+// Recorder returns the attached span recorder, or nil.
+func (e *Engine) Recorder() *obs.Recorder { return e.rec }
+
 // Metrics returns a snapshot of the cumulative counters and both cache
 // tiers.
 func (e *Engine) Metrics() Metrics {
@@ -158,22 +236,35 @@ func (e *Engine) Metrics() Metrics {
 	if e.disk != nil {
 		m.Disk = e.disk.Stats()
 	}
+	m.QueueWait = e.queueWait.stats()
+	m.MemLookup = e.memLat.stats()
+	m.DiskLookup = e.diskLat.stats()
+	m.MissLookup = e.missLat.stats()
 	return m
 }
 
 // tierGet looks key up in the memory tier and then the disk tier,
 // promoting disk hits into memory so subsequent lookups stay hot.
-func (e *Engine) tierGet(key string) (any, bool) {
+// tier names the tier that answered ("" on a miss); lat is the lookup
+// latency, also folded into the always-on per-tier aggregates.
+func (e *Engine) tierGet(key string) (v any, tier string, lat time.Duration, ok bool) {
+	t0 := time.Now()
 	if v, ok := e.cache.Get(key); ok {
-		return v, true
+		lat = time.Since(t0)
+		e.memLat.add(lat)
+		return v, TierMem, lat, true
 	}
 	if e.disk != nil {
 		if v, ok := e.disk.Get(key); ok {
 			e.cache.Put(key, v)
-			return v, true
+			lat = time.Since(t0)
+			e.diskLat.add(lat)
+			return v, TierDisk, lat, true
 		}
 	}
-	return nil, false
+	lat = time.Since(t0)
+	e.missLat.add(lat)
+	return nil, "", lat, false
 }
 
 // tierPut writes a completed shard payload to both tiers.
@@ -199,11 +290,15 @@ func (e *Engine) Execute(p Plan) (*report.Doc, RunStats, error) {
 	keys := make([]string, len(p.Shards))
 	for i, s := range p.Shards {
 		keys[i] = Key(p.Experiment, p.Fingerprint, s.Key)
-		if v, ok := e.tierGet(keys[i]); ok {
+		v, tier, lat, ok := e.tierGet(keys[i])
+		if e.rec != nil {
+			e.rec.Record(lookupKind(tier), -1, i, p.Experiment, s.Key, time.Now().Add(-lat), lat, 0)
+		}
+		if ok {
 			parts[i] = v
 			stats.CacheHits++
 			if p.OnShard != nil {
-				p.OnShard(ShardEvent{Index: i, Key: s.Key, Cached: true})
+				p.OnShard(ShardEvent{Index: i, Key: s.Key, Cached: true, Tier: tier, Worker: -1})
 			}
 		} else {
 			missing = append(missing, i)
@@ -213,19 +308,26 @@ func (e *Engine) Execute(p Plan) (*report.Doc, RunStats, error) {
 	var shardTime time.Duration
 	var joined int // shards adopted from a concurrent in-flight execution
 	if len(missing) > 0 {
+		barrierStart := time.Now()
 		var wg sync.WaitGroup
 		var tmu sync.Mutex
 		for _, i := range missing {
 			wg.Add(1)
+			enq := time.Now()
 			go func(i int) {
 				defer wg.Done()
-				v, ran, d, err := e.runOrJoin(keys[i], p.Shards[i])
+				v, ran, wid, qd, d, err := e.runOrJoin(keys[i], p.Shards[i], p.Experiment, i, enq)
 				if p.OnShard != nil {
-					p.OnShard(ShardEvent{Index: i, Key: p.Shards[i].Key, Cached: !ran, Wall: d, Err: err})
+					ev := ShardEvent{Index: i, Key: p.Shards[i].Key, Cached: !ran, Worker: wid, Queue: qd, Wall: d, Err: err}
+					if !ran {
+						ev.Tier = TierJoin
+					}
+					p.OnShard(ev)
 				}
 				tmu.Lock()
 				parts[i], errs[i] = v, err
 				shardTime += d
+				stats.QueueWait += qd
 				if !ran {
 					joined++
 				}
@@ -233,6 +335,9 @@ func (e *Engine) Execute(p Plan) (*report.Doc, RunStats, error) {
 			}(i)
 		}
 		wg.Wait()
+		if e.rec != nil {
+			e.rec.Record(obs.Barrier, -1, -1, p.Experiment, "", barrierStart, time.Since(barrierStart), 0)
+		}
 		stats.Executed = len(missing) - joined
 		stats.CacheHits += joined
 	}
@@ -248,7 +353,14 @@ func (e *Engine) Execute(p Plan) (*report.Doc, RunStats, error) {
 	var out *report.Doc
 	if firstErr == nil {
 		var err error
+		var mt time.Time
+		if e.rec != nil {
+			mt = time.Now()
+		}
 		out, err = p.Merge(parts)
+		if e.rec != nil {
+			e.rec.Record(obs.Merge, -1, -1, p.Experiment, "", mt, time.Since(mt), 0)
+		}
 		if err != nil {
 			firstErr = fmt.Errorf("engine: %s merge: %w", p.Experiment, err)
 		}
@@ -285,6 +397,7 @@ type BatchStats struct {
 	Deduplicated int // refs beyond the first occurrence of their key
 	CacheHits    int // unique shards served from the cache (or joined in-flight)
 	Executed     int // unique shards this call actually ran
+	QueueWait    time.Duration
 	Wall         time.Duration
 }
 
@@ -295,6 +408,7 @@ type batchShard struct {
 	err    error
 	cached bool          // served from the cache or a concurrent in-flight run
 	owner  int           // index of the first plan referencing this key
+	queue  time.Duration // dispatch→execution wait when this batch ran it
 	dur    time.Duration // execution time when this batch ran it
 }
 
@@ -341,8 +455,13 @@ func (e *Engine) ExecuteBatch(plans []Plan) (outs []*report.Doc, stats []RunStat
 
 	var missing []string
 	for _, k := range order {
-		if v, ok := e.tierGet(k); ok {
-			slots[k].val, slots[k].cached = v, true
+		sl := slots[k]
+		v, tier, lat, ok := e.tierGet(k)
+		if e.rec != nil {
+			e.rec.Record(lookupKind(tier), -1, -1, plans[sl.owner].Experiment, sl.shard.Key, time.Now().Add(-lat), lat, 0)
+		}
+		if ok {
+			sl.val, sl.cached = v, true
 			bs.CacheHits++
 		} else {
 			missing = append(missing, k)
@@ -351,18 +470,21 @@ func (e *Engine) ExecuteBatch(plans []Plan) (outs []*report.Doc, stats []RunStat
 
 	var shardTime time.Duration
 	if len(missing) > 0 {
+		barrierStart := time.Now()
 		var wg sync.WaitGroup
 		var tmu sync.Mutex
 		for _, k := range missing {
 			wg.Add(1)
+			enq := time.Now()
 			go func(k string) {
 				defer wg.Done()
-				v, ran, d, err := e.runOrJoin(k, slots[k].shard)
-				tmu.Lock()
 				sl := slots[k]
-				sl.val, sl.err, sl.dur = v, err, d
+				v, ran, _, qd, d, err := e.runOrJoin(k, sl.shard, plans[sl.owner].Experiment, -1, enq)
+				tmu.Lock()
+				sl.val, sl.err, sl.queue, sl.dur = v, err, qd, d
 				if ran {
 					bs.Executed++
+					bs.QueueWait += qd
 				} else {
 					sl.cached = true // joined a concurrent execution
 					bs.CacheHits++
@@ -372,6 +494,9 @@ func (e *Engine) ExecuteBatch(plans []Plan) (outs []*report.Doc, stats []RunStat
 			}(k)
 		}
 		wg.Wait()
+		if e.rec != nil {
+			e.rec.Record(obs.Barrier, -1, -1, "batch", "", barrierStart, time.Since(barrierStart), 0)
+		}
 	}
 
 	for pi, p := range plans {
@@ -386,6 +511,7 @@ func (e *Engine) ExecuteBatch(plans []Plan) (outs []*report.Doc, stats []RunStat
 				stats[pi].CacheHits++
 			} else {
 				stats[pi].Executed++
+				stats[pi].QueueWait += sl.queue
 				stats[pi].Wall += sl.dur
 			}
 		}
@@ -394,6 +520,9 @@ func (e *Engine) ExecuteBatch(plans []Plan) (outs []*report.Doc, stats []RunStat
 		}
 		t0 := time.Now()
 		out, err := p.Merge(parts)
+		if e.rec != nil {
+			e.rec.Record(obs.Merge, -1, -1, p.Experiment, "", t0, time.Since(t0), 0)
+		}
 		stats[pi].Wall += time.Since(t0)
 		if err != nil {
 			errs[pi] = fmt.Errorf("engine: %s merge: %w", p.Experiment, err)
@@ -420,16 +549,30 @@ func (e *Engine) ExecuteBatch(plans []Plan) (outs []*report.Doc, stats []RunStat
 	return outs, stats, errs, bs
 }
 
+// lookupKind maps a tierGet result onto its span kind.
+func lookupKind(tier string) obs.Kind {
+	switch tier {
+	case TierMem:
+		return obs.CacheMem
+	case TierDisk:
+		return obs.CacheDisk
+	default:
+		return obs.CacheMiss
+	}
+}
+
 // runOrJoin executes the shard under the engine-wide worker bound,
 // deduplicating against concurrent executions of the same key: the first
 // caller runs (and caches the result), later callers wait for it. ran
-// reports whether this caller did the work; d is its execution time.
-func (e *Engine) runOrJoin(key string, s Shard) (v any, ran bool, d time.Duration, err error) {
+// reports whether this caller did the work; wid is the worker slot that
+// carried it (-1 when joined), queue the enq→execution wait, d the
+// execution time. exp and idx label the recorded spans.
+func (e *Engine) runOrJoin(key string, s Shard, exp string, idx int, enq time.Time) (v any, ran bool, wid int, queue, d time.Duration, err error) {
 	e.ifmu.Lock()
 	if c, ok := e.inflight[key]; ok {
 		e.ifmu.Unlock()
 		<-c.done
-		return c.val, false, 0, c.err
+		return c.val, false, -1, 0, 0, c.err
 	}
 	// Re-check the cache under ifmu: a shard that completed after our
 	// caller's cache miss Put its result *before* deregistering from
@@ -438,26 +581,60 @@ func (e *Engine) runOrJoin(key string, s Shard) (v any, ran bool, d time.Duratio
 	// counters honest (the caller already recorded this lookup as a miss).
 	if v, ok := e.cache.peek(key); ok {
 		e.ifmu.Unlock()
-		return v, false, 0, nil
+		return v, false, -1, 0, 0, nil
 	}
 	c := &inflightShard{done: make(chan struct{})}
 	e.inflight[key] = c
 	e.ifmu.Unlock()
 
-	e.sem <- struct{}{}
+	wid = <-e.sem
+	queue = time.Since(enq)
+	e.queueWait.add(queue)
+	if e.rec != nil {
+		e.rec.Record(obs.QueueWait, wid, idx, exp, s.Key, enq, queue, 0)
+	}
 	t0 := time.Now()
 	c.val, c.err = runShard(s)
 	d = time.Since(t0)
-	<-e.sem
+	e.sem <- wid
 	if c.err == nil {
 		e.tierPut(key, c.val)
+	}
+	if e.rec != nil {
+		var size int64
+		if c.err == nil {
+			size = payloadBytes(c.val)
+		}
+		e.rec.Record(obs.Execute, wid, idx, exp, s.Key, t0, d, size)
 	}
 
 	e.ifmu.Lock()
 	delete(e.inflight, key)
 	e.ifmu.Unlock()
 	close(c.done)
-	return c.val, true, d, c.err
+	return c.val, true, wid, queue, d, c.err
+}
+
+// countWriter counts bytes written through it.
+type countWriter struct{ n int64 }
+
+func (w *countWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}
+
+// payloadBytes sizes a shard payload by gob-encoding it into a
+// counting writer — the same codec (and type registry) the disk tier
+// uses, so the number matches what a distributed shard fabric would
+// move. Unregistered payload types size as 0. Only called when a span
+// recorder is attached, and after the execute interval is measured,
+// so the encoding cost never distorts span timings.
+func payloadBytes(v any) int64 {
+	var cw countWriter
+	if err := gob.NewEncoder(&cw).Encode(&diskPayload{V: v}); err != nil {
+		return 0
+	}
+	return cw.n
 }
 
 // runShard isolates shard panics so a bad regenerator cannot take down a

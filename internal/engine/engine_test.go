@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/report"
 )
@@ -227,10 +228,10 @@ func TestRunOrJoinRechecksCacheBeforeExecuting(t *testing.T) {
 	e := New(2, 0)
 	key := Key("exp", "fp", "late")
 	e.cache.Put(key, "already-done")
-	v, ran, _, err := e.runOrJoin(key, Shard{Key: "late", Run: func() (any, error) {
+	v, ran, _, _, _, err := e.runOrJoin(key, Shard{Key: "late", Run: func() (any, error) {
 		t.Fatal("shard must not re-execute")
 		return nil, nil
-	}})
+	}}, "exp", 0, time.Now())
 	if err != nil || ran || v != "already-done" {
 		t.Fatalf("v=%v ran=%v err=%v", v, ran, err)
 	}

@@ -1,0 +1,204 @@
+package engine
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// collectEvents runs the plan with a synchronized OnShard observer and
+// returns the events in arrival order.
+func collectEvents(t *testing.T, e *Engine, p Plan) ([]ShardEvent, RunStats) {
+	t.Helper()
+	var mu sync.Mutex
+	var events []ShardEvent
+	p.OnShard = func(ev ShardEvent) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	}
+	_, stats, err := e.Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return events, stats
+}
+
+// Every shard must produce exactly one event, and the event's
+// cached/tier/worker fields must be consistent with what actually
+// happened: a cold run executes everything on real worker slots, a
+// repeat is served entirely from the memory tier with no worker.
+func TestShardEventsExactlyOncePerShard(t *testing.T) {
+	const workers, shards = 4, 12
+	var n atomic.Int64
+	e := New(workers, 0)
+
+	cold, stats := collectEvents(t, e, countingPlan("exp", "fp", shards, &n))
+	if len(cold) != shards {
+		t.Fatalf("cold run: %d events for %d shards", len(cold), shards)
+	}
+	seen := map[int]bool{}
+	for _, ev := range cold {
+		if seen[ev.Index] {
+			t.Fatalf("shard %d reported twice", ev.Index)
+		}
+		seen[ev.Index] = true
+		if ev.Cached || ev.Tier != "" {
+			t.Fatalf("cold shard %d marked cached (tier %q)", ev.Index, ev.Tier)
+		}
+		if ev.Worker < 0 || ev.Worker >= workers {
+			t.Fatalf("cold shard %d on worker %d, want [0,%d)", ev.Index, ev.Worker, workers)
+		}
+		if ev.Queue < 0 || ev.Wall <= 0 || ev.Err != nil {
+			t.Fatalf("cold shard %d: queue=%v wall=%v err=%v", ev.Index, ev.Queue, ev.Wall, ev.Err)
+		}
+	}
+	if stats.Executed != shards || stats.QueueWait < 0 {
+		t.Fatalf("cold stats: %+v", stats)
+	}
+
+	warm, stats := collectEvents(t, e, countingPlan("exp", "fp", shards, &n))
+	if len(warm) != shards {
+		t.Fatalf("warm run: %d events for %d shards", len(warm), shards)
+	}
+	for _, ev := range warm {
+		if !ev.Cached || ev.Tier != TierMem {
+			t.Fatalf("warm shard %d: cached=%v tier=%q, want mem hit", ev.Index, ev.Cached, ev.Tier)
+		}
+		if ev.Worker != -1 {
+			t.Fatalf("warm shard %d claims worker %d, want -1", ev.Index, ev.Worker)
+		}
+	}
+	if stats.CacheHits != shards || stats.Executed != 0 || stats.QueueWait != 0 {
+		t.Fatalf("warm stats: %+v", stats)
+	}
+	if n.Load() != shards {
+		t.Fatalf("shards executed %d times total, want %d", n.Load(), shards)
+	}
+}
+
+// A recorded cold run must carry the whole lifecycle: one plan-scoped
+// barrier and merge, and per shard one lookup (a miss), one queue
+// wait, and one execute span whose worker matches its queue wait's.
+func TestRecorderSpansCoverLifecycle(t *testing.T) {
+	const workers, shards = 2, 6
+	var n atomic.Int64
+	e := New(workers, 0)
+	rec := obs.NewRecorder(0)
+	e.SetRecorder(rec)
+	if _, _, err := e.Execute(countingPlan("exp", "fp", shards, &n)); err != nil {
+		t.Fatal(err)
+	}
+	st := rec.Stats()
+	for kind, want := range map[string]uint64{
+		"cache_miss": shards, "queue_wait": shards, "execute": shards,
+		"barrier": 1, "merge": 1, "cache_mem": 0, "cache_disk": 0,
+	} {
+		if got := st[kind].Count; got != want {
+			t.Fatalf("%s spans = %d, want %d (stats %+v)", kind, got, want, st)
+		}
+	}
+	byShard := map[string][]obs.Span{}
+	for _, s := range rec.Snapshot() {
+		if s.Kind == obs.QueueWait || s.Kind == obs.Execute {
+			if s.Worker < 0 || int(s.Worker) >= workers {
+				t.Fatalf("span %+v has out-of-range worker", s)
+			}
+			byShard[s.Shard] = append(byShard[s.Shard], s)
+		}
+	}
+	if len(byShard) != shards {
+		t.Fatalf("spans cover %d shards, want %d", len(byShard), shards)
+	}
+	for key, ss := range byShard {
+		if len(ss) != 2 || ss[0].Worker != ss[1].Worker {
+			t.Fatalf("shard %s spans inconsistent: %+v", key, ss)
+		}
+		for _, s := range ss {
+			if s.Kind == obs.Execute && s.Bytes <= 0 {
+				t.Fatalf("executed shard %s has no payload size: %+v", key, s)
+			}
+		}
+	}
+
+	// A warm re-run records mem-tier lookups and nothing pool-side.
+	if _, _, err := e.Execute(countingPlan("exp", "fp", shards, &n)); err != nil {
+		t.Fatal(err)
+	}
+	st = rec.Stats()
+	if st["cache_mem"].Count != shards || st["execute"].Count != shards {
+		t.Fatalf("warm rerun stats wrong: %+v", st)
+	}
+}
+
+// One worker slot is serial: its execute spans must not overlap. The
+// engine releases the slot only after the execution interval is
+// measured, so this holds exactly, not just statistically.
+func TestExecuteSpansNonOverlappingPerWorker(t *testing.T) {
+	const workers, shards = 2, 10
+	e := New(workers, 0)
+	rec := obs.NewRecorder(0)
+	e.SetRecorder(rec)
+	p := countingPlan("exp", "fp", shards, new(atomic.Int64))
+	for i := range p.Shards {
+		run := p.Shards[i].Run
+		p.Shards[i].Run = func() (any, error) {
+			time.Sleep(time.Millisecond)
+			return run()
+		}
+	}
+	if _, _, err := e.Execute(p); err != nil {
+		t.Fatal(err)
+	}
+	byWorker := map[int32][]obs.Span{}
+	for _, s := range rec.Snapshot() {
+		if s.Kind == obs.Execute {
+			byWorker[s.Worker] = append(byWorker[s.Worker], s)
+		}
+	}
+	var total int
+	for w, ss := range byWorker {
+		total += len(ss)
+		sort.Slice(ss, func(i, j int) bool { return ss[i].Start < ss[j].Start })
+		for i := 1; i < len(ss); i++ {
+			if ss[i].Start < ss[i-1].End() {
+				t.Fatalf("worker %d spans overlap: %s [%v,%v) then %s [%v,%v)",
+					w, ss[i-1].Shard, ss[i-1].Start, ss[i-1].End(),
+					ss[i].Shard, ss[i].Start, ss[i].End())
+			}
+		}
+	}
+	if total != shards {
+		t.Fatalf("execute spans = %d, want %d", total, shards)
+	}
+}
+
+// The always-on latency aggregates (queue wait, per-tier lookups) must
+// fill without any recorder attached — they feed /v1/metrics and
+// -stats, which cannot require tracing.
+func TestLatencyAggregatesWithoutRecorder(t *testing.T) {
+	const shards = 5
+	var n atomic.Int64
+	e := New(2, 0)
+	if _, _, err := e.Execute(countingPlan("exp", "fp", shards, &n)); err != nil {
+		t.Fatal(err)
+	}
+	m := e.Metrics()
+	if m.QueueWait.Count != shards || m.MissLookup.Count != shards || m.MemLookup.Count != 0 {
+		t.Fatalf("cold aggregates: %+v", m)
+	}
+	if _, _, err := e.Execute(countingPlan("exp", "fp", shards, &n)); err != nil {
+		t.Fatal(err)
+	}
+	m = e.Metrics()
+	if m.MemLookup.Count != shards || m.QueueWait.Count != shards {
+		t.Fatalf("warm aggregates: %+v", m)
+	}
+	if m.QueueWait.Avg() < 0 || m.MemLookup.Avg() < 0 {
+		t.Fatal("negative average latency")
+	}
+}

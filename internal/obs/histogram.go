@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket, log-spaced latency histogram with
+// lock-free observation: each Observe is two atomic adds and one
+// atomic increment, so serving-path middleware can record every
+// request. Bucket bounds are fixed at construction; the layout maps
+// directly onto Prometheus's cumulative-bucket text exposition.
+type Histogram struct {
+	bounds []time.Duration // upper bounds, ascending; counts has one extra overflow slot
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Int64 // nanoseconds
+	max    atomic.Int64 // nanoseconds
+}
+
+// NewHistogram builds a histogram over the given ascending upper
+// bounds plus an implicit overflow bucket.
+func NewHistogram(bounds []time.Duration) *Histogram {
+	h := &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+	return h
+}
+
+// NewLatencyHistogram returns the serving-path default: 20 log-spaced
+// buckets doubling from 100µs to ~52s, covering a warm cache hit
+// (~0.5ms) through a full-scale cold characterization run.
+func NewLatencyHistogram() *Histogram {
+	bounds := make([]time.Duration, 20)
+	b := 100 * time.Microsecond
+	for i := range bounds {
+		bounds[i] = b
+		b *= 2
+	}
+	return NewHistogram(bounds)
+}
+
+// Observe records one latency.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	i := 0
+	for i < len(h.bounds) && d > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	for {
+		m := h.max.Load()
+		if int64(d) <= m || h.max.CompareAndSwap(m, int64(d)) {
+			break
+		}
+	}
+}
+
+// HistogramSnapshot is a consistent-enough copy for rendering: counts
+// are loaded bucket by bucket while observation continues, so totals
+// can trail by in-flight observations — fine for monitoring.
+type HistogramSnapshot struct {
+	Bounds []time.Duration
+	Counts []uint64 // len(Bounds)+1, last = overflow
+	Count  uint64
+	Sum    time.Duration
+	Max    time.Duration
+}
+
+// Snapshot copies the counters.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    time.Duration(h.sum.Load()),
+		Max:    time.Duration(h.max.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Quantile estimates the q-quantile (0 < q < 1) by linear
+// interpolation within the containing bucket. Returns 0 with no
+// observations; observations in the overflow bucket resolve to the
+// recorded maximum.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		next := cum + float64(c)
+		if rank <= next || i == len(s.Counts)-1 {
+			if c == 0 {
+				cum = next
+				continue
+			}
+			lo := time.Duration(0)
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			hi := s.Max
+			if i < len(s.Bounds) {
+				hi = s.Bounds[i]
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := (rank - cum) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lo + time.Duration(frac*float64(hi-lo))
+		}
+		cum = next
+	}
+	return s.Max
+}
+
+// Mean returns the average observation, or 0 with none.
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}

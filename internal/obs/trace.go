@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// This file exports recorded spans in the Chrome trace-event format —
+// the JSON object form ({"traceEvents": [...]}) that chrome://tracing
+// and Perfetto both load. Each engine worker renders as its own
+// thread row, so a cold run shows up as a per-worker timeline with
+// queue waits and cache lookups nested around the execute blocks.
+
+// traceEvent is one Chrome trace-event entry. Timestamps and
+// durations are microseconds.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the object form of the trace format.
+type traceFile struct {
+	TraceEvents []traceEvent   `json:"traceEvents"`
+	Metadata    map[string]any `json:"metadata,omitempty"`
+}
+
+// orchestratorTID is the thread row for spans that run outside the
+// worker pool (plan build, merge, barrier, cache lookups on the
+// dispatching goroutine). Worker w maps to row w+1.
+const orchestratorTID = 0
+
+func spanTID(s Span) int {
+	if s.Worker < 0 {
+		return orchestratorTID
+	}
+	return int(s.Worker) + 1
+}
+
+func spanName(s Span) string {
+	if s.Shard == "" {
+		return fmt.Sprintf("%s %s", s.Kind, s.Experiment)
+	}
+	return fmt.Sprintf("%s %s/%s", s.Kind, s.Experiment, s.Shard)
+}
+
+// WriteChromeTrace renders the spans as a Chrome trace. Thread-name
+// metadata events label the orchestrator and every worker row, and
+// each span carries its shard key, kind, and payload size in args.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	tf := traceFile{Metadata: map[string]any{"tool": "rowpress -trace"}}
+	tids := map[int]bool{}
+	for _, s := range spans {
+		ev := traceEvent{
+			Name: spanName(s),
+			Cat:  s.Kind.String(),
+			Ph:   "X",
+			TS:   float64(s.Start.Microseconds()),
+			Dur:  micros(s),
+			PID:  1,
+			TID:  spanTID(s),
+			Args: map[string]any{"experiment": s.Experiment},
+		}
+		if s.Shard != "" {
+			ev.Args["shard"] = s.Shard
+		}
+		if s.Index >= 0 {
+			ev.Args["index"] = s.Index
+		}
+		if s.Bytes > 0 {
+			ev.Args["payload_bytes"] = s.Bytes
+		}
+		tf.TraceEvents = append(tf.TraceEvents, ev)
+		tids[ev.TID] = true
+	}
+	ids := make([]int, 0, len(tids))
+	for tid := range tids {
+		ids = append(ids, tid)
+	}
+	sort.Ints(ids)
+	for _, tid := range ids {
+		name := "orchestrator"
+		if tid > orchestratorTID {
+			name = fmt.Sprintf("worker %d", tid-1)
+		}
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	return enc.Encode(tf)
+}
+
+// micros renders a span duration in microseconds, clamped up to a
+// visible sliver so zero-length spans still draw.
+func micros(s Span) float64 {
+	us := float64(s.Dur.Nanoseconds()) / 1e3
+	if us < 0.1 {
+		us = 0.1
+	}
+	return us
+}

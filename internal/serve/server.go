@@ -4,9 +4,19 @@
 // overlapping runs of the same (experiment, options) are served from
 // memory without re-executing any shard.
 //
+// Every endpoint is wrapped in observability middleware: per-route
+// latency histograms, in-flight gauges, and structured request logs
+// (log/slog; see WithLogger) carrying a request id, method, path,
+// status, duration, and the shard counts the request executed.
+//
 // Endpoints:
 //
-//	GET  /healthz             liveness + uptime
+//	GET  /healthz             liveness + uptime (legacy, kept for scripts)
+//	GET  /v1/healthz          liveness/readiness probe, plain text or
+//	                          ?format=json; 503 while draining
+//	GET  /metrics             Prometheus text exposition: engine counters,
+//	                          queue-wait and per-tier cache-lookup latency,
+//	                          per-endpoint latency histograms
 //	GET  /v1/experiments      registered experiment ids and titles
 //	GET  /v1/scenarios        the attack-scenario matrix (internal/scenario
 //	                          catalog) played by the scenario experiments
@@ -29,10 +39,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -62,11 +75,12 @@ type RunResponse struct {
 // RunStats mirrors engine.RunStats for the wire, with latency in
 // milliseconds.
 type RunStats struct {
-	Shards    int     `json:"shards"`
-	CacheHits int     `json:"cache_hits"`
-	Executed  int     `json:"executed"`
-	WallMS    float64 `json:"wall_ms"`
-	FromCache bool    `json:"from_cache"` // true when no shard re-executed
+	Shards      int     `json:"shards"`
+	CacheHits   int     `json:"cache_hits"`
+	Executed    int     `json:"executed"`
+	QueueWaitMS float64 `json:"queue_wait_ms"` // summed dispatch→execution wait
+	WallMS      float64 `json:"wall_ms"`
+	FromCache   bool    `json:"from_cache"` // true when no shard re-executed
 }
 
 // ResultRecord is one completed run or sweep in /v1/results. Kind is
@@ -111,6 +125,22 @@ type MetricsResponse struct {
 	RunFailures    uint64  `json:"run_failures"` // failed runs + failed sweep points served by this process
 	TotalWallMS    float64 `json:"total_wall_ms"`
 	TotalShardMS   float64 `json:"total_shard_ms"`
+
+	// Queue-wait and per-tier cache-lookup latency, collected by the
+	// engine's always-on atomic aggregates (independent of tracing).
+	QueueWaits       uint64  `json:"queue_waits"`
+	QueueWaitTotalMS float64 `json:"queue_wait_total_ms"`
+	QueueWaitAvgMS   float64 `json:"queue_wait_avg_ms"`
+	MemLookups       uint64  `json:"mem_lookups"`
+	MemLookupAvgMS   float64 `json:"mem_lookup_avg_ms"`
+	DiskLookups      uint64  `json:"disk_lookups"`
+	DiskLookupAvgMS  float64 `json:"disk_lookup_avg_ms"`
+	MissLookups      uint64  `json:"miss_lookups"`
+	MissLookupAvgMS  float64 `json:"miss_lookup_avg_ms"`
+
+	// Endpoints is the per-route serving-path view: request volume,
+	// in-flight concurrency, and latency quantiles.
+	Endpoints map[string]EndpointMetrics `json:"endpoints"`
 }
 
 // Server serves the experiment registry from a shared engine. Safe for
@@ -120,6 +150,11 @@ type Server struct {
 	mux   *http.ServeMux
 	start time.Time
 	now   func() time.Time // test hook
+
+	log      *slog.Logger
+	routes   []*route // instrumented endpoints, registration order
+	reqID    atomic.Uint64
+	draining atomic.Bool
 
 	mu sync.Mutex
 	// results is a fixed-size ring: head is the next insert position and
@@ -132,21 +167,53 @@ type Server struct {
 	failures uint64 // failed runs + failed sweep points
 }
 
+// Option configures a Server at construction.
+type Option func(*Server)
+
+// WithLogger sets the structured request logger (default: discard).
+// One "request" record is emitted per served request.
+func WithLogger(l *slog.Logger) Option {
+	return func(s *Server) {
+		if l != nil {
+			s.log = l
+		}
+	}
+}
+
+// WithPprof exposes net/http/pprof under /debug/pprof/ on the server's
+// mux — profiling endpoints are opt-in (rowpressd -pprof) and bypass
+// the request-metrics middleware so profile downloads don't distort
+// the latency histograms.
+func WithPprof() Option {
+	return func(s *Server) {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+}
+
 // New builds a server around the given engine (nil = a fresh
 // GOMAXPROCS-wide engine with the default cache).
-func New(eng *engine.Engine) *Server {
+func New(eng *engine.Engine, opts ...Option) *Server {
 	if eng == nil {
 		eng = engine.New(0, 0)
 	}
-	s := &Server{eng: eng, mux: http.NewServeMux(), now: time.Now}
+	s := &Server{eng: eng, mux: http.NewServeMux(), now: time.Now, log: slog.New(slog.DiscardHandler)}
 	s.start = s.now()
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
-	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
-	s.mux.HandleFunc("GET /v1/run/{exp}", s.handleRun)
-	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
-	s.mux.HandleFunc("GET /v1/results", s.handleResults)
-	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.handle("GET /healthz", s.handleHealthz)
+	s.handle("GET /v1/healthz", s.handleHealthzV1)
+	s.handle("GET /metrics", s.handlePromMetrics)
+	s.handle("GET /v1/experiments", s.handleExperiments)
+	s.handle("GET /v1/scenarios", s.handleScenarios)
+	s.handle("GET /v1/run/{exp}", s.handleRun)
+	s.handle("POST /v1/sweep", s.handleSweep)
+	s.handle("GET /v1/results", s.handleResults)
+	s.handle("GET /v1/metrics", s.handleMetrics)
 	return s
 }
 
@@ -273,13 +340,18 @@ func parseFormat(r *http.Request, allowed ...string) (string, error) {
 }
 
 // shardEvent is one NDJSON stream line emitted while a /v1/run executes.
+// Worker is -1 for cache hits (no worker slot was occupied); Tier names
+// where the shard was resolved: "mem", "disk", "join", or "" (executed).
 type shardEvent struct {
-	Event  string  `json:"event"` // "shard"
-	Index  int     `json:"index"`
-	Key    string  `json:"key"`
-	Cached bool    `json:"cached"`
-	WallMS float64 `json:"wall_ms"`
-	Error  string  `json:"error,omitempty"`
+	Event   string  `json:"event"` // "shard"
+	Index   int     `json:"index"`
+	Key     string  `json:"key"`
+	Cached  bool    `json:"cached"`
+	Tier    string  `json:"tier,omitempty"`
+	Worker  int     `json:"worker"`
+	QueueMS float64 `json:"queue_ms"`
+	WallMS  float64 `json:"wall_ms"`
+	Error   string  `json:"error,omitempty"`
 }
 
 // streamDone is the final NDJSON line of a successful run: the full
@@ -335,7 +407,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			defer wmu.Unlock()
 			e := shardEvent{
 				Event: "shard", Index: ev.Index, Key: ev.Key, Cached: ev.Cached,
-				WallMS: float64(ev.Wall) / float64(time.Millisecond),
+				Tier: ev.Tier, Worker: ev.Worker,
+				QueueMS: float64(ev.Queue) / float64(time.Millisecond),
+				WallMS:  float64(ev.Wall) / float64(time.Millisecond),
 			}
 			if ev.Err != nil {
 				e.Error = ev.Err.Error()
@@ -348,13 +422,15 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 
 	doc, es, err := s.eng.Execute(p)
+	annotate(r.Context(), es.Shards, es.Executed)
 	text := report.Text(doc)
 	stats := RunStats{
-		Shards:    es.Shards,
-		CacheHits: es.CacheHits,
-		Executed:  es.Executed,
-		WallMS:    float64(es.Wall) / float64(time.Millisecond),
-		FromCache: es.Executed == 0 && err == nil,
+		Shards:      es.Shards,
+		CacheHits:   es.CacheHits,
+		Executed:    es.Executed,
+		QueueWaitMS: float64(es.QueueWait) / float64(time.Millisecond),
+		WallMS:      float64(es.Wall) / float64(time.Millisecond),
+		FromCache:   es.Executed == 0 && err == nil,
 	}
 	rec := ResultRecord{
 		Experiment:  id,
@@ -429,6 +505,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	a := res.Aggregate
+	annotate(r.Context(), a.ShardRefs, a.Executed)
 	rec := ResultRecord{
 		Experiment:  res.Experiment,
 		Kind:        "sweep",
@@ -436,11 +513,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		Bytes:       a.ReportBytes,
 		Points:      a.Points,
 		Stats: RunStats{
-			Shards:    a.ShardRefs,
-			CacheHits: a.ShardRefs - a.Executed,
-			Executed:  a.Executed,
-			WallMS:    a.WallMS,
-			FromCache: a.Executed == 0 && a.Failed == 0,
+			Shards:      a.ShardRefs,
+			CacheHits:   a.ShardRefs - a.Executed,
+			Executed:    a.Executed,
+			QueueWaitMS: a.QueueWaitMS,
+			WallMS:      a.WallMS,
+			FromCache:   a.Executed == 0 && a.Failed == 0,
 		},
 		CompletedAt: s.now().UTC(),
 	}
@@ -528,5 +606,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		RunFailures:    failures,
 		TotalWallMS:    float64(m.TotalWall) / float64(time.Millisecond),
 		TotalShardMS:   float64(m.TotalShardTime) / float64(time.Millisecond),
+
+		QueueWaits:       m.QueueWait.Count,
+		QueueWaitTotalMS: msF(m.QueueWait.Total),
+		QueueWaitAvgMS:   msF(m.QueueWait.Avg()),
+		MemLookups:       m.MemLookup.Count,
+		MemLookupAvgMS:   msF(m.MemLookup.Avg()),
+		DiskLookups:      m.DiskLookup.Count,
+		DiskLookupAvgMS:  msF(m.DiskLookup.Avg()),
+		MissLookups:      m.MissLookup.Count,
+		MissLookupAvgMS:  msF(m.MissLookup.Avg()),
+
+		Endpoints: s.endpointMetrics(),
 	})
 }

@@ -48,10 +48,11 @@ type Point struct {
 // only shards no earlier point (and no earlier run on the engine)
 // already computed.
 type PointStats struct {
-	Shards    int     `json:"shards"`
-	CacheHits int     `json:"cache_hits"`
-	Executed  int     `json:"executed"`
-	WallMS    float64 `json:"wall_ms"`
+	Shards      int     `json:"shards"`
+	CacheHits   int     `json:"cache_hits"`
+	Executed    int     `json:"executed"`
+	QueueWaitMS float64 `json:"queue_wait_ms"`
+	WallMS      float64 `json:"wall_ms"`
 }
 
 // PointResult is one completed (or failed) grid point. Doc is the typed
@@ -76,6 +77,7 @@ type Aggregate struct {
 	Deduplicated int     `json:"deduplicated"`
 	CacheHits    int     `json:"cache_hits"`
 	Executed     int     `json:"executed"`
+	QueueWaitMS  float64 `json:"queue_wait_ms"`
 	WallMS       float64 `json:"wall_ms"`
 	ReportBytes  int     `json:"report_bytes"`
 	PointWallMS  Wall    `json:"point_wall_ms"`
@@ -184,10 +186,11 @@ func Run(eng *engine.Engine, spec Spec) (*Result, error) {
 	walls := make([]float64, len(points))
 	for i, pt := range points {
 		pr := PointResult{Point: pt, Doc: outs[i], Report: report.Text(outs[i]), Stats: PointStats{
-			Shards:    runStats[i].Shards,
-			CacheHits: runStats[i].CacheHits,
-			Executed:  runStats[i].Executed,
-			WallMS:    ms(runStats[i].Wall),
+			Shards:      runStats[i].Shards,
+			CacheHits:   runStats[i].CacheHits,
+			Executed:    runStats[i].Executed,
+			QueueWaitMS: ms(runStats[i].QueueWait),
+			WallMS:      ms(runStats[i].Wall),
 		}}
 		if errs[i] != nil {
 			pr.Error = errs[i].Error()
@@ -205,6 +208,7 @@ func Run(eng *engine.Engine, spec Spec) (*Result, error) {
 	res.Aggregate.Deduplicated = bs.Deduplicated
 	res.Aggregate.CacheHits = bs.CacheHits
 	res.Aggregate.Executed = bs.Executed
+	res.Aggregate.QueueWaitMS = ms(bs.QueueWait)
 	res.Aggregate.WallMS = ms(bs.Wall)
 	res.Aggregate.PointWallMS = Wall{Min: sum.Min, Mean: sum.Mean, Max: sum.Max}
 	return res, nil
