@@ -7,6 +7,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"repro/internal/dram"
 	"repro/internal/mitigate"
@@ -37,9 +38,17 @@ func main() {
 	// Performance study on 4-core heterogeneous mixes.
 	cfg := simperf.DefaultConfig()
 	cfg.InstrPerCore = 400_000
+	// Flatten the mix groups in sorted name order: the study rows (and
+	// the printed table) must not depend on map iteration order.
+	groups := simperf.HeterogeneousMixes(1, 7)
+	names := make([]string, 0, len(groups))
+	for name := range groups {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var mixes [][]workload.Profile
-	for _, group := range simperf.HeterogeneousMixes(1, 7) {
-		mixes = append(mixes, group...)
+	for _, name := range names {
+		mixes = append(mixes, groups[name]...)
 	}
 	var flat [][]string
 	for _, kind := range []simperf.MitigationKind{simperf.KindGraphene, simperf.KindPARA} {

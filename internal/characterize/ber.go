@@ -1,6 +1,8 @@
 package characterize
 
 import (
+	"sort"
+
 	"repro/internal/bender"
 	"repro/internal/chipgen"
 	"repro/internal/dram"
@@ -50,8 +52,16 @@ func MeasureBER(b *bender.Bench, s site, onTime, extraOff dram.TimePS, cfg Confi
 		for _, f := range flips {
 			perRow[f.LogicalRow]++
 		}
-		for _, n := range perRow {
-			bers = append(bers, float64(n)/bitsPerRow)
+		// Accumulate per-row BERs in row order: MeanBER is a float sum
+		// over bers, and float addition is not associative, so map
+		// iteration order would leak into the reported value.
+		rows := make([]int, 0, len(perRow))
+		for r := range perRow {
+			rows = append(rows, r)
+		}
+		sort.Ints(rows)
+		for _, r := range rows {
+			bers = append(bers, float64(perRow[r])/bitsPerRow)
 		}
 		if len(perRow) == 0 {
 			bers = append(bers, 0)

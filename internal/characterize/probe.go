@@ -33,10 +33,10 @@ type prober struct {
 	b   *bender.Bench
 	cfg Config
 
-	lastPre     map[int]dram.TimePS // row → last PRE instant
-	lastRestore map[int]dram.TimePS // row → last charge restore
-	scratch     map[int][]byte      // row → current contents
-	fill        map[int]int         // row → fill byte in scratch, -1 once flipped
+	lastPre     map[int]dram.TimePS    // row → last PRE instant
+	lastRestore map[int]dram.TimePS    // row → last charge restore
+	scratch     map[int][]byte         // row → current contents
+	fill        map[int]int            // row → fill byte in scratch, -1 once flipped
 	exp         map[int]*dram.Exposure // row → pending exposure within the current probe
 }
 

@@ -117,6 +117,68 @@ func TestRunMatchesRunWithSerial(t *testing.T) {
 	}
 }
 
+// TestMitigationMergeShuffledCompletion pins the merge contract for the
+// mitigation experiments (the satellite of the maprange audit on
+// fourCoreMixes): shard *completion* order is a scheduling accident, and
+// the merged document must not depend on it. The engine already hands
+// Merge the payloads in plan order whatever order workers finish in, so
+// the test drives the plan by hand — executing shard Runs in several
+// adversarial completion orders (reversed, interleaved) before merging —
+// and requires the rendered report to stay byte-identical to the
+// serial engine's.
+func TestMitigationMergeShuffledCompletion(t *testing.T) {
+	o := Options{Scale: 0.05, Seed: 1, Modules: []string{"S0"}}
+	for _, id := range []string{"table3", "fig40", "fig41"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			want, err := RunWith(engine.New(1, 0), id, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantText := report.Text(want)
+			p, err := PlanFor(id, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := len(p.Shards)
+			if n < 2 {
+				t.Fatalf("%s plans %d shard(s); need at least 2 to permute", id, n)
+			}
+			reversed := make([]int, n)
+			for i := 0; i < n; i++ {
+				reversed[i] = n - 1 - i
+			}
+			// Odd indices first, then even: an interleaving no worker
+			// pool would produce by accident.
+			var interleaved []int
+			for i := 1; i < n; i += 2 {
+				interleaved = append(interleaved, i)
+			}
+			for i := 0; i < n; i += 2 {
+				interleaved = append(interleaved, i)
+			}
+			orders := [][]int{reversed, interleaved}
+			for _, order := range orders {
+				parts := make([]any, n)
+				for _, i := range order {
+					v, err := p.Shards[i].Run()
+					if err != nil {
+						t.Fatalf("shard %d (%s): %v", i, p.Shards[i].Key, err)
+					}
+					parts[i] = v
+				}
+				doc, err := p.Merge(parts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := report.Text(doc); got != wantText {
+					t.Fatalf("completion order %v changed the %s report:\n--- want ---\n%s\n--- got ---\n%s", order, id, wantText, got)
+				}
+			}
+		})
+	}
+}
+
 // TestScenarioShardDecomposition pins the scenario experiments' shard
 // lattice: one shard per (module, scenario) for the grid and one per
 // (module, scenario, mitigation) for the comparison, so overlapping

@@ -49,6 +49,11 @@ func fourCoreMixes(o Options, perGroup int) [][]workload.Profile {
 }
 
 // mixGroupNames orders the Appendix D category names deterministically.
+// Audited for the maprange contract: the raw key iteration below only
+// collects names into a local slice, which is sorted before anything
+// consumes it, so fourCoreMixes flattens groups in a fixed order
+// regardless of map layout — table3/fig40/fig41 rows never depend on
+// iteration order.
 func mixGroupNames(groups map[string][][]workload.Profile) []string {
 	var names []string
 	for g := range groups {

@@ -28,6 +28,7 @@ func GroupFlipsByWord(flips []bender.Flip) map[[2]int]uint64 {
 // flip list.
 func AnalyzeFlips(flips []bender.Flip) WordStats {
 	var st WordStats
+	//lint:ignore rowpressvet/maprange integer tallies plus a running max over pure popcounts; every update commutes, so iteration order cannot change the stats
 	for _, mask := range GroupFlipsByWord(flips) {
 		n := popcount64(mask)
 		st.TotalWords++
@@ -62,6 +63,7 @@ type CodeOutcomes struct {
 func EvaluateCodes(flips []bender.Flip, symbolBits int) CodeOutcomes {
 	var out CodeOutcomes
 	ck := Chipkill{SymbolBits: symbolBits}
+	//lint:ignore rowpressvet/maprange per-word classification is pure and the outcomes are integer counters; order-insensitive by commutativity
 	for _, mask := range GroupFlipsByWord(flips) {
 		// Map data-bit flips to their codeword positions.
 		var flipBits []uint

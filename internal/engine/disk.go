@@ -237,6 +237,7 @@ func (dc *DiskCache) evictLocked() {
 		var oldestKey string
 		var oldestSeq uint64
 		first := true
+		//lint:ignore rowpressvet/maprange Seq is a strictly increasing LRU clock, so the minimum is unique and the scan's visit order cannot change the victim; eviction affects cache retention only, never report bytes
 		for k, e := range dc.entries {
 			if first || e.Seq < oldestSeq {
 				oldestKey, oldestSeq, first = k, e.Seq, false

@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"testing"
+)
+
+const testFile = "test.go"
+
+// parseText parses a single comment as if it opened a file, so the
+// resulting directive (when recognized) is own-line.
+func parseText(t *testing.T, text string) *directive {
+	t.Helper()
+	fset := token.NewFileSet()
+	f := fset.AddFile(testFile, -1, len(text)+1)
+	f.SetLinesForContent([]byte(text))
+	prog := &Program{Fset: fset}
+	pkg := &Package{Src: map[string][]byte{testFile: []byte(text)}}
+	return parseDirective(prog, pkg, &ast.Comment{Slash: f.Pos(0), Text: text})
+}
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text     string
+		skip     bool // not recognized as ours at all
+		analyzer string
+		reason   string
+	}{
+		{text: "// a normal comment", skip: true},
+		{text: "//lint:ignoreXXX not the directive", skip: true},
+		// Foreign tools' qualified directives pass through untouched.
+		{text: "//lint:ignore staticcheck/SA1019 deprecated on purpose", skip: true},
+		{text: "//lint:ignore rowpressvet/maprange keys feed a set", analyzer: "rowpressvet/maprange", reason: "keys feed a set"},
+		// A nested // (the fixture want marker) ends the directive.
+		{text: "//lint:ignore rowpressvet/maprange // want \"x\"", analyzer: "rowpressvet/maprange", reason: ""},
+		// Bare names are ours to reject, so typos don't silently
+		// disable suppression — collected, flagged later as unqualified.
+		{text: "//lint:ignore maprange reason here", analyzer: "maprange", reason: "reason here"},
+	}
+	for _, c := range cases {
+		d := parseText(t, c.text)
+		if c.skip {
+			if d != nil {
+				t.Errorf("%q: parsed %+v, want nil", c.text, d)
+			}
+			continue
+		}
+		if d == nil {
+			t.Errorf("%q: not recognized as a directive", c.text)
+			continue
+		}
+		if d.analyzer != c.analyzer || d.reason != c.reason {
+			t.Errorf("%q: got analyzer=%q reason=%q, want analyzer=%q reason=%q",
+				c.text, d.analyzer, d.reason, c.analyzer, c.reason)
+		}
+		if !d.ownLine {
+			t.Errorf("%q: comment at file start should be own-line", c.text)
+		}
+	}
+}
+
+func TestAloneOnLine(t *testing.T) {
+	src := []byte("x := 1 //lint:ignore a b\n\t//lint:ignore c d\n")
+	trailing := 7 // offset of the first directive, after "x := 1 "
+	ownLine := 26 // offset of the second, after the newline and tab
+	if aloneOnLine(src, trailing) {
+		t.Errorf("trailing directive classified as own-line")
+	}
+	if !aloneOnLine(src, ownLine) {
+		t.Errorf("own-line directive classified as trailing")
+	}
+}

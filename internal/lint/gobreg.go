@@ -1,0 +1,363 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// GobReg is the whole-program payload-registration check. Shard
+// payloads cross the engine as `any`; the persistent disk tier
+// gob-encodes them, and gob requires every concrete type carried in an
+// interface to be registered (engine.RegisterPayloadType, called from
+// internal/core/payloads.go). A payload type that is produced by some
+// plan but never registered does not fail loudly — the disk tier
+// counts an encode skip and that experiment silently degrades to
+// memory-only caching, which a warm-start test only catches for the
+// experiments it happens to run.
+//
+// The analyzer therefore computes, across all loaded packages:
+//
+//   - the registered set: the static types of arguments to any
+//     function named RegisterPayloadType;
+//   - the produced set: for every composite literal of a struct type
+//     named Shard whose Run field is a function literal, the static
+//     type of the value returned as the payload. When that type is (or
+//     flows through) a generic type parameter — the typedShards/
+//     registerKeyed/registerPerModule builder chain — instantiation
+//     type arguments are propagated to a fixpoint, so the concrete
+//     payload type of each registration call site is recovered.
+//
+// Every produced concrete type missing from the registered set is one
+// finding, reported at the production site that fixed the type.
+var GobReg = &Analyzer{
+	Name:   "gobreg",
+	Doc:    "shard payload types missing gob registration (disk tier degrades silently)",
+	Module: true,
+	Run:    runGobReg,
+}
+
+// payloadSource is one site whose payload type is fixed (concrete).
+type payloadSource struct {
+	typ types.Type
+	pos token.Pos
+}
+
+func runGobReg(pass *Pass) {
+	registered := map[string]bool{}
+	anyRegistration := false
+
+	// payloadParams maps a generic function to the indices of its type
+	// parameters that flow into a shard payload.
+	payloadParams := map[*types.Func]map[int]bool{}
+	var produced []payloadSource
+
+	// Pass 1: registered types, and direct (non-generic) payload
+	// producers plus the seed set of generic payload parameters.
+	for _, pkg := range pass.Pkgs {
+		info := pkg.Info
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok && isRegisterPayloadCall(info, call) {
+					anyRegistration = true
+					if t := info.TypeOf(call.Args[0]); t != nil {
+						registered[typeKey(t)] = true
+					}
+					return true
+				}
+				lit, fn := shardRunLiteral(info, n)
+				if lit == nil {
+					return true
+				}
+				for _, t := range payloadReturnTypes(info, fn) {
+					switch owner, idx := typeParamOwner(t); {
+					case owner != nil:
+						if payloadParams[owner] == nil {
+							payloadParams[owner] = map[int]bool{}
+						}
+						payloadParams[owner][idx] = true
+					case !containsTypeParam(t) && !isInterface(t):
+						produced = append(produced, payloadSource{typ: t, pos: fn.Pos()})
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Nothing registers payloads in the loaded set: the check has no
+	// anchor (e.g. linting a subtree without core), so stay silent
+	// rather than flagging every producer.
+	if !anyRegistration {
+		return
+	}
+
+	// Pass 2: propagate type arguments through generic instantiations
+	// to a fixpoint, then harvest concrete payload types.
+	type instSite struct {
+		fn   *types.Func
+		args *types.TypeList
+		pos  token.Pos
+	}
+	var insts []instSite
+	for _, pkg := range pass.Pkgs {
+		info := pkg.Info
+		ids := make([]*ast.Ident, 0, len(info.Instances))
+		for id := range info.Instances {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i].Pos() < ids[j].Pos() })
+		for _, id := range ids {
+			fn, ok := info.Uses[id].(*types.Func)
+			if !ok {
+				continue
+			}
+			insts = append(insts, instSite{fn: fn, args: info.Instances[id].TypeArgs, pos: id.Pos()})
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, in := range insts {
+			idxs := payloadParams[in.fn]
+			if idxs == nil {
+				continue
+			}
+			for _, idx := range sortedInts(idxs) {
+				if idx >= in.args.Len() {
+					continue
+				}
+				arg := in.args.At(idx)
+				if owner, oidx := typeParamOwner(arg); owner != nil {
+					if payloadParams[owner] == nil {
+						payloadParams[owner] = map[int]bool{}
+					}
+					if !payloadParams[owner][oidx] {
+						payloadParams[owner][oidx] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	for _, in := range insts {
+		idxs := payloadParams[in.fn]
+		if idxs == nil {
+			continue
+		}
+		for _, idx := range sortedInts(idxs) {
+			if idx >= in.args.Len() {
+				continue
+			}
+			arg := in.args.At(idx)
+			if containsTypeParam(arg) || isInterface(arg) {
+				continue
+			}
+			produced = append(produced, payloadSource{typ: arg, pos: in.pos})
+		}
+	}
+
+	// One finding per unregistered type, at its earliest producer.
+	first := map[string]payloadSource{}
+	for _, p := range produced {
+		k := typeKey(p.typ)
+		if registered[k] {
+			continue
+		}
+		if prev, ok := first[k]; !ok || p.pos < prev.pos {
+			first[k] = p
+		}
+	}
+	keys := make([]string, 0, len(first))
+	for k := range first {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		p := first[k]
+		pass.Reportf(p.pos, "shard payload type %s is not registered with RegisterPayloadType; the disk cache tier will silently skip it (permanent warm-start misses)", k)
+	}
+}
+
+// sortedInts returns the set's members in ascending order, so the
+// fixpoint and harvest loops visit parameter indices deterministically
+// (this analyzer is itself subject to the maprange contract).
+func sortedInts(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for i := range set {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// typeKey canonicalizes a type for cross-universe comparison: packages
+// loaded from source and from export data yield distinct *types.Named
+// pointers, but identical fully-qualified strings.
+func typeKey(t types.Type) string { return types.TypeString(t, nil) }
+
+// isRegisterPayloadCall matches a call to any function named
+// RegisterPayloadType with at least one argument.
+func isRegisterPayloadCall(info *types.Info, call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	case *ast.Ident:
+		name = fun.Name
+	default:
+		return false
+	}
+	return name == "RegisterPayloadType"
+}
+
+// shardRunLiteral matches a composite literal of a struct type named
+// "Shard" whose Run field is a function literal, returning the
+// literal and that function.
+func shardRunLiteral(info *types.Info, n ast.Node) (*ast.CompositeLit, *ast.FuncLit) {
+	lit, ok := n.(*ast.CompositeLit)
+	if !ok {
+		return nil, nil
+	}
+	t := info.TypeOf(lit)
+	if t == nil {
+		return nil, nil
+	}
+	named, ok := deref(t).(*types.Named)
+	if !ok || named.Obj().Name() != "Shard" {
+		return nil, nil
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil, nil
+	}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); !ok || key.Name != "Run" {
+			continue
+		}
+		if fn, ok := kv.Value.(*ast.FuncLit); ok {
+			return lit, fn
+		}
+	}
+	return nil, nil
+}
+
+// payloadReturnTypes collects the static type of the first returned
+// value of each return statement in the Run literal. A bare
+// `return f(...)` forwarding a two-result call yields f's first result
+// type — this is how typedShards' `return work(i)` resolves to the
+// builder's type parameter.
+func payloadReturnTypes(info *types.Info, fn *ast.FuncLit) []types.Type {
+	var out []types.Type
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.FuncLit); ok && inner != fn {
+			return false // nested literals have their own returns
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		if len(ret.Results) == 0 {
+			return true
+		}
+		t := info.TypeOf(ret.Results[0])
+		if t == nil {
+			return true
+		}
+		if len(ret.Results) == 1 {
+			// return f(...) forwarding (T, error): unpack the tuple.
+			if tup, ok := t.(*types.Tuple); ok {
+				if tup.Len() == 0 {
+					return true
+				}
+				t = tup.At(0).Type()
+			}
+		}
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// typeParamOwner returns, when t is exactly a type parameter of a
+// generic function, that function and the parameter's index; nil
+// otherwise. go/types does not expose the owner directly, so the
+// parameter's declaring scope is walked up to the package scope and
+// the package's functions are scanned for the one declaring tp.
+func typeParamOwner(t types.Type) (*types.Func, int) {
+	tp, ok := t.(*types.TypeParam)
+	if !ok {
+		return nil, 0
+	}
+	scope := tp.Obj().Parent()
+	if scope == nil {
+		return nil, 0
+	}
+	pkgScope := scope
+	for pkgScope.Parent() != nil && pkgScope.Parent() != types.Universe {
+		pkgScope = pkgScope.Parent()
+	}
+	for _, name := range pkgScope.Names() {
+		fn, ok := pkgScope.Lookup(name).(*types.Func)
+		if !ok {
+			continue
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			continue
+		}
+		tps := sig.TypeParams()
+		for i := 0; i < tps.Len(); i++ {
+			if tps.At(i) == tp {
+				return fn, i
+			}
+		}
+	}
+	return nil, 0
+}
+
+// containsTypeParam reports whether t mentions any type parameter.
+func containsTypeParam(t types.Type) bool {
+	switch u := t.(type) {
+	case *types.TypeParam:
+		return true
+	case *types.Pointer:
+		return containsTypeParam(u.Elem())
+	case *types.Slice:
+		return containsTypeParam(u.Elem())
+	case *types.Array:
+		return containsTypeParam(u.Elem())
+	case *types.Map:
+		return containsTypeParam(u.Key()) || containsTypeParam(u.Elem())
+	case *types.Chan:
+		return containsTypeParam(u.Elem())
+	case *types.Named:
+		for i := 0; i < u.TypeArgs().Len(); i++ {
+			if containsTypeParam(u.TypeArgs().At(i)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isInterface reports whether t's underlying type is an interface —
+// an `any` payload cannot be audited statically and is skipped.
+func isInterface(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// deref unwraps one pointer level.
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}

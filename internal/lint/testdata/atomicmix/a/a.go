@@ -1,0 +1,38 @@
+// Fixture for the atomicmix analyzer: a field touched through
+// sync/atomic at one site and by plain load/store at another is a data
+// race the race detector only catches when the sites interleave.
+package a
+
+import "sync/atomic"
+
+type counter struct {
+	hits  uint64
+	total uint64
+	name  string
+}
+
+func (c *counter) bump() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+// Positive: plain read of a field that bump() touches atomically.
+func (c *counter) read() uint64 {
+	return c.hits // want "field counter.hits is accessed with atomic.AddUint64 elsewhere"
+}
+
+// Near miss: total is only ever accessed atomically.
+func (c *counter) bumpTotal() uint64 {
+	atomic.AddUint64(&c.total, 1)
+	return atomic.LoadUint64(&c.total)
+}
+
+// Near miss: name never enters the atomic domain, so plain access is
+// not mixing anything.
+func (c *counter) label() string { return c.name }
+
+// Near miss: constructors initialize fields before the value escapes.
+func NewCounter() *counter {
+	c := &counter{}
+	c.hits = 0
+	return c
+}

@@ -1,0 +1,69 @@
+// Fixture for the gobreg analyzer: payload types produced by Shard Run
+// literals but never passed to RegisterPayloadType. The analyzer
+// matches by name — a struct type named Shard with a Run field, a
+// function named RegisterPayloadType — so the fixture carries local
+// stand-ins for the engine API.
+package bad
+
+type Shard struct {
+	Key string
+	Run func() (any, error)
+}
+
+func RegisterPayloadType(v any) {}
+
+type Registered struct{ N int }
+
+type Orphan struct{ S string }
+
+type GenericRegistered struct{ N int }
+
+type GenericOrphan struct{ F float64 }
+
+func init() {
+	RegisterPayloadType(Registered{})
+	RegisterPayloadType(GenericRegistered{})
+}
+
+// Near miss: the direct producer's payload type is registered.
+func registeredShard() Shard {
+	return Shard{Key: "ok", Run: func() (any, error) {
+		return Registered{N: 1}, nil
+	}}
+}
+
+// Positive: a direct producer of an unregistered type.
+func orphanShard() Shard {
+	return Shard{
+		Key: "bad",
+		Run: func() (any, error) { // want "shard payload type .*Orphan is not registered"
+			return Orphan{S: "x"}, nil
+		},
+	}
+}
+
+// typedShards mirrors the core builder chain: the Run literal forwards
+// work's (T, error), so the payload type is the type parameter and must
+// be recovered from each instantiation site.
+func typedShards[T any](keys []string, work func(string) (T, error)) []Shard {
+	out := make([]Shard, 0, len(keys))
+	for _, k := range keys {
+		k := k
+		out = append(out, Shard{Key: k, Run: func() (any, error) {
+			return work(k)
+		}})
+	}
+	return out
+}
+
+// Positive: generic instantiation fixing T to an unregistered type.
+func buildGenericOrphan() []Shard {
+	work := func(string) (GenericOrphan, error) { return GenericOrphan{}, nil }
+	return typedShards([]string{"a"}, work) // want "shard payload type .*GenericOrphan is not registered"
+}
+
+// Near miss: generic instantiation whose type argument is registered.
+func buildGenericRegistered() []Shard {
+	work := func(string) (GenericRegistered, error) { return GenericRegistered{}, nil }
+	return typedShards([]string{"b"}, work)
+}

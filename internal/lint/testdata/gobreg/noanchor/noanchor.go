@@ -1,0 +1,16 @@
+// Near-miss fixture for the gobreg analyzer: no RegisterPayloadType
+// call exists in the loaded set, so the check has no anchor (a subtree
+// lint without core) and must stay silent rather than flag every
+// producer.
+package noanchor
+
+type Shard struct {
+	Key string
+	Run func() (any, error)
+}
+
+type Payload struct{ N int }
+
+func shard() Shard {
+	return Shard{Key: "k", Run: func() (any, error) { return Payload{}, nil }}
+}

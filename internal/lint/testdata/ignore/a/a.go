@@ -1,0 +1,37 @@
+// Fixture for the suppression directive itself: well-formed directives
+// silence exactly their target line, and malformed or stale ones are
+// findings under the reserved "ignore" analyzer.
+package a
+
+import (
+	"math/rand" //lint:ignore rowpressvet/rngsource fixture: a trailing directive covers its own line
+)
+
+// A reasoned own-line directive covers the next line.
+func covered() int {
+	//lint:ignore rowpressvet/rngsource fixture: an own-line directive covers the next line
+	return rand.Intn(6)
+}
+
+// A directive without a reason never suppresses: both the directive
+// and the underlying finding surface.
+func reasonless() int {
+	return rand.Int() //lint:ignore rowpressvet/rngsource // want "suppression requires a reason" "rand.Int is not derived"
+}
+
+// Unknown analyzer names are rejected so typos cannot silently disable
+// a check.
+//
+//lint:ignore rowpressvet/nosuch misspelled analyzer // want "unknown analyzer rowpressvet/nosuch"
+var _ = 0
+
+// Unqualified names are rejected: other tools' bare-name conventions
+// must not eat rowpressvet findings.
+//
+//lint:ignore rngsource missing the rowpressvet prefix // want "must name a qualified analyzer"
+var _ = 1
+
+// A directive with nothing to suppress is stale.
+//
+//lint:ignore rowpressvet/wallclock nothing here reads the clock // want "stale suppression"
+var _ = 2

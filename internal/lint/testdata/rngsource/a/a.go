@@ -1,0 +1,24 @@
+// Fixture for the rngsource analyzer: math/rand is flagged at the
+// import and at every use site; only stats.RNG-derived randomness is
+// allowed in the module.
+package a
+
+import (
+	"math/rand" // want "import of math/rand"
+)
+
+// Positive: unseeded package-level generator.
+func roll() int {
+	return rand.Intn(6) // want "rand.Intn is not derived from Options.Seed"
+}
+
+// Near miss: a local value that happens to be named rand is not the
+// math/rand package.
+type fakeRand struct{}
+
+func (fakeRand) Intn(n int) int { return n - 1 }
+
+func local() int {
+	rand := fakeRand{}
+	return rand.Intn(6)
+}

@@ -1,0 +1,65 @@
+// Package smoke deliberately violates every rowpressvet invariant in
+// one file. The CI smoke step runs the driver over this directory and
+// asserts a non-zero exit with every analyzer named in the output; the
+// fixture test checks the exact findings.
+package smoke
+
+import (
+	"math/rand" // want "import of math/rand"
+	"sync/atomic"
+	"time"
+)
+
+type Shard struct {
+	Key string
+	Run func() (any, error)
+}
+
+func RegisterPayloadType(v any) {}
+
+type Registered struct{ N int }
+
+type Orphan struct{ S string }
+
+func init() { RegisterPayloadType(Registered{}) }
+
+// gobreg: Orphan is produced but never registered.
+func orphanShard() Shard {
+	return Shard{Key: "orphan", Run: func() (any, error) { // want "shard payload type .*Orphan is not registered"
+		return Orphan{}, nil
+	}}
+}
+
+// maprange: keys are collected and returned unsorted.
+func mapOrder(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "collected into keys are never sorted"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// wallclock: this package has no exempt path element.
+func wallClock() time.Duration {
+	t0 := time.Now()      // want "time.Now reads the wall clock"
+	return time.Since(t0) // want "time.Since reads the wall clock"
+}
+
+// rngsource: randomness not derived from Options.Seed.
+func unseeded() int {
+	return rand.Intn(6) // want "rand.Intn is not derived from Options.Seed"
+}
+
+type hits struct{ n uint64 }
+
+// atomicmix: n is atomic in bump but plain in read.
+func (h *hits) bump() { atomic.AddUint64(&h.n, 1) }
+
+func (h *hits) read() uint64 {
+	return h.n // want "field hits.n is accessed with atomic.AddUint64 elsewhere"
+}
+
+// ignore: a reason-less suppression is itself a finding.
+//
+//lint:ignore rowpressvet/maprange // want "suppression requires a reason"
+var _ = 0

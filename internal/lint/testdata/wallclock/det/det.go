@@ -1,0 +1,25 @@
+// Fixture for the wallclock analyzer: this package's import path has no
+// exempt element, so it counts as deterministic compute.
+package det
+
+import "time"
+
+// Positive: ambient clock reads.
+func stamp() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since reads the wall clock"
+}
+
+// Near miss: arithmetic on time values passed in is deterministic —
+// only the ambient entry points are flagged.
+func span(start, end time.Time) time.Duration {
+	return end.Sub(start)
+}
+
+// Near miss: duration constants and formatting are fine everywhere.
+func budget() string {
+	return (3 * time.Millisecond).String()
+}

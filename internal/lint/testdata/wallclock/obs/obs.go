@@ -1,0 +1,10 @@
+// Near-miss fixture for the wallclock analyzer: the "obs" import-path
+// element exempts this package wholesale — timestamps are its product —
+// so the same calls that are findings in ../det produce none here.
+package obs
+
+import "time"
+
+func stamp() time.Time { return time.Now() }
+
+func elapsed(t0 time.Time) time.Duration { return time.Since(t0) }

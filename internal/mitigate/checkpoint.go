@@ -47,6 +47,10 @@ type tableState struct {
 }
 
 func snapshotTable(counts map[int]int, spillover int, refreshes uint64) tableState {
+	// Audited for the maprange contract: a map-to-map copy is
+	// order-insensitive — the result is the same set of key/value pairs
+	// whatever order the source is walked in, and nothing here observes
+	// the walk itself.
 	cp := make(map[int]int, len(counts))
 	for r, c := range counts {
 		cp[r] = c

@@ -117,13 +117,18 @@ func Analyze(spans []Span) Analysis {
 		}
 		return a.Shards[i].Shard < a.Shards[j].Shard
 	})
-	for _, w := range workers {
+	ids := make([]int, 0, len(workers))
+	for id := range workers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		w := workers[id]
 		if a.Wall > 0 {
 			w.Utilization = float64(w.Busy) / float64(a.Wall)
 		}
 		a.Workers = append(a.Workers, *w)
 	}
-	sort.Slice(a.Workers, func(i, j int) bool { return a.Workers[i].Worker < a.Workers[j].Worker })
 	for _, w := range a.Workers {
 		a.MeanUtilization += w.Utilization
 	}
