@@ -19,7 +19,14 @@
 // touch: their geomean ratio estimates the host-speed drift, every
 // gated ratio is divided by it, and the gate measures regression
 // relative to the same machine's unchanged code — tight enough for a
-// 2% zero-overhead gate.
+// 2% zero-overhead gate. The gate takes the smaller of the raw and
+// calibrated geomeans: a code regression inflates both (the gated
+// paths slow down while the references do not), whereas hardware
+// drift inflates only one side — a uniformly slower runner trips raw
+// but calibrates away, and a runner whose speedup is lopsided across
+// code profiles (CPU-bound references gaining more than I/O- or
+// scheduling-bound gated paths) trips calibrated while raw stays
+// clean.
 //
 // Usage:
 //
@@ -112,7 +119,9 @@ func main() {
 // Benchmark name suffixes like "-8" (GOMAXPROCS) are stripped so records
 // from machines with different core counts still compare. Benchmarks
 // matching calPattern are machine-speed references: their geomean ratio
-// divides out of the gated geomean before the threshold check.
+// divides the gated geomean, and the smaller of the raw and calibrated
+// geomeans is checked against the threshold — both inflate on a code
+// regression, only one on hardware drift.
 func gate(rec Record, baselinePath string, allowed float64, calPattern string) error {
 	b, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -163,7 +172,12 @@ func gate(rec Record, baselinePath string, allowed float64, calPattern string) e
 		}
 		speed := math.Exp(calLogSum / float64(calN))
 		fmt.Fprintf(os.Stderr, "benchjson: host-speed factor %.3fx from %d calibration benchmarks\n", speed, calN)
-		gm /= speed
+		if cal := gm / speed; cal < gm {
+			fmt.Fprintf(os.Stderr, "benchjson: raw geomean %.3fx, gating on calibrated %.3fx\n", gm, cal)
+			gm = cal
+		} else {
+			fmt.Fprintf(os.Stderr, "benchjson: calibrated geomean %.3fx, gating on raw %.3fx\n", cal, gm)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: geomean over %d gated benchmarks: %.3fx (allowed %.2fx)\n", n, gm, allowed)
 	if gm > allowed {

@@ -22,18 +22,34 @@
 // experiment cold under the recorder and prints the critical-path /
 // shard-dominance analysis instead of the experiment report.
 //
+// Cross-run analytics: -ledger-dir stamps every completed run and sweep
+// into a persistent append-only ledger (internal/ledger) — identity
+// hashes, wall time, tier-split shard counts, latency aggregates.
+// `rowpress history` lists it, `rowpress compare <a> <b>` prints a
+// benchstat-style delta between two records (with -gate for CI), and
+// `rowpress loadtest` drives a live daemon with concurrent clients and
+// records client- and server-side latency quantiles for the same
+// window.
+//
 // Usage:
 //
 //	rowpress list
 //	rowpress scenarios [-format text|csv]
 //	rowpress run <id> [-scale 0.5] [-modules S0,S3] [-seed 7] [-workers 8]
 //	                  [-format text|json|csv] [-cache-dir DIR] [-stats] [-trace FILE]
+//	                  [-ledger-dir DIR]
 //	rowpress sweep <id> [-scales 0.05,0.1] [-seeds 1,2] [-modulesets "S0,S3;H0,H4"]
-//	                    [-format text|json|csv] [-workers 8]
+//	                    [-format text|json|csv] [-workers 8] [-ledger-dir DIR]
 //	rowpress profile <id> [-scale 0.5] [-workers 8] [-top 10] [-format text|json|csv]
 //	                      [-trace FILE]
-//	rowpress all [-scale 0.1] [-workers 8] [-serve :8271]
-//	rowpress serve [-addr :8271] [-workers 8] [-cache-dir DIR]
+//	rowpress all [-scale 0.1] [-workers 8] [-serve :8271] [-ledger-dir DIR]
+//	rowpress serve [-addr :8271] [-workers 8] [-cache-dir DIR] [-ledger-dir DIR]
+//	rowpress history -ledger-dir DIR [-experiment fig6] [-kind run|sweep|loadtest]
+//	                  [-limit 20] [-format text|json|csv]
+//	rowpress compare <a> <b> -ledger-dir DIR [-threshold 0.1] [-gate determinism,regression]
+//	                  [-format text|json|csv]
+//	rowpress loadtest -ledger-dir DIR [-target http://localhost:8271] [-clients 8]
+//	                  [-requests 64] [-mix fig6,table3] [-scale 0.05] [-format text|json|csv]
 package main
 
 import (
@@ -49,6 +65,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/ledger"
 	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/scenario"
@@ -78,6 +95,16 @@ func main() {
 	stats := fs.Bool("stats", false, "print a cache-tier summary line after the run (run/sweep/all)")
 	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON of the run to this file (run/sweep/all/profile)")
 	top := fs.Int("top", 10, "rows in the shard-dominance table (profile command)")
+	ledgerDir := fs.String("ledger-dir", "", "persistent run-ledger directory (stamps runs; history/compare/loadtest read it)")
+	histExp := fs.String("experiment", "", "filter records by experiment id (history command)")
+	histKind := fs.String("kind", "", "filter records by kind: run|sweep|loadtest (history command)")
+	limit := fs.Int("limit", 0, "max records to list, newest first; 0 = all (history command)")
+	threshold := fs.Float64("threshold", 0, "regression-flag threshold as a fraction; 0 = default (compare command)")
+	gate := fs.String("gate", "", "comma-separated findings that fail the exit code: determinism,regression (compare command)")
+	clients := fs.Int("clients", 0, "concurrent clients; 0 = default (loadtest command)")
+	requests := fs.Int("requests", 0, "total requests across clients; 0 = default (loadtest command)")
+	mix := fs.String("mix", "", "comma-separated experiment ids issued round-robin (loadtest command)")
+	target := fs.String("target", "http://localhost:8271", "daemon base URL (loadtest command)")
 
 	opts := func() core.Options {
 		o := core.DefaultOptions()
@@ -102,6 +129,24 @@ func main() {
 			e.SetRecorder(obs.NewRecorder(0))
 		}
 		return e
+	}
+	// openLedger opens -ledger-dir. Commands that only read the ledger
+	// (history, compare) require one; run-executing commands skip
+	// stamping when unset.
+	openLedger := func(required bool) *ledger.Ledger {
+		if *ledgerDir == "" {
+			if required {
+				fmt.Fprintf(os.Stderr, "rowpress: %s needs -ledger-dir\n", cmd)
+				os.Exit(2)
+			}
+			return nil
+		}
+		l, err := ledger.Open(*ledgerDir, 0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rowpress: -ledger-dir: %v\n", err)
+			os.Exit(1)
+		}
+		return l
 	}
 	// finish writes the trace, flushes the disk-cache index, and prints
 	// the -stats summary; every run-executing command calls it before
@@ -134,7 +179,8 @@ func main() {
 		if err := fs.Parse(os.Args[2:]); err != nil {
 			os.Exit(2)
 		}
-		rejectFlags(fs, "scenarios", "scale", "seed", "modules", "scales", "seeds", "modulesets", "cpuprofile", "cache-dir", "stats", "trace", "top")
+		rejectFlags(fs, "scenarios", "scale", "seed", "modules", "scales", "seeds", "modulesets", "cpuprofile", "cache-dir", "stats", "trace", "top",
+			"ledger-dir", "experiment", "kind", "limit", "threshold", "gate", "clients", "requests", "mix", "target")
 		switch *format {
 		case "text":
 			fmt.Print(scenario.MatrixText())
@@ -154,7 +200,8 @@ func main() {
 		if err := fs.Parse(rest[1:]); err != nil {
 			os.Exit(2)
 		}
-		rejectFlags(fs, "run", "scales", "seeds", "modulesets", "top")
+		rejectFlags(fs, "run", "scales", "seeds", "modulesets", "top",
+			"experiment", "kind", "limit", "threshold", "gate", "clients", "requests", "mix", "target")
 		switch *format {
 		case "text", "json", "csv":
 		default:
@@ -162,11 +209,12 @@ func main() {
 			os.Exit(2)
 		}
 		e := eng()
+		led := openLedger(false)
 		stop := startProfile(*cpuprofile)
-		runOne(e, id, opts(), *format)
+		runOne(e, led, id, opts(), *format)
 		stop()
 		finish(e)
-		maybeServe(e, *serveAddr)
+		maybeServe(e, led, *serveAddr)
 	case "sweep":
 		rest := os.Args[2:]
 		if len(rest) == 0 {
@@ -177,7 +225,8 @@ func main() {
 		if err := fs.Parse(rest[1:]); err != nil {
 			os.Exit(2)
 		}
-		rejectFlags(fs, "sweep", "scale", "seed", "modules", "top")
+		rejectFlags(fs, "sweep", "scale", "seed", "modules", "top",
+			"experiment", "kind", "limit", "threshold", "gate", "clients", "requests", "mix", "target")
 		switch *format {
 		case "text", "json", "csv":
 		default:
@@ -190,11 +239,12 @@ func main() {
 			os.Exit(2)
 		}
 		e := eng()
+		led := openLedger(false)
 		stop := startProfile(*cpuprofile)
-		runSweep(e, spec, *format)
+		runSweep(e, led, spec, *format)
 		stop()
 		finish(e)
-		maybeServe(e, *serveAddr)
+		maybeServe(e, led, *serveAddr)
 	case "profile":
 		rest := os.Args[2:]
 		if len(rest) == 0 {
@@ -208,7 +258,8 @@ func main() {
 		// Profiling measures a cold run: a warm-start cache or an
 		// already-serving engine would hide exactly the execution being
 		// measured.
-		rejectFlags(fs, "profile", "scales", "seeds", "modulesets", "cache-dir", "serve", "stats")
+		rejectFlags(fs, "profile", "scales", "seeds", "modulesets", "cache-dir", "serve", "stats",
+			"ledger-dir", "experiment", "kind", "limit", "threshold", "gate", "clients", "requests", "mix", "target")
 		switch *format {
 		case "text", "json", "csv":
 		default:
@@ -222,27 +273,166 @@ func main() {
 		if err := fs.Parse(os.Args[2:]); err != nil {
 			os.Exit(2)
 		}
-		rejectFlags(fs, "all", "scales", "seeds", "modulesets", "format", "top")
+		rejectFlags(fs, "all", "scales", "seeds", "modulesets", "format", "top",
+			"experiment", "kind", "limit", "threshold", "gate", "clients", "requests", "mix", "target")
 		e := eng()
+		led := openLedger(false)
 		stop := startProfile(*cpuprofile)
 		for _, exp := range core.List() {
-			runOne(e, exp.ID, opts(), "text")
+			runOne(e, led, exp.ID, opts(), "text")
 		}
 		stop()
 		finish(e)
-		maybeServe(e, *serveAddr)
+		maybeServe(e, led, *serveAddr)
 	case "serve":
 		if err := fs.Parse(os.Args[2:]); err != nil {
 			os.Exit(2)
 		}
 		// cpuprofile would never stop; stats and format only apply to
 		// commands that run experiments and print their output.
-		rejectFlags(fs, "serve", "cpuprofile", "stats", "format", "trace", "top")
-		target := *serveAddr
-		if target == "" {
-			target = *addr
+		rejectFlags(fs, "serve", "cpuprofile", "stats", "format", "trace", "top",
+			"experiment", "kind", "limit", "threshold", "gate", "clients", "requests", "mix", "target")
+		listen := *serveAddr
+		if listen == "" {
+			listen = *addr
 		}
-		maybeServe(eng(), target)
+		maybeServe(eng(), openLedger(false), listen)
+	case "history":
+		if err := fs.Parse(os.Args[2:]); err != nil {
+			os.Exit(2)
+		}
+		rejectFlags(fs, "history", "scale", "seed", "modules", "scales", "seeds", "modulesets",
+			"workers", "serve", "addr", "cpuprofile", "cache-dir", "stats", "trace", "top",
+			"threshold", "gate", "clients", "requests", "mix", "target")
+		led := openLedger(true)
+		recs := led.Records(ledger.Query{Experiment: *histExp, Kind: *histKind, Limit: *limit})
+		switch *format {
+		case "json":
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if recs == nil {
+				recs = []ledger.Record{}
+			}
+			if err := enc.Encode(recs); err != nil {
+				fmt.Fprintf(os.Stderr, "rowpress: %v\n", err)
+				os.Exit(1)
+			}
+		case "csv":
+			fmt.Print(report.CSV(ledger.HistoryDoc(recs, led.Stats())))
+		case "text":
+			fmt.Print(report.Text(ledger.HistoryDoc(recs, led.Stats())))
+		default:
+			fmt.Fprintf(os.Stderr, "rowpress: bad -format %q: want text|json|csv\n", *format)
+			os.Exit(2)
+		}
+	case "compare":
+		rest := os.Args[2:]
+		if len(rest) < 2 || strings.HasPrefix(rest[0], "-") || strings.HasPrefix(rest[1], "-") {
+			fmt.Fprintln(os.Stderr, "rowpress compare <a> <b> [flags]   (selectors: record id, or experiment[~N])")
+			os.Exit(2)
+		}
+		selA, selB := rest[0], rest[1]
+		if err := fs.Parse(rest[2:]); err != nil {
+			os.Exit(2)
+		}
+		rejectFlags(fs, "compare", "scale", "seed", "modules", "scales", "seeds", "modulesets",
+			"workers", "serve", "addr", "cpuprofile", "cache-dir", "stats", "trace", "top",
+			"experiment", "kind", "limit", "clients", "requests", "mix", "target")
+		led := openLedger(true)
+		a, b, err := led.ResolvePair(selA, selB)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rowpress: compare: %v\n", err)
+			os.Exit(1)
+		}
+		d := ledger.Compare(a, b, ledger.CompareOptions{Threshold: *threshold})
+		switch *format {
+		case "json":
+			bts, err := report.JSON(d.Doc)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rowpress: %v\n", err)
+				os.Exit(1)
+			}
+			os.Stdout.Write(bts)
+		case "csv":
+			fmt.Print(report.CSV(d.Doc))
+		case "text":
+			fmt.Print(report.Text(d.Doc))
+		default:
+			fmt.Fprintf(os.Stderr, "rowpress: bad -format %q: want text|json|csv\n", *format)
+			os.Exit(2)
+		}
+		failed := false
+		for _, g := range splitList(*gate, ",") {
+			switch g {
+			case "determinism":
+				if d.DeterminismViolation {
+					fmt.Fprintln(os.Stderr, "rowpress: compare: determinism gate failed")
+					failed = true
+				}
+			case "regression":
+				if d.Regression {
+					fmt.Fprintln(os.Stderr, "rowpress: compare: regression gate failed")
+					failed = true
+				}
+			default:
+				fmt.Fprintf(os.Stderr, "rowpress: bad -gate %q: want determinism|regression\n", g)
+				os.Exit(2)
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
+	case "loadtest":
+		if err := fs.Parse(os.Args[2:]); err != nil {
+			os.Exit(2)
+		}
+		rejectFlags(fs, "loadtest", "modules", "scales", "seeds", "modulesets",
+			"workers", "serve", "addr", "cpuprofile", "cache-dir", "stats", "trace", "top",
+			"experiment", "kind", "limit", "threshold", "gate")
+		switch *format {
+		case "text", "json", "csv":
+		default:
+			fmt.Fprintf(os.Stderr, "rowpress: bad -format %q: want text|json|csv\n", *format)
+			os.Exit(2)
+		}
+		cfg := ledger.LoadTestConfig{
+			BaseURL:  *target,
+			Clients:  *clients,
+			Requests: *requests,
+			Mix:      splitList(*mix, ","),
+			Seed:     *seed,
+		}
+		// -scale defaults to 1.0 for run commands; for a load test an
+		// unset flag should mean the harness default, not a full run.
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "scale" {
+				cfg.Scale = *scale
+			}
+		})
+		rec, doc, err := ledger.LoadTest(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rowpress: loadtest: %v\n", err)
+			os.Exit(1)
+		}
+		if led := openLedger(false); led != nil {
+			if _, aerr := led.Append(rec); aerr != nil {
+				fmt.Fprintf(os.Stderr, "rowpress: ledger: %v\n", aerr)
+			}
+			led.Close()
+		}
+		switch *format {
+		case "json":
+			bts, err := report.JSON(doc)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rowpress: %v\n", err)
+				os.Exit(1)
+			}
+			os.Stdout.Write(bts)
+		case "csv":
+			fmt.Print(report.CSV(doc))
+		default:
+			fmt.Print(report.Text(doc))
+		}
 	default:
 		usage()
 		os.Exit(2)
@@ -273,9 +463,51 @@ func startProfile(path string) func() {
 	}
 }
 
-func runOne(eng *engine.Engine, id string, o core.Options, format string) {
+// runOne executes one experiment and renders its document. With a
+// ledger attached it also stamps the durable run record: identity
+// hashes, tier-split shard counts, the run's metrics window, and the
+// profile summary when tracing is on. Failed runs are recorded too —
+// a history that omits failures cannot explain a trend break.
+func runOne(eng *engine.Engine, led *ledger.Ledger, id string, o core.Options, format string) {
 	start := time.Now()
-	doc, err := core.RunWith(eng, id, o)
+	var onShard func(engine.ShardEvent)
+	var tiers func() ledger.TierCounts
+	var before engine.Metrics
+	var spanLo int
+	if led != nil {
+		before = eng.Metrics()
+		onShard, tiers = ledger.ObserveShards()
+		if rec := eng.Recorder(); rec != nil {
+			spanLo = len(rec.Snapshot())
+		}
+	}
+	doc, st, err := core.RunObserved(eng, id, o, onShard)
+	if led != nil {
+		lr := ledger.Record{
+			Kind:        ledger.KindRun,
+			Experiment:  id,
+			OptionsHash: o.Hash(),
+			WallMS:      float64(time.Since(start)) / float64(time.Millisecond),
+			Shards:      st.Shards,
+			Tiers:       tiers(),
+		}
+		lr.FillWindow(eng.Metrics().Sub(before))
+		if err != nil {
+			lr.Error = err.Error()
+		} else {
+			lr.DocHash = ledger.DocHash(doc)
+		}
+		if rec := eng.Recorder(); rec != nil {
+			spans := rec.Snapshot()
+			if spanLo > len(spans) {
+				spanLo = 0 // trace ring overflowed; analyze what remains
+			}
+			lr.Profile = ledger.ProfileFrom(obs.Analyze(spans[spanLo:]), eng.Workers())
+		}
+		if _, aerr := led.Append(lr); aerr != nil {
+			fmt.Fprintf(os.Stderr, "rowpress: ledger: %v\n", aerr)
+		}
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rowpress: %s: %v\n", id, err)
 		os.Exit(1)
@@ -432,12 +664,40 @@ func splitList(s, sep string) []string {
 	return out
 }
 
-func runSweep(eng *engine.Engine, spec sweep.Spec, format string) {
+func runSweep(eng *engine.Engine, led *ledger.Ledger, spec sweep.Spec, format string) {
 	start := time.Now()
+	var before engine.Metrics
+	if led != nil {
+		before = eng.Metrics()
+	}
 	res, err := sweep.Run(eng, spec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rowpress: sweep %s: %v\n", spec.Experiment, err)
 		os.Exit(1)
+	}
+	if led != nil {
+		a := res.Aggregate
+		docs := make([]*report.Doc, len(res.Points))
+		for i := range res.Points {
+			docs[i] = res.Points[i].Doc
+		}
+		w := eng.Metrics().Sub(before)
+		lr := ledger.Record{
+			Kind:        ledger.KindSweep,
+			Experiment:  res.Experiment,
+			OptionsHash: ledger.HashJSON("sweep", spec),
+			DocHash:     ledger.DocsHash(docs),
+			WallMS:      a.WallMS,
+			Shards:      a.ShardRefs,
+			Tiers:       ledger.SweepTiers(w, a.Executed, a.ShardRefs),
+		}
+		if a.Failed > 0 {
+			lr.Error = fmt.Sprintf("%d/%d points failed", a.Failed, a.Points)
+		}
+		lr.FillWindow(w)
+		if _, aerr := led.Append(lr); aerr != nil {
+			fmt.Fprintf(os.Stderr, "rowpress: ledger: %v\n", aerr)
+		}
 	}
 	switch format {
 	case "json":
@@ -460,14 +720,18 @@ func runSweep(eng *engine.Engine, spec sweep.Spec, format string) {
 	}
 }
 
-func maybeServe(eng *engine.Engine, addr string) {
+func maybeServe(eng *engine.Engine, led *ledger.Ledger, addr string) {
 	if addr == "" {
 		return
+	}
+	var sopts []serve.Option
+	if led != nil {
+		sopts = append(sopts, serve.WithLedger(led))
 	}
 	st := eng.Cache().Stats()
 	log.Printf("rowpress serving on %s (%d workers, %d cached shard results)",
 		addr, eng.Workers(), st.Entries)
-	log.Fatal(serve.New(eng).ListenAndServe(addr))
+	log.Fatal(serve.New(eng, sopts...).ListenAndServe(addr))
 }
 
 func usage() {
@@ -482,9 +746,18 @@ commands:
                        shard-dominance analysis (-top N rows, -trace FILE)
   all [flags]          run every experiment
   serve [flags]        serve the experiment engine over HTTP (see rowpressd)
+  history [flags]      list the persistent run ledger (-ledger-dir required;
+                       -experiment ID, -kind run|sweep|loadtest, -limit N)
+  compare <a> <b>      benchstat-style delta between two ledger records;
+                       selectors are a record id or experiment[~N] (N-th newest);
+                       -threshold F, -gate determinism,regression exits 1 on a hit
+  loadtest [flags]     drive a live daemon with concurrent clients and record
+                       client+server latency quantiles into the ledger
+                       (-target URL, -clients N, -requests N, -mix id,id,...)
 
 flags: -scale F  -modules S0,S3,...  -seed N  -workers N  -serve ADDR  -addr ADDR  -cpuprofile FILE
        -format text|json|csv  -cache-dir DIR (persistent warm-start cache)  -stats (cache-tier summary)
        -trace FILE (Chrome trace-event JSON of the shard lifecycle; chrome://tracing, Perfetto)
+       -ledger-dir DIR (append-only run ledger; run/sweep/all stamp records, history/compare/loadtest read)
 sweep flags: -scales F,F,...  -seeds N,N,...  -modulesets "S0,S3;H0,H4"`)
 }

@@ -18,14 +18,22 @@
 // (bounded by -drain-timeout), and the disk-cache index is flushed
 // before exit.
 //
+// With -ledger-dir, every completed run and sweep is additionally
+// stamped into a persistent append-only run ledger (internal/ledger):
+// identity hashes, wall time, tier-split shard counts, and latency
+// aggregates survive restarts, /v1/results warm-starts from the ledger
+// tail, and /v1/history + /v1/compare serve cross-run analytics over it.
+//
 // Usage:
 //
 //	rowpressd [-addr :8271] [-workers N] [-cache ENTRIES] [-warm 0.05]
 //	          [-cache-dir DIR] [-cache-disk-bytes N] [-drain-timeout 10s]
+//	          [-ledger-dir DIR] [-ledger-bytes N]
 //	          [-log-level info] [-pprof]
 //
 // Endpoints: /healthz, /v1/healthz, /metrics, /v1/experiments,
-// /v1/scenarios, /v1/run/{exp}, /v1/sweep, /v1/results, /v1/metrics.
+// /v1/scenarios, /v1/run/{exp}, /v1/sweep, /v1/results, /v1/metrics,
+// /v1/history, /v1/compare.
 // Examples:
 //
 //	curl 'localhost:8271/v1/run/fig6?scale=0.1&modules=S0,S3&format=text'
@@ -50,6 +58,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/ledger"
 	"repro/internal/serve"
 )
 
@@ -60,6 +69,8 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "persistent shard-cache directory (warm-start across restarts)")
 	cacheDiskBytes := flag.Int64("cache-disk-bytes", engine.DefaultDiskCacheBytes, "disk-cache size bound in bytes")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown bound for in-flight requests")
+	ledgerDir := flag.String("ledger-dir", "", "persistent run-ledger directory (run history, /v1/history, /v1/compare)")
+	ledgerBytes := flag.Int64("ledger-bytes", 0, "run-ledger size bound in bytes (0 = default)")
 	warm := flag.Float64("warm", 0, "if > 0, pre-warm the cache by running every experiment at this scale before serving")
 	logLevel := flag.String("log-level", "info", "structured request-log floor: debug|info|warn|error|off")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
@@ -96,6 +107,18 @@ func main() {
 	}
 
 	sopts := []serve.Option{serve.WithLogger(logger)}
+	var led *ledger.Ledger
+	if *ledgerDir != "" {
+		led, err = ledger.Open(*ledgerDir, *ledgerBytes)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rowpressd: -ledger-dir: %v\n", err)
+			os.Exit(1)
+		}
+		st := led.Stats()
+		log.Printf("run ledger %s: %d records, %d bytes (%d corrupt lines skipped)",
+			*ledgerDir, st.Records, st.Bytes, st.Skipped)
+		sopts = append(sopts, serve.WithLedger(led))
+	}
 	if *pprofOn {
 		sopts = append(sopts, serve.WithPprof())
 		log.Printf("pprof enabled on /debug/pprof/")
@@ -128,6 +151,13 @@ func main() {
 			log.Printf("disk-cache flush: %v", err)
 		} else {
 			log.Printf("disk-cache index flushed (%d entries)", dc.Stats().Entries)
+		}
+	}
+	if led != nil {
+		if err := led.Close(); err != nil {
+			log.Printf("ledger close: %v", err)
+		} else {
+			log.Printf("run ledger closed (%d records)", led.Stats().Records)
 		}
 	}
 }

@@ -72,6 +72,22 @@ func (o Options) fingerprint() string {
 	return fmt.Sprintf("scale=%g;seed=%d", o.Scale, o.Seed)
 }
 
+// Hash canonically addresses the full option set. Unlike fingerprint
+// (which deliberately drops the module list so per-module shards can be
+// shared across overlapping requests), Hash folds the normalized
+// modules in: two runs carry the same Hash exactly when they answer the
+// identical request. The run ledger's determinism check keys on it —
+// equal hashes must yield equal document hashes.
+func (o Options) Hash() string {
+	mods, err := NormalizeModules(o.Modules)
+	if err != nil {
+		// A non-normalizable module list never plans, but hash it
+		// faithfully so a failed run's record still has an identity.
+		mods = o.Modules
+	}
+	return engine.Key("options", o.fingerprint(), strings.Join(mods, ","))
+}
+
 // scaled returns max(lo, round(n*Scale)).
 func (o Options) scaled(n, lo int) int {
 	v := int(float64(n) * o.Scale)
@@ -270,6 +286,16 @@ func Run(id string, o Options) (*report.Doc, error) {
 // decomposition is recorded as a plan_build span so traced runs show
 // the full lifecycle, not just shard execution.
 func RunWith(eng *engine.Engine, id string, o Options) (*report.Doc, error) {
+	out, _, err := RunObserved(eng, id, o, nil)
+	return out, err
+}
+
+// RunObserved is RunWith for callers that also need the engine's
+// per-run statistics and per-shard resolution events — the run ledger
+// uses the events to split the shard count by answering cache tier.
+// onShard (may be nil) is chained onto the plan exactly like
+// engine.Plan.OnShard: invoked concurrently from worker goroutines.
+func RunObserved(eng *engine.Engine, id string, o Options, onShard func(engine.ShardEvent)) (*report.Doc, engine.RunStats, error) {
 	var t0 time.Time
 	rec := eng.Recorder()
 	if rec != nil {
@@ -277,14 +303,14 @@ func RunWith(eng *engine.Engine, id string, o Options) (*report.Doc, error) {
 	}
 	p, err := PlanFor(id, o)
 	if err != nil {
-		return nil, err
+		return nil, engine.RunStats{}, err
 	}
 	if rec != nil {
 		//lint:ignore rowpressvet/wallclock span duration for the plan_build trace; recorder-gated and never feeds the report document
 		rec.Record(obs.PlanBuild, -1, -1, id, "", t0, time.Since(t0), 0)
 	}
-	out, _, err := eng.Execute(p)
-	return out, err
+	p.OnShard = onShard
+	return eng.Execute(p)
 }
 
 // sweepTAggONs trims the standard lattice at small scales so quick runs

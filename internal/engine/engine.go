@@ -101,6 +101,16 @@ func (s LatencyStats) Avg() time.Duration {
 	return s.Total / time.Duration(s.Count)
 }
 
+// Sub returns the aggregate accumulated between prev and s — both
+// snapshots of the same monotone counter. A prev that is ahead of s
+// (snapshots of different engines) yields a zero aggregate.
+func (s LatencyStats) Sub(prev LatencyStats) LatencyStats {
+	if prev.Count > s.Count || prev.Total > s.Total {
+		return LatencyStats{}
+	}
+	return LatencyStats{Count: s.Count - prev.Count, Total: s.Total - prev.Total}
+}
+
 // latCounter is the lock-free accumulator behind LatencyStats.
 type latCounter struct {
 	count atomic.Uint64
@@ -138,6 +148,36 @@ type Metrics struct {
 	MemLookup  LatencyStats // lookups answered by the in-memory tier
 	DiskLookup LatencyStats // lookups answered by the persistent tier
 	MissLookup LatencyStats // lookups answered by neither tier
+}
+
+// Sub returns the counter window accumulated between prev and m: the
+// cumulative counters and latency aggregates subtracted, the cache-tier
+// snapshots carried from m (tier entries/bytes are states, not
+// counters). The run ledger uses this to attribute queue-wait and
+// per-tier lookup latency to one run's lifetime.
+func (m Metrics) Sub(prev Metrics) Metrics {
+	out := m
+	out.Runs -= min(prev.Runs, m.Runs)
+	out.ShardsPlanned -= min(prev.ShardsPlanned, m.ShardsPlanned)
+	out.ShardsExecuted -= min(prev.ShardsExecuted, m.ShardsExecuted)
+	out.CacheHits -= min(prev.CacheHits, m.CacheHits)
+	out.CacheMisses -= min(prev.CacheMisses, m.CacheMisses)
+	out.Errors -= min(prev.Errors, m.Errors)
+	if prev.TotalWall < m.TotalWall {
+		out.TotalWall = m.TotalWall - prev.TotalWall
+	} else {
+		out.TotalWall = 0
+	}
+	if prev.TotalShardTime < m.TotalShardTime {
+		out.TotalShardTime = m.TotalShardTime - prev.TotalShardTime
+	} else {
+		out.TotalShardTime = 0
+	}
+	out.QueueWait = m.QueueWait.Sub(prev.QueueWait)
+	out.MemLookup = m.MemLookup.Sub(prev.MemLookup)
+	out.DiskLookup = m.DiskLookup.Sub(prev.DiskLookup)
+	out.MissLookup = m.MissLookup.Sub(prev.MissLookup)
+	return out
 }
 
 // Engine is a worker-pool scheduler with a shared result cache. Safe for

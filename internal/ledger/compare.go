@@ -1,0 +1,253 @@
+package ledger
+
+// This file is the cross-run analytics layer: HistoryDoc renders the
+// ledger as a result document (so /v1/history and `rowpress history`
+// serve text, JSON, and CSV through the shared report renderers), and
+// Compare turns any two records into a benchstat-style delta document
+// — total and per-phase latency deltas, cache-efficiency deltas,
+// regression flags past a threshold, and a hard determinism check:
+// doc-hash divergence between runs with equal options hashes is a
+// finding, not a footnote.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/report"
+)
+
+// DefaultRegressionThreshold flags a wall-time regression when run b
+// is more than this fraction slower than run a.
+const DefaultRegressionThreshold = 0.10
+
+// shortHash abbreviates a content hash for table cells.
+func shortHash(h string) string {
+	if len(h) > 12 {
+		return h[:12]
+	}
+	if h == "" {
+		return "-"
+	}
+	return h
+}
+
+func (r Record) hits() int { return r.Tiers.Mem + r.Tiers.Disk + r.Tiers.Join }
+
+func (r Record) hitRate() float64 {
+	if r.Shards == 0 {
+		return 0
+	}
+	return float64(r.hits()) / float64(r.Shards)
+}
+
+// HistoryDoc renders records (newest first) as a result document.
+func HistoryDoc(records []Record, st Stats) *report.Doc {
+	rows := make([][]string, 0, len(records))
+	for _, r := range records {
+		errCell := "-"
+		if r.Error != "" {
+			errCell = r.Error
+		}
+		rows = append(rows, []string{
+			r.ID,
+			r.Kind,
+			r.Experiment,
+			r.CompletedAt.UTC().Format("2006-01-02T15:04:05Z"),
+			fmt.Sprintf("%.3f", r.WallMS),
+			strconv.Itoa(r.Shards),
+			strconv.Itoa(r.Tiers.Mem),
+			strconv.Itoa(r.Tiers.Disk),
+			strconv.Itoa(r.Tiers.Miss),
+			report.Pct(r.hitRate()),
+			shortHash(r.DocHash),
+			errCell,
+		})
+	}
+	note := fmt.Sprintf("%d of %d ledger records shown  (%d bytes on disk, %d skipped, %d pruned)",
+		len(records), st.Records, st.Bytes, st.Skipped, st.Pruned)
+	doc := report.NewDoc(report.TableSection("run history",
+		[]string{"id", "kind", "experiment", "completed_at", "wall_ms", "shards", "mem", "disk", "miss", "hit_rate", "doc_hash", "error"},
+		rows, note))
+	doc.Title = "Run ledger history"
+	return doc
+}
+
+// CompareOptions tunes the delta analysis.
+type CompareOptions struct {
+	// Threshold is the fractional wall-time change beyond which the
+	// delta is flagged as a regression (slower) or improvement
+	// (faster). <= 0 selects DefaultRegressionThreshold.
+	Threshold float64
+}
+
+// Delta is the structured outcome of a comparison: the rendered
+// document plus the machine-checkable verdicts callers gate on
+// (`rowpress compare -gate`, the CI determinism smoke).
+type Delta struct {
+	A, B                 Record
+	Doc                  *report.Doc
+	Regression           bool // b slower than a beyond the threshold
+	Improvement          bool // b faster than a beyond the threshold
+	DeterminismChecked   bool // options hashes were equal, hashes compared
+	DeterminismViolation bool // equal options, divergent doc hashes
+}
+
+// deltaRow renders one metric's (a, b, delta, delta%) comparison.
+func deltaRow(metric string, a, b float64) []string {
+	pct := "~"
+	if a != 0 {
+		pct = report.SignedPct((b - a) / a)
+	}
+	return []string{metric, report.Num(a), report.Num(b), fmt.Sprintf("%+.3f", b-a), pct}
+}
+
+// Compare analyses run b against baseline a.
+func Compare(a, b Record, opt CompareOptions) *Delta {
+	th := opt.Threshold
+	if th <= 0 {
+		th = DefaultRegressionThreshold
+	}
+	d := &Delta{A: a, B: b}
+
+	runRows := make([][]string, 0, 2)
+	for _, r := range []Record{a, b} {
+		runRows = append(runRows, []string{
+			r.ID, r.Kind, r.Experiment,
+			r.CompletedAt.UTC().Format("2006-01-02T15:04:05Z"),
+			fmt.Sprintf("%.3f", r.WallMS),
+			strconv.Itoa(r.Shards),
+			fmt.Sprintf("%d/%d/%d/%d", r.Tiers.Mem, r.Tiers.Disk, r.Tiers.Join, r.Tiers.Miss),
+			shortHash(r.OptionsHash),
+			shortHash(r.DocHash),
+		})
+	}
+	runs := report.TableSection("runs",
+		[]string{"id", "kind", "experiment", "completed_at", "wall_ms", "shards", "mem/disk/join/miss", "options_hash", "doc_hash"},
+		runRows)
+
+	rows := [][]string{
+		deltaRow("wall_ms", a.WallMS, b.WallMS),
+		deltaRow("queue_wait_ms", a.QueueWait.TotalMS, b.QueueWait.TotalMS),
+		deltaRow("mem_lookup_ms", a.MemLookup.TotalMS, b.MemLookup.TotalMS),
+		deltaRow("disk_lookup_ms", a.DiskLookup.TotalMS, b.DiskLookup.TotalMS),
+		deltaRow("miss_lookup_ms", a.MissLookup.TotalMS, b.MissLookup.TotalMS),
+		deltaRow("shards_executed", float64(a.Tiers.Miss), float64(b.Tiers.Miss)),
+		deltaRow("cache_hits", float64(a.hits()), float64(b.hits())),
+		deltaRow("hit_rate", a.hitRate(), b.hitRate()),
+	}
+	if a.Profile != nil && b.Profile != nil {
+		rows = append(rows,
+			deltaRow("critical_path_ms", a.Profile.CriticalPathMS, b.Profile.CriticalPathMS),
+			deltaRow("max_speedup", a.Profile.MaxSpeedup, b.Profile.MaxSpeedup),
+			deltaRow("mean_utilization", a.Profile.MeanUtilization, b.Profile.MeanUtilization),
+		)
+	}
+	if a.Load != nil && b.Load != nil {
+		rows = append(rows,
+			deltaRow("client_p50_ms", a.Load.ClientP50MS, b.Load.ClientP50MS),
+			deltaRow("client_p95_ms", a.Load.ClientP95MS, b.Load.ClientP95MS),
+			deltaRow("client_p99_ms", a.Load.ClientP99MS, b.Load.ClientP99MS),
+			deltaRow("throughput_rps", a.Load.ThroughputRPS, b.Load.ThroughputRPS),
+			deltaRow("server_p50_ms", a.Load.ServerP50MS, b.Load.ServerP50MS),
+			deltaRow("server_p99_ms", a.Load.ServerP99MS, b.Load.ServerP99MS),
+		)
+	}
+	deltas := report.TableSection("deltas (b vs a)",
+		[]string{"metric", "a", "b", "delta", "delta_pct"}, rows)
+
+	var findings []string
+	if a.Kind != b.Kind {
+		findings = append(findings, fmt.Sprintf("kind mismatch: comparing a %s against a %s", a.Kind, b.Kind))
+	}
+	findings = append(findings, fmt.Sprintf("tier shift: mem %d→%d  disk %d→%d  join %d→%d  miss %d→%d",
+		a.Tiers.Mem, b.Tiers.Mem, a.Tiers.Disk, b.Tiers.Disk,
+		a.Tiers.Join, b.Tiers.Join, a.Tiers.Miss, b.Tiers.Miss))
+
+	switch {
+	case a.WallMS > 0 && b.WallMS > a.WallMS*(1+th):
+		d.Regression = true
+		findings = append(findings, fmt.Sprintf("REGRESSION: wall %s exceeds the %s threshold (%.3f ms → %.3f ms)",
+			report.SignedPct((b.WallMS-a.WallMS)/a.WallMS), report.Pct(th), a.WallMS, b.WallMS))
+	case a.WallMS > 0 && b.WallMS < a.WallMS*(1-th):
+		d.Improvement = true
+		findings = append(findings, fmt.Sprintf("improvement: wall %s beyond the %s threshold (%.3f ms → %.3f ms)",
+			report.SignedPct((b.WallMS-a.WallMS)/a.WallMS), report.Pct(th), a.WallMS, b.WallMS))
+	default:
+		findings = append(findings, fmt.Sprintf("wall within the ±%s threshold", report.Pct(th)))
+	}
+
+	switch {
+	case a.OptionsHash == "" || b.OptionsHash == "":
+		findings = append(findings, "determinism check skipped: missing options hash")
+	case a.OptionsHash != b.OptionsHash:
+		findings = append(findings, fmt.Sprintf("determinism check skipped: options hashes differ (%s vs %s)",
+			shortHash(a.OptionsHash), shortHash(b.OptionsHash)))
+	case a.DocHash == "" || b.DocHash == "":
+		findings = append(findings, "determinism check skipped: missing doc hash")
+	case a.DocHash != b.DocHash:
+		d.DeterminismChecked = true
+		d.DeterminismViolation = true
+		findings = append(findings, fmt.Sprintf(
+			"DETERMINISM VIOLATION: equal options hash %s but doc hash %s != %s — equal inputs must produce byte-identical documents",
+			shortHash(a.OptionsHash), shortHash(a.DocHash), shortHash(b.DocHash)))
+	default:
+		d.DeterminismChecked = true
+		findings = append(findings, fmt.Sprintf("determinism: doc hashes match (%s) for equal options hash %s",
+			shortHash(a.DocHash), shortHash(a.OptionsHash)))
+	}
+
+	doc := report.NewDoc(runs, deltas, report.FindingsSection("findings", findings...))
+	doc.Title = fmt.Sprintf("Cross-run delta: %s vs %s", a.ID, b.ID)
+	doc.Params = []report.Param{
+		{Key: "a", Value: a.ID},
+		{Key: "b", Value: b.ID},
+		{Key: "threshold", Value: report.Pct(th)},
+	}
+	d.Doc = doc
+	return d
+}
+
+// Resolve maps a selector onto a record: an exact record ID, or an
+// experiment id optionally suffixed "~N" selecting the N-th newest
+// record for that experiment (N defaults to 0, the newest).
+func (l *Ledger) Resolve(sel string) (Record, error) {
+	if r, ok := l.Get(sel); ok {
+		return r, nil
+	}
+	exp, nth := sel, 0
+	if i := strings.LastIndex(sel, "~"); i >= 0 {
+		n, err := strconv.Atoi(sel[i+1:])
+		if err != nil || n < 0 {
+			return Record{}, fmt.Errorf("ledger: bad selector %q: want <record-id> or <experiment>[~N]", sel)
+		}
+		exp, nth = sel[:i], n
+	}
+	recs := l.Records(Query{Experiment: exp, Limit: nth + 1})
+	if len(recs) <= nth {
+		return Record{}, fmt.Errorf("ledger: selector %q matches no record (experiment %q has %d)", sel, exp, len(recs))
+	}
+	return recs[nth], nil
+}
+
+// ResolvePair resolves the two comparison selectors. Equal experiment
+// selectors mean "previous vs latest" — `compare fig6 fig6` (and the
+// shorthand of repeating one experiment) compares the last two runs of
+// fig6 rather than a record against itself.
+func (l *Ledger) ResolvePair(selA, selB string) (a, b Record, err error) {
+	if selA == selB {
+		if _, ok := l.Get(selA); !ok {
+			if a, err = l.Resolve(selA + "~1"); err != nil {
+				return a, b, err
+			}
+			b, err = l.Resolve(selA + "~0")
+			return a, b, err
+		}
+		return a, b, fmt.Errorf("ledger: selectors name the same record %q", selA)
+	}
+	if a, err = l.Resolve(selA); err != nil {
+		return a, b, err
+	}
+	b, err = l.Resolve(selB)
+	return a, b, err
+}

@@ -1,0 +1,494 @@
+// Package ledger is the persistent run ledger: an append-only,
+// corruption-tolerant, size-bounded NDJSON store of one versioned
+// record per completed run, sweep, or load test. It is the sibling of
+// engine.DiskCache one layer up — the disk cache makes *payloads*
+// survive a restart, the ledger makes the *trajectory* survive: what
+// ran, with which options, how long it took, which cache tier answered
+// each shard, and what the result document hashed to. On top of the
+// store, Compare and HistoryDoc turn any two records (or the whole
+// history) into benchstat-style delta documents with regression flags
+// and a hard determinism check, so cross-run comparability is a
+// first-class deliverable of the reproduction, mirroring the RowPress
+// artifact's machine-readable dataset practice.
+//
+// Durability contract:
+//
+//   - Appends are a single write of one newline-terminated JSON line
+//     under a mutex, so concurrent appenders never interleave bytes
+//     and a crash can truncate at most the final line.
+//   - Load skips, never fails on, a truncated final line, an
+//     unparseable line, a record with unknown fields (a newer schema),
+//     or an unknown Version — each skip is counted in Stats.Skipped.
+//   - The store is size-bounded: when an append pushes the file past
+//     its byte bound, the oldest records are pruned and the file is
+//     compacted through a temp-file + rename, so a crash mid-compact
+//     never loses the live ledger.
+package ledger
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/report"
+)
+
+// RecordVersion is the schema version stamped into every record.
+// Records carrying any other version are skipped on load (counted, not
+// fatal), so a downgrade never misreads a newer schema.
+const RecordVersion = 1
+
+// Record kinds.
+const (
+	KindRun      = "run"
+	KindSweep    = "sweep"
+	KindLoadTest = "loadtest"
+)
+
+// TierCounts splits a run's shard resolutions by answering tier: the
+// in-memory LRU, the persistent disk tier, a joined concurrent
+// execution, or a miss (the shard actually executed). Mem+Disk+Join+
+// Miss equals the plan's shard count.
+type TierCounts struct {
+	Mem  int `json:"mem"`
+	Disk int `json:"disk"`
+	Join int `json:"join,omitempty"`
+	Miss int `json:"miss"`
+}
+
+// Total returns the shard count the split accounts for.
+func (t TierCounts) Total() int { return t.Mem + t.Disk + t.Join + t.Miss }
+
+// Latency is a (count, total) latency aggregate in milliseconds — the
+// wire form of engine.LatencyStats.
+type Latency struct {
+	Count   uint64  `json:"count"`
+	TotalMS float64 `json:"total_ms"`
+}
+
+// AvgMS returns TotalMS/Count, or 0 before any observation.
+func (l Latency) AvgMS() float64 {
+	if l.Count == 0 {
+		return 0
+	}
+	return l.TotalMS / float64(l.Count)
+}
+
+// Profile is the worker-utilization / critical-path / Amdahl summary
+// from obs.Analyze, present only when the run was traced.
+type Profile struct {
+	Workers         int     `json:"workers"`
+	ExecutedShards  int     `json:"executed_shards"`
+	TotalExecMS     float64 `json:"total_exec_ms"`
+	CriticalPathMS  float64 `json:"critical_path_ms"`
+	SerialFraction  float64 `json:"serial_fraction"`
+	MaxSpeedup      float64 `json:"max_speedup"`
+	MeanUtilization float64 `json:"mean_utilization"`
+}
+
+// LoadStats is the serving-path load-test view: client-observed
+// latency quantiles over the run's request window next to the
+// server-reported quantiles for the same window (derived from
+// /v1/metrics histogram-bucket deltas), so the client/server skew is
+// computed once, in the record, instead of eyeballed across outputs.
+type LoadStats struct {
+	Target        string   `json:"target"`
+	Mix           []string `json:"mix"`
+	Clients       int      `json:"clients"`
+	Requests      int      `json:"requests"`
+	Errors        int      `json:"errors"`
+	DurationMS    float64  `json:"duration_ms"`
+	ThroughputRPS float64  `json:"throughput_rps"`
+
+	ClientP50MS  float64 `json:"client_p50_ms"`
+	ClientP95MS  float64 `json:"client_p95_ms"`
+	ClientP99MS  float64 `json:"client_p99_ms"`
+	ClientMeanMS float64 `json:"client_mean_ms"`
+	ClientMaxMS  float64 `json:"client_max_ms"`
+
+	// Server-side quantiles for the same request window, and the skew
+	// (client minus server) the network + client stack added. Absent
+	// (zero) when the server did not expose histogram buckets.
+	ServerWindow bool    `json:"server_window"`
+	ServerP50MS  float64 `json:"server_p50_ms"`
+	ServerP99MS  float64 `json:"server_p99_ms"`
+	SkewP50MS    float64 `json:"skew_p50_ms"`
+	SkewP99MS    float64 `json:"skew_p99_ms"`
+}
+
+// Record is one versioned ledger entry: the durable identity of a
+// completed run, sweep, or load test.
+type Record struct {
+	Version     int       `json:"version"`
+	ID          string    `json:"id"`
+	Kind        string    `json:"kind"`
+	Experiment  string    `json:"experiment"`
+	OptionsHash string    `json:"options_hash"`
+	DocHash     string    `json:"doc_hash,omitempty"`
+	Error       string    `json:"error,omitempty"`
+	CompletedAt time.Time `json:"completed_at"`
+
+	WallMS     float64    `json:"wall_ms"`
+	Shards     int        `json:"shards"`
+	Tiers      TierCounts `json:"tiers"`
+	QueueWait  Latency    `json:"queue_wait"`
+	MemLookup  Latency    `json:"mem_lookup"`
+	DiskLookup Latency    `json:"disk_lookup"`
+	MissLookup Latency    `json:"miss_lookup"`
+
+	Profile *Profile   `json:"profile,omitempty"`
+	Load    *LoadStats `json:"load,omitempty"`
+}
+
+// DefaultMaxBytes bounds the ledger file when callers have no stronger
+// opinion: records are a few hundred bytes, so this holds tens of
+// thousands of runs.
+const DefaultMaxBytes int64 = 8 << 20
+
+// Stats is a snapshot of the store.
+type Stats struct {
+	Records int
+	Bytes   int64
+	Skipped int    // unreadable lines dropped on load
+	Pruned  uint64 // records evicted by the size bound
+	Appends uint64
+}
+
+// Ledger is the store. Safe for concurrent use.
+type Ledger struct {
+	path     string
+	maxBytes int64
+
+	mu      sync.Mutex
+	f       *os.File
+	records []Record // oldest first
+	sizes   []int64  // encoded line length per record
+	bytes   int64
+	skipped int
+	pruned  uint64
+	appends uint64
+	seq     uint64
+}
+
+// FileName is the ledger's on-disk name within its directory.
+const FileName = "ledger.ndjson"
+
+// Open opens (creating if needed) the ledger rooted at dir, bounded to
+// maxBytes of NDJSON (<= 0 selects DefaultMaxBytes). Unreadable lines
+// are skipped and counted; they are dropped from disk at the next
+// compaction, not eagerly.
+func Open(dir string, maxBytes int64) (*Ledger, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ledger: %w", err)
+	}
+	l := &Ledger{path: filepath.Join(dir, FileName), maxBytes: maxBytes}
+	if err := l.load(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(l.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ledger: %w", err)
+	}
+	l.f = f
+	// A crash can leave the final line without its newline. Terminate it
+	// now, or the next append would glue onto the partial record and be
+	// corrupted with it.
+	if end, err := lastByte(l.path); err == nil && end != 0 && end != '\n' {
+		if _, err := f.Write([]byte{'\n'}); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("ledger: %w", err)
+		}
+		l.bytes++
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.bytes > l.maxBytes {
+		if err := l.compactLocked(); err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+// Path returns the ledger file's path.
+func (l *Ledger) Path() string { return l.path }
+
+// lastByte returns the file's final byte, or 0 for an empty or missing
+// file.
+func lastByte(path string) (byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil || fi.Size() == 0 {
+		return 0, err
+	}
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], fi.Size()-1); err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+// load reads every parseable record; anything else is skipped.
+func (l *Ledger) load() error {
+	f, err := os.Open(l.path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("ledger: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		size := int64(len(line)) + 1 // the trailing newline
+		var r Record
+		dec := json.NewDecoder(bytes.NewReader(line))
+		// Unknown fields mean a newer schema wrote this line; Version
+		// catches older readers of renamed-but-compatible shapes. Either
+		// way the record is skipped, never fatal.
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&r); err != nil || r.Version != RecordVersion {
+			l.skipped++
+			l.bytes += size // still on disk until the next compaction
+			continue
+		}
+		l.records = append(l.records, r)
+		l.sizes = append(l.sizes, size)
+		l.bytes += size
+	}
+	// A truncated final line fails to parse and lands in skipped via the
+	// loop; a scanner error (oversized line) degrades the same way.
+	if err := sc.Err(); err != nil {
+		l.skipped++
+	}
+	return nil
+}
+
+// NewID derives a readable, sortable, collision-resistant record id
+// from the completion time and a per-process sequence: the timestamp
+// orders ids across processes, the hash suffix separates processes
+// stamping within the same second.
+func (l *Ledger) newIDLocked(at time.Time) string {
+	l.seq++
+	h := sha256.Sum256([]byte(fmt.Sprintf("%d|%d|%d", at.UnixNano(), os.Getpid(), l.seq)))
+	return fmt.Sprintf("%s-%s", at.UTC().Format("20060102T150405"), hex.EncodeToString(h[:3]))
+}
+
+// Append stamps the record into the ledger and returns it with its
+// assigned ID (when empty) and Version. CompletedAt is defaulted to
+// now. The write is one line; if it pushes the file past the byte
+// bound, the oldest records are pruned and the file compacted.
+func (l *Ledger) Append(r Record) (Record, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r.Version = RecordVersion
+	if r.CompletedAt.IsZero() {
+		r.CompletedAt = time.Now().UTC()
+	}
+	r.CompletedAt = r.CompletedAt.UTC().Truncate(time.Millisecond)
+	if r.ID == "" {
+		r.ID = l.newIDLocked(r.CompletedAt)
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		return r, fmt.Errorf("ledger: encode: %w", err)
+	}
+	b = append(b, '\n')
+	if _, err := l.f.Write(b); err != nil {
+		return r, fmt.Errorf("ledger: append: %w", err)
+	}
+	l.records = append(l.records, r)
+	l.sizes = append(l.sizes, int64(len(b)))
+	l.bytes += int64(len(b))
+	l.appends++
+	if l.bytes > l.maxBytes {
+		if err := l.compactLocked(); err != nil {
+			return r, err
+		}
+	}
+	return r, nil
+}
+
+// compactLocked drops the oldest records until the live set fits the
+// byte bound, then rewrites the file atomically. Caller holds mu.
+func (l *Ledger) compactLocked() error {
+	var live int64
+	for _, s := range l.sizes {
+		live += s
+	}
+	drop := 0
+	// Always keep the newest record, even if alone it exceeds the bound.
+	for live > l.maxBytes && drop < len(l.records)-1 {
+		live -= l.sizes[drop]
+		drop++
+	}
+	l.pruned += uint64(drop)
+	l.records = append([]Record(nil), l.records[drop:]...)
+	l.sizes = append([]int64(nil), l.sizes[drop:]...)
+
+	tmp, err := os.CreateTemp(filepath.Dir(l.path), "ledger-*")
+	if err != nil {
+		return fmt.Errorf("ledger: compact: %w", err)
+	}
+	w := bufio.NewWriter(tmp)
+	for _, r := range l.records {
+		b, err := json.Marshal(r)
+		if err == nil {
+			w.Write(b)
+			w.WriteByte('\n')
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("ledger: compact: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("ledger: compact: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), l.path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("ledger: compact: %w", err)
+	}
+	// Reopen the append handle on the new inode; the old one points at
+	// the unlinked pre-compaction file.
+	if l.f != nil {
+		l.f.Close()
+	}
+	f, err := os.OpenFile(l.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("ledger: compact: %w", err)
+	}
+	l.f = f
+	l.bytes = live
+	return nil
+}
+
+// Close flushes nothing (appends are synchronous) and releases the
+// file handle.
+func (l *Ledger) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}
+
+// Stats returns a snapshot of the store.
+func (l *Ledger) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		Records: len(l.records),
+		Bytes:   l.bytes,
+		Skipped: l.skipped,
+		Pruned:  l.pruned,
+		Appends: l.appends,
+	}
+}
+
+// Query filters history lookups. Zero values match everything.
+type Query struct {
+	Experiment string
+	Kind       string
+	Limit      int // max records returned, newest first; <= 0 = all
+}
+
+// Records returns matching records newest-first.
+func (l *Ledger) Records(q Query) []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Record
+	for i := len(l.records) - 1; i >= 0; i-- {
+		r := l.records[i]
+		if q.Experiment != "" && r.Experiment != q.Experiment {
+			continue
+		}
+		if q.Kind != "" && r.Kind != q.Kind {
+			continue
+		}
+		out = append(out, r)
+		if q.Limit > 0 && len(out) >= q.Limit {
+			break
+		}
+	}
+	return out
+}
+
+// Get returns the record with the given id.
+func (l *Ledger) Get(id string) (Record, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := len(l.records) - 1; i >= 0; i-- {
+		if l.records[i].ID == id {
+			return l.records[i], true
+		}
+	}
+	return Record{}, false
+}
+
+// DocHash content-addresses a result document: the SHA-256 of its
+// canonical JSON encoding. Equal documents hash equal, so two runs of
+// the same options must produce the same hash — the determinism
+// invariant Compare enforces.
+func DocHash(d *report.Doc) string {
+	b, err := report.JSON(d)
+	if err != nil {
+		return "unhashable"
+	}
+	h := sha256.Sum256(b)
+	return hex.EncodeToString(h[:])
+}
+
+// DocsHash content-addresses an ordered document set (a sweep's
+// per-point documents): the SHA-256 over the concatenated canonical
+// encodings, with nil points (failed grid points) marked so failure
+// position changes the hash.
+func DocsHash(docs []*report.Doc) string {
+	h := sha256.New()
+	for _, d := range docs {
+		if d == nil {
+			h.Write([]byte("\x00nil\x00"))
+			continue
+		}
+		b, err := report.JSON(d)
+		if err != nil {
+			h.Write([]byte("\x00unhashable\x00"))
+			continue
+		}
+		h.Write(b)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// HashJSON canonically addresses any JSON-encodable value under a
+// domain prefix — the ledger's options hash for non-run records
+// (sweep specs, load-test configs).
+func HashJSON(prefix string, v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "unhashable"
+	}
+	h := sha256.Sum256(append([]byte(prefix+"\x1f"), b...))
+	return hex.EncodeToString(h[:])
+}

@@ -33,6 +33,14 @@ func TestWallClockExemptFixture(t *testing.T) {
 	checkFixture(t, lint.FixtureDir("wallclock", "obs"), lint.WallClock)
 }
 
+// The ledger path element is exempt the same way — its completion
+// timestamps and wall-time measurements are the recorded data. The det
+// fixture above keeps proving that non-exempt packages are still
+// flagged.
+func TestWallClockLedgerExemptFixture(t *testing.T) {
+	checkFixture(t, lint.FixtureDir("wallclock", "ledger"), lint.WallClock)
+}
+
 func TestRNGSourceFixture(t *testing.T) {
 	checkFixture(t, lint.FixtureDir("rngsource", "a"), lint.RNGSource)
 }

@@ -1,0 +1,12 @@
+// Near-miss fixture for the wallclock analyzer: the "ledger"
+// import-path element exempts this package wholesale — completion
+// timestamps and wall-time measurement are the data a run ledger
+// records — so the same calls that are findings in ../det produce
+// none here.
+package ledger
+
+import "time"
+
+func completedAt() time.Time { return time.Now() }
+
+func wall(t0 time.Time) time.Duration { return time.Since(t0) }

@@ -28,6 +28,7 @@ var wallClockExempt = map[string]bool{
 	"serve":    true, // request latency metrics and logging
 	"cmd":      true, // CLI progress reporting
 	"examples": true, // demo output
+	"ledger":   true, // run ledger: completion timestamps and wall/latency measurement are the recorded data
 }
 
 // wallClockFuncs are the time package's ambient-time entry points.

@@ -135,6 +135,36 @@ func (s HistogramSnapshot) Quantile(q float64) time.Duration {
 	return s.Max
 }
 
+// Sub returns the window between two snapshots of the same histogram:
+// per-bucket counts, total, and sum subtracted, so quantiles of the
+// result describe only the observations that arrived between prev and
+// s. Mismatched layouts (different bucket bounds) return a zero
+// snapshot. Max is carried from the later snapshot — a windowed
+// maximum is not recoverable from cumulative buckets, so it is an
+// upper bound. The serving-path load-test harness uses this to put
+// server-reported quantiles next to client-observed ones for the same
+// request window.
+func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	if len(s.Bounds) != len(prev.Bounds) || len(s.Counts) != len(prev.Counts) {
+		return HistogramSnapshot{}
+	}
+	out := HistogramSnapshot{
+		Bounds: s.Bounds,
+		Counts: make([]uint64, len(s.Counts)),
+		Max:    s.Max,
+	}
+	for i := range s.Counts {
+		if s.Counts[i] >= prev.Counts[i] {
+			out.Counts[i] = s.Counts[i] - prev.Counts[i]
+		}
+		out.Count += out.Counts[i]
+	}
+	if s.Sum >= prev.Sum {
+		out.Sum = s.Sum - prev.Sum
+	}
+	return out
+}
+
 // Mean returns the average observation, or 0 with none.
 func (s HistogramSnapshot) Mean() time.Duration {
 	if s.Count == 0 {

@@ -67,6 +67,15 @@ func Num(v float64) string {
 // Pct formats a fraction as a percentage.
 func Pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
 
+// SignedPct formats a fractional delta with an explicit sign, the
+// benchstat-style rendering of a relative change ("+3.1%", "-12.0%").
+func SignedPct(v float64) string {
+	if v != v { // NaN: no baseline to compare against
+		return "~"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*v)
+}
+
 // Box renders a five-number summary the way the paper's box-and-whiskers
 // plots present distributions.
 func Box(s stats.Summary) string {

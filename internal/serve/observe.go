@@ -307,6 +307,13 @@ type EndpointMetrics struct {
 	P95MS     float64 `json:"p95_ms"`
 	P99MS     float64 `json:"p99_ms"`
 	MaxMS     float64 `json:"max_ms"`
+	// Raw histogram state (bounds in ms, counts with one overflow
+	// slot), so clients can window two scrapes by subtraction and
+	// compute quantiles over just the requests between them — the
+	// cumulative quantiles above cannot be windowed. The load-test
+	// harness (ledger.LoadTest) depends on these.
+	BucketBoundsMS []float64 `json:"bucket_bounds_ms,omitempty"`
+	BucketCounts   []uint64  `json:"bucket_counts,omitempty"`
 }
 
 // endpointMetrics snapshots every instrumented route, keyed by route
@@ -316,16 +323,22 @@ func (s *Server) endpointMetrics() map[string]EndpointMetrics {
 	out := make(map[string]EndpointMetrics, len(s.routes))
 	for _, rt := range s.routes {
 		snap := rt.hist.Snapshot()
+		bounds := make([]float64, len(snap.Bounds))
+		for i, b := range snap.Bounds {
+			bounds[i] = msF(b)
+		}
 		out[rt.name] = EndpointMetrics{
-			Requests:  snap.Count,
-			InFlight:  rt.inFlight.Load(),
-			Status4xx: rt.status4xx.Load(),
-			Status5xx: rt.status5xx.Load(),
-			MeanMS:    msF(snap.Mean()),
-			P50MS:     msF(snap.Quantile(0.50)),
-			P95MS:     msF(snap.Quantile(0.95)),
-			P99MS:     msF(snap.Quantile(0.99)),
-			MaxMS:     msF(snap.Max),
+			Requests:       snap.Count,
+			InFlight:       rt.inFlight.Load(),
+			Status4xx:      rt.status4xx.Load(),
+			Status5xx:      rt.status5xx.Load(),
+			MeanMS:         msF(snap.Mean()),
+			P50MS:          msF(snap.Quantile(0.50)),
+			P95MS:          msF(snap.Quantile(0.95)),
+			P99MS:          msF(snap.Quantile(0.99)),
+			MaxMS:          msF(snap.Max),
+			BucketBoundsMS: bounds,
+			BucketCounts:   snap.Counts,
 		}
 	}
 	return out

@@ -30,9 +30,17 @@
 //	                          body, ?format=json|text|csv); per-point
 //	                          docs/stats plus the aggregate
 //	GET  /v1/results          recent completed runs and sweeps (including
-//	                          failures) with latency + hits
+//	                          failures) with latency + hits; warm-started
+//	                          from the run ledger when one is attached
 //	GET  /v1/metrics          cumulative engine, per-cache-tier, and
 //	                          failure counters
+//	GET  /v1/history          the persistent run ledger (?experiment,
+//	                          ?kind, ?limit, ?format=json|text|csv);
+//	                          requires -ledger-dir
+//	GET  /v1/compare          benchstat-style delta between two ledger
+//	                          records (?a, ?b selectors: record id or
+//	                          experiment[~N]; ?threshold, ?format);
+//	                          requires -ledger-dir
 package serve
 
 import (
@@ -50,6 +58,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/ledger"
 	"repro/internal/report"
 	"repro/internal/scenario"
 	"repro/internal/sweep"
@@ -86,8 +95,11 @@ type RunStats struct {
 // ResultRecord is one completed run or sweep in /v1/results. Kind is
 // "run" or "sweep"; Points is the grid size for sweeps; Error is set
 // when the execution failed (failed runs stay in history so operators
-// can see them — they also increment run_failures in /v1/metrics).
+// can see them — they also increment run_failures in /v1/metrics). ID
+// is the run-ledger record id when a ledger is attached — the handle
+// /v1/compare selectors and `rowpress compare` accept.
 type ResultRecord struct {
+	ID          string    `json:"id,omitempty"`
 	Experiment  string    `json:"experiment"`
 	Kind        string    `json:"kind"`
 	Fingerprint string    `json:"fingerprint"`
@@ -152,7 +164,8 @@ type Server struct {
 	now   func() time.Time // test hook
 
 	log      *slog.Logger
-	routes   []*route // instrumented endpoints, registration order
+	ledger   *ledger.Ledger // optional persistent run ledger
+	routes   []*route       // instrumented endpoints, registration order
 	reqID    atomic.Uint64
 	draining atomic.Bool
 
@@ -178,6 +191,14 @@ func WithLogger(l *slog.Logger) Option {
 			s.log = l
 		}
 	}
+}
+
+// WithLedger attaches a persistent run ledger: every completed run and
+// sweep is stamped into it, /v1/history and /v1/compare serve it, and
+// the /v1/results ring is warm-started from its newest records at
+// construction so history survives daemon restarts.
+func WithLedger(l *ledger.Ledger) Option {
+	return func(s *Server) { s.ledger = l }
 }
 
 // WithPprof exposes net/http/pprof under /debug/pprof/ on the server's
@@ -214,7 +235,47 @@ func New(eng *engine.Engine, opts ...Option) *Server {
 	s.handle("POST /v1/sweep", s.handleSweep)
 	s.handle("GET /v1/results", s.handleResults)
 	s.handle("GET /v1/metrics", s.handleMetrics)
+	s.handle("GET /v1/history", s.handleHistory)
+	s.handle("GET /v1/compare", s.handleCompare)
+	s.warmResults()
 	return s
+}
+
+// warmResults seeds the /v1/results ring from the ledger's newest
+// records so a restarted daemon's history endpoint is not empty even
+// though nothing ran in this process yet. The process-local failure
+// counter is untouched — those records' failures belong to the process
+// that served them.
+func (s *Server) warmResults() {
+	if s.ledger == nil {
+		return
+	}
+	recs := s.ledger.Records(ledger.Query{Limit: maxResults}) // newest first
+	for i := len(recs) - 1; i >= 0; i-- {
+		s.record(resultFromLedger(recs[i]), 0)
+	}
+}
+
+// resultFromLedger converts a durable ledger record into the
+// /v1/results wire shape.
+func resultFromLedger(r ledger.Record) ResultRecord {
+	hits := r.Tiers.Total() - r.Tiers.Miss
+	return ResultRecord{
+		ID:          r.ID,
+		Experiment:  r.Experiment,
+		Kind:        r.Kind,
+		Fingerprint: r.OptionsHash,
+		Error:       r.Error,
+		CompletedAt: r.CompletedAt,
+		Stats: RunStats{
+			Shards:      r.Shards,
+			CacheHits:   hits,
+			Executed:    r.Tiers.Miss,
+			QueueWaitMS: r.QueueWait.TotalMS,
+			WallMS:      r.WallMS,
+			FromCache:   r.Shards > 0 && r.Tiers.Miss == 0 && r.Error == "",
+		},
+	}
 }
 
 // Engine returns the backing engine.
@@ -421,6 +482,16 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// With a ledger attached, count per-shard tier resolutions (chained
+	// under any NDJSON observer) and window the engine's latency
+	// aggregates around this run.
+	var tiers func() ledger.TierCounts
+	var before engine.Metrics
+	if s.ledger != nil {
+		before = s.eng.Metrics()
+		tiers = ledger.ObservePlan(&p)
+	}
+
 	doc, es, err := s.eng.Execute(p)
 	annotate(r.Context(), es.Shards, es.Executed)
 	text := report.Text(doc)
@@ -439,6 +510,24 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		Bytes:       len(text),
 		Stats:       stats,
 		CompletedAt: s.now().UTC(),
+	}
+	if s.ledger != nil {
+		lr := ledger.Record{
+			Kind:        ledger.KindRun,
+			Experiment:  id,
+			OptionsHash: o.Hash(),
+			CompletedAt: rec.CompletedAt,
+			WallMS:      stats.WallMS,
+			Shards:      es.Shards,
+			Tiers:       tiers(),
+		}
+		lr.FillWindow(s.eng.Metrics().Sub(before))
+		if err != nil {
+			lr.Error = err.Error()
+		} else {
+			lr.DocHash = ledger.DocHash(doc)
+		}
+		rec.ID = s.appendLedger(r, lr)
 	}
 	if err != nil {
 		rec.Error = err.Error()
@@ -495,6 +584,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad sweep spec: %v", err)
 		return
 	}
+	var before engine.Metrics
+	if s.ledger != nil {
+		before = s.eng.Metrics()
+	}
 	res, err := sweep.Run(s.eng, spec)
 	if err != nil {
 		status := http.StatusBadRequest
@@ -525,6 +618,26 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if a.Failed > 0 {
 		rec.Error = fmt.Sprintf("%d/%d points failed", a.Failed, a.Points)
 	}
+	if s.ledger != nil {
+		docs := make([]*report.Doc, len(res.Points))
+		for i := range res.Points {
+			docs[i] = res.Points[i].Doc
+		}
+		w := s.eng.Metrics().Sub(before)
+		lr := ledger.Record{
+			Kind:        ledger.KindSweep,
+			Experiment:  res.Experiment,
+			OptionsHash: ledger.HashJSON("sweep", spec),
+			DocHash:     ledger.DocsHash(docs),
+			Error:       rec.Error,
+			CompletedAt: rec.CompletedAt,
+			WallMS:      a.WallMS,
+			Shards:      a.ShardRefs,
+			Tiers:       ledger.SweepTiers(w, a.Executed, a.ShardRefs),
+		}
+		lr.FillWindow(w)
+		rec.ID = s.appendLedger(r, lr)
+	}
 	s.record(rec, uint64(a.Failed))
 	switch format {
 	case "text":
@@ -536,6 +649,18 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeJSON(w, http.StatusOK, res)
 	}
+}
+
+// appendLedger stamps the record into the attached ledger and returns
+// its assigned id. An append failure is logged, not fatal — the run
+// itself succeeded; only its durable history entry was lost.
+func (s *Server) appendLedger(r *http.Request, lr ledger.Record) string {
+	stamped, err := s.ledger.Append(lr)
+	if err != nil {
+		s.log.LogAttrs(r.Context(), slog.LevelWarn, "ledger_append_failed", slog.String("error", err.Error()))
+		return ""
+	}
+	return stamped.ID
 }
 
 // sweepFingerprint content-addresses a sweep spec the same way shard
@@ -576,6 +701,110 @@ func (s *Server) recentResults() []ResultRecord {
 
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.recentResults())
+}
+
+// handleHistory serves the persistent run ledger: JSON is the raw
+// record list (newest first), text/CSV render through the shared
+// report pipeline. 404 without a ledger — history is a deployment
+// choice (-ledger-dir), not a degraded empty list.
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	if s.ledger == nil {
+		writeError(w, http.StatusNotFound, "no run ledger attached (start the daemon with -ledger-dir)")
+		return
+	}
+	format, err := parseFormat(r, "json", "text", "csv")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	q := ledger.Query{
+		Experiment: r.URL.Query().Get("experiment"),
+		Kind:       r.URL.Query().Get("kind"),
+	}
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad limit %q", v)
+			return
+		}
+		q.Limit = n
+	}
+	recs := s.ledger.Records(q)
+	switch format {
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, report.Text(ledger.HistoryDoc(recs, s.ledger.Stats())))
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		fmt.Fprint(w, report.CSV(ledger.HistoryDoc(recs, s.ledger.Stats())))
+	default:
+		if recs == nil {
+			recs = []ledger.Record{}
+		}
+		writeJSON(w, http.StatusOK, recs)
+	}
+}
+
+// CompareResponse is the JSON body of /v1/compare: both resolved
+// records, the delta document, and the machine-checkable verdicts.
+type CompareResponse struct {
+	A                    ledger.Record `json:"a"`
+	B                    ledger.Record `json:"b"`
+	Doc                  *report.Doc   `json:"doc"`
+	Regression           bool          `json:"regression"`
+	Improvement          bool          `json:"improvement"`
+	DeterminismChecked   bool          `json:"determinism_checked"`
+	DeterminismViolation bool          `json:"determinism_violation"`
+}
+
+// handleCompare serves the benchstat-style delta between two ledger
+// records. ?a and ?b accept a record id or an experiment selector
+// (experiment[~N], N-th newest); equal experiment selectors compare
+// the previous run against the latest.
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	if s.ledger == nil {
+		writeError(w, http.StatusNotFound, "no run ledger attached (start the daemon with -ledger-dir)")
+		return
+	}
+	format, err := parseFormat(r, "json", "text", "csv")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	selA, selB := r.URL.Query().Get("a"), r.URL.Query().Get("b")
+	if selA == "" || selB == "" {
+		writeError(w, http.StatusBadRequest, "compare needs ?a and ?b (record id or experiment[~N])")
+		return
+	}
+	var opt ledger.CompareOptions
+	if v := r.URL.Query().Get("threshold"); v != "" {
+		th, err := strconv.ParseFloat(v, 64)
+		if err != nil || th <= 0 {
+			writeError(w, http.StatusBadRequest, "bad threshold %q: want a positive fraction", v)
+			return
+		}
+		opt.Threshold = th
+	}
+	a, b, err := s.ledger.ResolvePair(selA, selB)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	d := ledger.Compare(a, b, opt)
+	switch format {
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, report.Text(d.Doc))
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		fmt.Fprint(w, report.CSV(d.Doc))
+	default:
+		writeJSON(w, http.StatusOK, CompareResponse{
+			A: d.A, B: d.B, Doc: d.Doc,
+			Regression: d.Regression, Improvement: d.Improvement,
+			DeterminismChecked: d.DeterminismChecked, DeterminismViolation: d.DeterminismViolation,
+		})
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
