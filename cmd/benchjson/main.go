@@ -28,11 +28,20 @@
 // scheduling-bound gated paths) trips calibrated while raw stays
 // clean.
 //
+// -speedup SLOW,FAST computes the ns/op ratio of two benchmarks in the
+// new record itself — the worker-scaling check. Both benchmarks run on
+// the same process in the same invocation, so the ratio carries no
+// host-speed term and needs no calibration. With -min-speedup, the
+// command fails when the ratio falls below the floor: CI's guard that
+// sub-shard planning keeps the pool busy (a cold 8-worker run must
+// stay >= 2x faster than the same plan run serially).
+//
 // Usage:
 //
 //	go test -run=NONE -bench=. -benchmem ./... | benchjson -note "PR 5" > BENCH_5.json
 //	go test -run=NONE -bench=. -benchmem ./... | benchjson -baseline BENCH_4.json > BENCH_5.json
 //	... | benchjson -baseline BENCH_5.json -calibrate 'Search' -regress 1.02 > BENCH_6.json
+//	... | benchjson -speedup BenchmarkEngineColdSerial,BenchmarkEngineCold8Workers -min-speedup 2.0 > BENCH_8.json
 package main
 
 import (
@@ -72,6 +81,8 @@ func main() {
 	baseline := flag.String("baseline", "", "prior benchmark record to gate against (geomean ns/op)")
 	regress := flag.Float64("regress", 1.25, "allowed geomean slowdown vs -baseline before failing")
 	calibrate := flag.String("calibrate", "", "regex of benchmarks untouched by the change: their geomean ratio divides out of the gate, cancelling host-speed drift vs the baseline machine")
+	speedup := flag.String("speedup", "", "SLOW,FAST benchmark pair: print FAST's speedup over SLOW within this record")
+	minSpeedup := flag.Float64("min-speedup", 0, "fail when the -speedup ratio falls below this floor (0 = report only)")
 	flag.Parse()
 
 	rec := Record{
@@ -112,6 +123,49 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *speedup != "" {
+		if err := gateSpeedup(rec, *speedup, *minSpeedup); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// gateSpeedup resolves the SLOW,FAST pair inside rec and checks
+// slow/fast ns/op against the floor. Both measurements come from one
+// `go test -bench` invocation on one machine, so the ratio is a pure
+// scaling number — no baseline or calibration involved.
+func gateSpeedup(rec Record, pair string, floor float64) error {
+	names := strings.Split(pair, ",")
+	if len(names) != 2 || names[0] == "" || names[1] == "" {
+		return fmt.Errorf("-speedup: want SLOW,FAST benchmark names, got %q", pair)
+	}
+	find := func(name string) (float64, error) {
+		for _, r := range rec.Results {
+			if trimProcs(r.Name) == trimProcs(name) {
+				return r.NsPerOp, nil
+			}
+		}
+		return 0, fmt.Errorf("-speedup: benchmark %q not in this record", name)
+	}
+	slow, err := find(names[0])
+	if err != nil {
+		return err
+	}
+	fast, err := find(names[1])
+	if err != nil {
+		return err
+	}
+	if fast <= 0 {
+		return fmt.Errorf("-speedup: %s has non-positive ns/op", names[1])
+	}
+	ratio := slow / fast
+	fmt.Fprintf(os.Stderr, "benchjson: speedup %s -> %s: %.0f -> %.0f ns/op (%.2fx, floor %.2fx)\n",
+		trimProcs(names[0]), trimProcs(names[1]), slow, fast, ratio, floor)
+	if floor > 0 && ratio < floor {
+		return fmt.Errorf("speedup gate: %.2fx below the %.2fx floor — worker parallelism is not paying", ratio, floor)
+	}
+	return nil
 }
 
 // gate compares the new record against the baseline file: the geomean

@@ -489,6 +489,8 @@ func runOne(eng *engine.Engine, led *ledger.Ledger, id string, o core.Options, f
 			OptionsHash: o.Hash(),
 			WallMS:      float64(time.Since(start)) / float64(time.Millisecond),
 			Shards:      st.Shards,
+			Workers:     eng.Workers(),
+			SubShards:   st.SubExecuted,
 			Tiers:       tiers(),
 		}
 		lr.FillWindow(eng.Metrics().Sub(before))
@@ -689,6 +691,8 @@ func runSweep(eng *engine.Engine, led *ledger.Ledger, spec sweep.Spec, format st
 			DocHash:     ledger.DocsHash(docs),
 			WallMS:      a.WallMS,
 			Shards:      a.ShardRefs,
+			Workers:     eng.Workers(),
+			SubShards:   a.SubExecuted,
 			Tiers:       ledger.SweepTiers(w, a.Executed, a.ShardRefs),
 		}
 		if a.Failed > 0 {

@@ -173,3 +173,61 @@ func ACminSweep(spec chipgen.ModuleSpec, cfg Config, tempC float64, tAggONs []dr
 	}
 	return points, nil
 }
+
+// ACminColumns runs the slice of an ACminSweep covering only the given
+// tested locations: per location, the full tAggON lattice of searches,
+// on a private bench. Results are indexed [location][tAggON]. Running
+// every location of TestedLocations through ACminColumns (in any
+// partition) and stitching with AssembleACminSweep reproduces
+// ACminSweep's output bit for bit — this is the sub-shard work function
+// behind the split ACmin experiments.
+//
+// Equivalence with the threaded sweep hinges on the off-time profile:
+// there, consecutive search groups at one location are separated by the
+// other locations' groups, each advancing the shared bench clock by at
+// least ~30 ms (the first budget-bounded probe of any group), so every
+// group past a location's first starts beyond dram.RecoveredOff and its
+// first-activation off time caps there. A column reproduces that cap in
+// closed form by advancing its private clock by RecoveredOff between
+// groups. gap must be true exactly when the full sweep tests more than
+// one location; with a single location no groups intervene in the
+// threaded order and the advance must not be inserted.
+func ACminColumns(spec chipgen.ModuleSpec, cfg Config, tempC float64, tAggONs []dram.TimePS, locs []int, gap bool) ([][]RowResult, error) {
+	b, err := NewBench(spec, cfg, tempC)
+	if err != nil {
+		return nil, err
+	}
+	p := newProber(b, cfg)
+	out := make([][]RowResult, len(locs))
+	for li, loc := range locs {
+		s := siteFor(loc, cfg.Sided)
+		col := make([]RowResult, 0, len(tAggONs))
+		for gi, on := range tAggONs {
+			if gap && gi > 0 {
+				b.Advance(dram.RecoveredOff)
+			}
+			r, err := searchACminTrials(p, s, on)
+			if err != nil {
+				return nil, err
+			}
+			col = append(col, r)
+		}
+		out[li] = col
+	}
+	return out, nil
+}
+
+// AssembleACminSweep stitches per-location columns — ACminColumns
+// results concatenated over a partition of the sweep's locations, in
+// location order — back into ACminSweep's point layout.
+func AssembleACminSweep(tAggONs []dram.TimePS, cols [][]RowResult) []SweepPoint {
+	points := make([]SweepPoint, len(tAggONs))
+	for ti, on := range tAggONs {
+		pt := SweepPoint{TAggON: on, Results: make([]RowResult, 0, len(cols))}
+		for _, col := range cols {
+			pt.Results = append(pt.Results, col[ti])
+		}
+		points[ti] = pt
+	}
+	return points
+}

@@ -23,6 +23,11 @@ type BERResult struct {
 // MeasureBER hammers the site with as many activations as fit in the time
 // budget at the given on/extra-off times and reports the bit error rate
 // over the distance-1 victim rows, repeated over trials (max taken).
+//
+// This is the per-command reference path, retained so the differential
+// tests can pin the replay-free prober conversion (measureBERProbed)
+// bit-identical to executed commands; the experiments themselves run
+// through BERGrid/ONOFFSweep on the prober.
 func MeasureBER(b *bender.Bench, s site, onTime, extraOff dram.TimePS, cfg Config) (BERResult, error) {
 	slot := onTime + b.Mod.Timing.TRP + extraOff
 	count := maxActivations(cfg.TimeBudget, slot, len(s.aggressors))
@@ -79,9 +84,88 @@ func MeasureBER(b *bender.Bench, s site, onTime, extraOff dram.TimePS, cfg Confi
 }
 
 // MeasureBERAt measures BER for the access pattern anchored at one tested
-// location (public wrapper over the site machinery).
+// location (public wrapper over the site machinery; per-command
+// reference path, like MeasureBER).
 func MeasureBERAt(b *bender.Bench, loc int, onTime, extraOff dram.TimePS, cfg Config) (BERResult, error) {
 	return MeasureBER(b, siteFor(loc, cfg.Sided), onTime, extraOff, cfg)
+}
+
+// measureBERProbed is MeasureBER on the replay-free prober: every trial
+// is a closed-form probe instead of an executed prepare/hammer/check
+// stream, so a measurement costs O(site) regardless of the activation
+// count. Threading one prober through a sequence of measurements
+// reproduces the command path's bench-state threading bit for bit
+// (TestMeasureBERProbedMatchesCommandPath).
+func measureBERProbed(p *prober, s site, onTime, extraOff dram.TimePS) (BERResult, error) {
+	slot := onTime + p.b.Mod.Timing.TRP + extraOff
+	count := maxActivations(p.cfg.TimeBudget, slot, len(s.aggressors))
+	bitsPerRow := float64(p.b.Mod.Geo.BitsPerRow())
+
+	res := BERResult{
+		TAggON:  onTime,
+		TAggOFF: p.b.Mod.Timing.TRP + extraOff,
+		Count:   count,
+	}
+	var bers []float64
+	for trial := 1; trial <= p.cfg.Trials; trial++ {
+		p.b.SetTrial(uint64(trial))
+		flips, err := p.probe(s, count, onTime, extraOff)
+		if err != nil {
+			return BERResult{}, err
+		}
+		res.AllFlips += len(flips)
+		perRow := make(map[int]int)
+		for _, f := range flips {
+			perRow[f.LogicalRow]++
+		}
+		// Row-order accumulation, exactly as MeasureBER: MeanBER is a float
+		// sum over bers and float addition is not associative.
+		rows := make([]int, 0, len(perRow))
+		for r := range perRow {
+			rows = append(rows, r)
+		}
+		sort.Ints(rows)
+		for _, r := range rows {
+			bers = append(bers, float64(perRow[r])/bitsPerRow)
+		}
+		if len(perRow) == 0 {
+			bers = append(bers, 0)
+		}
+	}
+	p.b.SetTrial(0)
+	for _, v := range bers {
+		if v > res.MaxBER {
+			res.MaxBER = v
+		}
+		res.MeanBER += v
+	}
+	res.MeanBER /= float64(len(bers))
+	return res, nil
+}
+
+// BERGrid measures BER at every (tAggON, location) cell — tAggON outer,
+// location inner, one prober threaded through the whole grid, matching
+// the command path's bench threading. It is the replay-free measurement
+// behind Table 6.
+func BERGrid(spec chipgen.ModuleSpec, cfg Config, tempC float64, tAggONs []dram.TimePS, locs []int) ([][]BERResult, error) {
+	b, err := NewBench(spec, cfg, tempC)
+	if err != nil {
+		return nil, err
+	}
+	p := newProber(b, cfg)
+	out := make([][]BERResult, len(tAggONs))
+	for ti, on := range tAggONs {
+		row := make([]BERResult, 0, len(locs))
+		for _, loc := range locs {
+			r, err := measureBERProbed(p, siteFor(loc, cfg.Sided), on, 0)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, r)
+		}
+		out[ti] = row
+	}
+	return out, nil
 }
 
 // ONOFFPoint is one cell of the Fig. 22 grid: a ΔtA2A value and the
@@ -107,13 +191,36 @@ var OnFracs = []float64{0, 0.25, 0.5, 0.75, 1.0}
 // ONOFFSweep runs the RowPress-ONOFF experiment (Fig. 21/22, Appendix C):
 // fix tA2A = tRC + ΔtA2A, sweep the fraction of ΔtA2A that extends the
 // row-open time (the rest extends the off time), and measure BER with the
-// maximum activation count that fits the budget.
+// maximum activation count that fits the budget. Measurements run
+// replay-free on one threaded prober; onoffSweepReplay is the retained
+// per-command reference the differential tests pin this against.
 func ONOFFSweep(spec chipgen.ModuleSpec, cfg Config, tempC float64) ([]ONOFFPoint, error) {
 	b, err := NewBench(spec, cfg, tempC)
 	if err != nil {
 		return nil, err
 	}
-	tRAS := b.Mod.Timing.TRAS
+	p := newProber(b, cfg)
+	return onoffSweep(cfg, b.Mod.Timing.TRAS, func(s site, onTime, extraOff dram.TimePS) (BERResult, error) {
+		return measureBERProbed(p, s, onTime, extraOff)
+	})
+}
+
+// onoffSweepReplay is ONOFFSweep on the per-command path: every trial
+// executes the full prepare/hammer/check stream. Retained as the
+// reference implementation for the differential tests.
+func onoffSweepReplay(spec chipgen.ModuleSpec, cfg Config, tempC float64) ([]ONOFFPoint, error) {
+	b, err := NewBench(spec, cfg, tempC)
+	if err != nil {
+		return nil, err
+	}
+	return onoffSweep(cfg, b.Mod.Timing.TRAS, func(s site, onTime, extraOff dram.TimePS) (BERResult, error) {
+		return MeasureBER(b, s, onTime, extraOff, cfg)
+	})
+}
+
+// onoffSweep is the shared ONOFF grid walk over a BER measurement
+// function; the prober and replay paths differ only in measure.
+func onoffSweep(cfg Config, tRAS dram.TimePS, measure func(s site, onTime, extraOff dram.TimePS) (BERResult, error)) ([]ONOFFPoint, error) {
 	locs := testedLocations(cfg.Geometry, min(cfg.RowsToTest, 8))
 	var out []ONOFFPoint
 	for _, delta := range DeltaA2As {
@@ -123,7 +230,7 @@ func ONOFFSweep(spec chipgen.ModuleSpec, cfg Config, tempC float64) ([]ONOFFPoin
 			// Aggregate the worst BER across the sampled locations.
 			var agg BERResult
 			for _, loc := range locs {
-				r, err := MeasureBER(b, siteFor(loc, cfg.Sided), onTime, extraOff, cfg)
+				r, err := measure(siteFor(loc, cfg.Sided), onTime, extraOff)
 				if err != nil {
 					return nil, err
 				}

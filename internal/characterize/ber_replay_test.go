@@ -1,0 +1,101 @@
+package characterize
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/dram"
+)
+
+// These differential tests pin the replay-free BER/ONOFF/repeatability
+// conversions bit-identical to the retained per-command reference
+// paths, threading state across whole measurement sequences (single
+// probes are pinned by TestProberMatchesCommandPath).
+
+func TestONOFFSweepMatchesReplay(t *testing.T) {
+	for _, tc := range []struct {
+		id    string
+		sided Sidedness
+		tempC float64
+	}{
+		{"S3", SingleSided, 50},
+		{"S3", DoubleSided, 80},
+		{"H0", SingleSided, 50},
+	} {
+		cfg := quickConfig(3)
+		cfg.Trials = 2
+		cfg.Sided = tc.sided
+		spec := mustSpec(t, tc.id)
+		want, err := onoffSweepReplay(spec, cfg, tc.tempC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ONOFFSweep(spec, cfg, tc.tempC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s/%s/%g: replay-free ONOFF sweep diverges from command path:\n got %+v\nwant %+v",
+				tc.id, tc.sided, tc.tempC, got, want)
+		}
+		// Float results must be exactly equal, not approximately: DeepEqual
+		// on NaN-free floats above is the bit-identity claim.
+		for i := range got {
+			if math.IsNaN(got[i].BER.MeanBER) {
+				t.Fatalf("NaN MeanBER at point %d", i)
+			}
+		}
+	}
+}
+
+func TestRepeatabilityStudyMatchesReplay(t *testing.T) {
+	cfg := quickConfig(4)
+	cfg.Trials = 3
+	spec := mustSpec(t, "S3")
+	taggons := []dram.TimePS{36 * dram.Nanosecond, 7800 * dram.Nanosecond, 30 * dram.Millisecond}
+	want, err := repeatabilityStudyReplay(spec, cfg, 50, taggons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RepeatabilityStudy(spec, cfg, 50, taggons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("replay-free repeatability study diverges from command path:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestBERGridMatchesCommandPath pins BERGrid (Table 6's replay-free
+// path) against the same grid walked with MeasureBERAt on one bench.
+func TestBERGridMatchesCommandPath(t *testing.T) {
+	cfg := quickConfig(4)
+	cfg.Trials = 2
+	spec := mustSpec(t, "S0")
+	taggons := []dram.TimePS{36 * dram.Nanosecond, 7800 * dram.Nanosecond, 70200 * dram.Nanosecond}
+	locs := testedLocations(cfg.Geometry, min(cfg.RowsToTest, 8))
+
+	b, err := NewBench(spec, cfg, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]BERResult, len(taggons))
+	for ti, tg := range taggons {
+		for _, loc := range locs {
+			r, err := MeasureBERAt(b, loc, tg, 0, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[ti] = append(want[ti], r)
+		}
+	}
+
+	got, err := BERGrid(spec, cfg, 50, taggons, locs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("BERGrid diverges from threaded MeasureBERAt:\n got %+v\nwant %+v", got, want)
+	}
+}

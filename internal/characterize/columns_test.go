@@ -1,0 +1,131 @@
+package characterize
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/dram"
+)
+
+// These tests pin the per-location column decomposition (the sub-shard
+// work functions of the split experiments) bit-identical to the
+// threaded sweeps the golden reports were generated from. They are the
+// unit-level half of the equivalence argument; the golden suite holds
+// the report level.
+
+var columnTAggONs = []dram.TimePS{
+	36 * dram.Nanosecond,
+	7800 * dram.Nanosecond,
+	300 * dram.Microsecond,
+	30 * dram.Millisecond,
+}
+
+func TestACminColumnsMatchSweep(t *testing.T) {
+	cfg := quickConfig(6)
+	spec := mustSpec(t, "S3")
+	want, err := ACminSweep(spec, cfg, 50, columnTAggONs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locs := testedLocations(cfg.Geometry, cfg.RowsToTest)
+	if len(locs) < 2 {
+		t.Fatalf("want ≥2 tested locations, got %d", len(locs))
+	}
+
+	// Per-location partition: one column per site, as the finest split.
+	var cols [][]RowResult
+	for _, loc := range locs {
+		c, err := ACminColumns(spec, cfg, 50, columnTAggONs, []int{loc}, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cols = append(cols, c...)
+	}
+	if got := AssembleACminSweep(columnTAggONs, cols); !reflect.DeepEqual(got, want) {
+		t.Errorf("per-location columns diverge from threaded sweep:\n got %+v\nwant %+v", got, want)
+	}
+
+	// Chunked partition: several sites per column, as the sizing
+	// heuristic produces at paper scale.
+	chunked, err := ACminColumns(spec, cfg, 50, columnTAggONs, locs[:2], true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rest, err := ACminColumns(spec, cfg, 50, columnTAggONs, locs[2:], true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := AssembleACminSweep(columnTAggONs, append(chunked, rest...)); !reflect.DeepEqual(got, want) {
+		t.Errorf("chunked columns diverge from threaded sweep")
+	}
+}
+
+// TestACminColumnsSingleLocation: with one tested location no other
+// groups intervene in the threaded order, so the column must not insert
+// the recovered-off advance (gap=false) to stay identical.
+func TestACminColumnsSingleLocation(t *testing.T) {
+	cfg := quickConfig(1)
+	spec := mustSpec(t, "S3")
+	want, err := ACminSweep(spec, cfg, 50, columnTAggONs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locs := testedLocations(cfg.Geometry, cfg.RowsToTest)
+	if len(locs) != 1 {
+		t.Fatalf("want exactly 1 tested location, got %d", len(locs))
+	}
+	cols, err := ACminColumns(spec, cfg, 50, columnTAggONs, locs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := AssembleACminSweep(columnTAggONs, cols); !reflect.DeepEqual(got, want) {
+		t.Errorf("single-location column diverges from threaded sweep")
+	}
+}
+
+func TestTAggONminColumnsMatchSweep(t *testing.T) {
+	cfg := quickConfig(5)
+	spec := mustSpec(t, "S0")
+	acs := []int{1, 10, 100, 1000, 10000}
+	want, err := TAggONminSweep(spec, cfg, 50, acs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locs := testedLocations(cfg.Geometry, cfg.RowsToTest)
+	if len(locs) < 2 {
+		t.Fatalf("want ≥2 tested locations, got %d", len(locs))
+	}
+	var cols [][]TAggONminResult
+	for _, loc := range locs {
+		c, err := TAggONminColumns(spec, cfg, 50, acs, []int{loc}, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cols = append(cols, c...)
+	}
+	if got := AssembleTAggONminSweep(acs, cols); !reflect.DeepEqual(got, want) {
+		t.Errorf("per-location columns diverge from threaded tAggONmin sweep")
+	}
+}
+
+func TestACminColumnsDoubleSided(t *testing.T) {
+	cfg := quickConfig(4)
+	cfg.Sided = DoubleSided
+	spec := mustSpec(t, "H0")
+	want, err := ACminSweep(spec, cfg, 80, columnTAggONs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locs := testedLocations(cfg.Geometry, cfg.RowsToTest)
+	var cols [][]RowResult
+	for _, loc := range locs {
+		c, err := ACminColumns(spec, cfg, 80, columnTAggONs, []int{loc}, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cols = append(cols, c...)
+	}
+	if got := AssembleACminSweep(columnTAggONs, cols); !reflect.DeepEqual(got, want) {
+		t.Errorf("double-sided columns diverge from threaded sweep")
+	}
+}

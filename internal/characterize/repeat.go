@@ -1,6 +1,7 @@
 package characterize
 
 import (
+	"repro/internal/bender"
 	"repro/internal/chipgen"
 	"repro/internal/dram"
 )
@@ -24,12 +25,43 @@ func (r RepeatabilityResult) Percent(k int) float64 {
 // RepeatabilityStudy hammers each tested location cfg.Trials times at a
 // fixed activation count (the budget-limited maximum, as the bitflip-
 // coverage experiments use) and histograms per-cell occurrence counts
-// (Figs. 42–45).
+// (Figs. 42–45). Trials run replay-free on one threaded prober;
+// repeatabilityStudyReplay is the retained per-command reference the
+// differential tests pin this against.
 func RepeatabilityStudy(spec chipgen.ModuleSpec, cfg Config, tempC float64, tAggONs []dram.TimePS) ([]RepeatabilityResult, error) {
 	b, err := NewBench(spec, cfg, tempC)
 	if err != nil {
 		return nil, err
 	}
+	p := newProber(b, cfg)
+	return repeatabilityStudy(b, cfg, tAggONs, func(s site, count int, on dram.TimePS) ([]bender.Flip, error) {
+		return p.probe(s, count, on, 0)
+	})
+}
+
+// repeatabilityStudyReplay is RepeatabilityStudy on the per-command
+// path: every trial executes the full prepare/hammer/check stream.
+// Retained as the reference implementation for the differential tests.
+func repeatabilityStudyReplay(spec chipgen.ModuleSpec, cfg Config, tempC float64, tAggONs []dram.TimePS) ([]RepeatabilityResult, error) {
+	b, err := NewBench(spec, cfg, tempC)
+	if err != nil {
+		return nil, err
+	}
+	return repeatabilityStudy(b, cfg, tAggONs, func(s site, count int, on dram.TimePS) ([]bender.Flip, error) {
+		if err := s.prepare(b, cfg.Pattern); err != nil {
+			return nil, err
+		}
+		if err := s.hammer(b, count, on, 0); err != nil {
+			return nil, err
+		}
+		return s.check(b, cfg.Pattern)
+	})
+}
+
+// repeatabilityStudy is the shared trial walk over a probe function; the
+// prober and replay paths differ only in how one trial measures.
+func repeatabilityStudy(b *bender.Bench, cfg Config, tAggONs []dram.TimePS,
+	probe func(s site, count int, on dram.TimePS) ([]bender.Flip, error)) ([]RepeatabilityResult, error) {
 	locs := testedLocations(cfg.Geometry, cfg.RowsToTest)
 	out := make([]RepeatabilityResult, 0, len(tAggONs))
 	for _, on := range tAggONs {
@@ -41,13 +73,7 @@ func RepeatabilityStudy(spec chipgen.ModuleSpec, cfg Config, tempC float64, tAgg
 			count := maxActivations(cfg.TimeBudget, slot, len(s.aggressors))
 			for trial := 1; trial <= cfg.Trials; trial++ {
 				b.SetTrial(uint64(trial))
-				if err := s.prepare(b, cfg.Pattern); err != nil {
-					return nil, err
-				}
-				if err := s.hammer(b, count, on, 0); err != nil {
-					return nil, err
-				}
-				flips, err := s.check(b, cfg.Pattern)
+				flips, err := probe(s, count, on)
 				if err != nil {
 					return nil, err
 				}

@@ -125,6 +125,52 @@ func TAggONminSweep(spec chipgen.ModuleSpec, cfg Config, tempC float64, acs []in
 	return points, nil
 }
 
+// TAggONminColumns is ACminColumns' counterpart for the tAggONmin
+// search: the slice of a TAggONminSweep covering only the given tested
+// locations, indexed [location][ac]. The same off-time equivalence and
+// gap rule apply (see ACminColumns); it additionally requires every
+// activation count to leave a probe-able dwell window (budget/ac − tRP
+// > tRAS, true for every lattice the experiments use), since a
+// degenerate group advances no clock in the threaded order.
+func TAggONminColumns(spec chipgen.ModuleSpec, cfg Config, tempC float64, acs []int, locs []int, gap bool) ([][]TAggONminResult, error) {
+	b, err := NewBench(spec, cfg, tempC)
+	if err != nil {
+		return nil, err
+	}
+	p := newProber(b, cfg)
+	out := make([][]TAggONminResult, len(locs))
+	for li, loc := range locs {
+		s := siteFor(loc, cfg.Sided)
+		col := make([]TAggONminResult, 0, len(acs))
+		for gi, ac := range acs {
+			if gap && gi > 0 {
+				b.Advance(dram.RecoveredOff)
+			}
+			r, err := searchTAggONminTrials(p, s, ac)
+			if err != nil {
+				return nil, err
+			}
+			col = append(col, r)
+		}
+		out[li] = col
+	}
+	return out, nil
+}
+
+// AssembleTAggONminSweep stitches per-location columns (concatenated in
+// location order) back into TAggONminSweep's point layout.
+func AssembleTAggONminSweep(acs []int, cols [][]TAggONminResult) []TAggONminPoint {
+	points := make([]TAggONminPoint, len(acs))
+	for ai, ac := range acs {
+		pt := TAggONminPoint{AC: ac, Results: make([]TAggONminResult, 0, len(cols))}
+		for _, col := range cols {
+			pt.Results = append(pt.Results, col[ai])
+		}
+		points[ai] = pt
+	}
+	return points
+}
+
 // TAggONminTempSweep runs the Fig. 15 experiment: tAggONmin at AC = 1 as
 // the chip temperature steps from 50 °C to 80 °C in 5 °C increments, on a
 // single bench whose heater rig is re-settled between steps.

@@ -179,6 +179,63 @@ func TestMitigationMergeShuffledCompletion(t *testing.T) {
 	}
 }
 
+// TestSubShardShuffledCompletion is the two-level twin of
+// TestMitigationMergeShuffledCompletion: for experiments whose shards
+// declare sub-shard splits, sub-shard *completion* order is a
+// scheduling accident, and the gathered unit payload — and therefore
+// the merged document — must not depend on it. The engine stores each
+// sub's payload at its declared index whatever order workers finish
+// in, so the test drives the split by hand: every shard's sub-shards
+// execute in reverse declaration order before Gather folds them, and
+// the rendered report must stay byte-identical to the serial engine's.
+func TestSubShardShuffledCompletion(t *testing.T) {
+	o := Options{Scale: 0.05, Seed: 1, Modules: []string{"S0"}}
+	for _, id := range []string{"fig7", "fig9", "fig18", "scenario-grid"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			want, err := RunWith(engine.New(1, 0), id, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantText := report.Text(want)
+			p, err := PlanFor(id, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parts := make([]any, len(p.Shards))
+			split := 0
+			for i, s := range p.Shards {
+				if len(s.Subs) == 0 {
+					if parts[i], err = s.Run(); err != nil {
+						t.Fatalf("shard %q: %v", s.Key, err)
+					}
+					continue
+				}
+				split++
+				subParts := make([]any, len(s.Subs))
+				for j := len(s.Subs) - 1; j >= 0; j-- {
+					if subParts[j], err = s.Subs[j].Run(); err != nil {
+						t.Fatalf("shard %q sub %q: %v", s.Key, s.Subs[j].Key, err)
+					}
+				}
+				if parts[i], err = s.Gather(subParts); err != nil {
+					t.Fatalf("shard %q gather: %v", s.Key, err)
+				}
+			}
+			if split == 0 {
+				t.Fatalf("%s plans no split shards; the test exercises nothing", id)
+			}
+			doc, err := p.Merge(parts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := report.Text(doc); got != wantText {
+				t.Fatalf("reverse sub-shard completion changed the %s report:\n--- want ---\n%s\n--- got ---\n%s", id, wantText, got)
+			}
+		})
+	}
+}
+
 // TestScenarioShardDecomposition pins the scenario experiments' shard
 // lattice: one shard per (module, scenario) for the grid and one per
 // (module, scenario, mitigation) for the comparison, so overlapping

@@ -12,13 +12,13 @@ import (
 )
 
 func init() {
-	registerPerModule("fig1", "ACmin of RowHammer vs RowPress, single/double-sided, 80°C", workFig1, mergeFig1)
+	registerPerModuleSplit("fig1", "ACmin of RowHammer vs RowPress, single/double-sided, 80°C", splitFig1, mergeFig1)
 	registerSweep("fig6", "ACmin vs tAggON, single-sided, 50°C, per die revision", characterize.SingleSided, 50)
-	registerPerModule("fig7", "ACmin 7.8–70.2µs, linear scale, 50°C", workFig7, mergeFig7)
+	registerPerModuleSplit("fig7", "ACmin 7.8–70.2µs, linear scale, 50°C", splitFig7, mergeFig7)
 	registerFraction("fig8", "Fraction of rows with ≥1 bitflip vs tAggON, 50°C", 50)
-	registerPerModule("fig9", "tAggONmin vs activation count, 50°C", workFig9, mergeFig9)
-	registerPerModule("fig12", "Fraction of 1→0 bitflips vs tAggON", workFig12, mergeFig12)
-	registerPerModule("fig13", "ACmin at 80°C normalized to 50°C", workFig13, mergeFig13)
+	registerPerModuleSplit("fig9", "tAggONmin vs activation count, 50°C", splitFig9, mergeFig9)
+	registerPerModuleSplit("fig12", "Fraction of 1→0 bitflips vs tAggON", splitFig12, mergeFig12)
+	registerPerModuleSplit("fig13", "ACmin at 80°C normalized to 50°C", splitFig13, mergeFig13)
 	registerFraction("fig14", "Fraction of rows with ≥1 bitflip vs tAggON, 80°C", 80)
 	registerPerModule("fig15", "tAggONmin @AC=1 vs temperature (50–80°C)", workFig15, mergeFig15)
 	registerSweep("fig17", "ACmin vs tAggON, double-sided, 50°C", characterize.DoubleSided, 50)
@@ -36,53 +36,115 @@ func taggonHeaders(taggons []dram.TimePS) []string {
 	return headers
 }
 
+// acminVariant is one (sidedness, temperature) slice of a module's
+// ACmin work: experiments that sweep several panels (Fig. 1's two
+// sidednesses, Fig. 13's two temperatures, Fig. 18's temperature ×
+// sidedness lattice) split every panel into its own row-site sub-shards.
+type acminVariant struct {
+	key   string // sub-key prefix; "" for single-variant experiments
+	sided characterize.Sidedness
+	tempC float64
+}
+
+// acminSplit builds one module's declared split for ACmin experiments:
+// the tested locations are chunked per the sizing heuristic
+// (subShardTarget), each (variant, chunk) pair becomes one sub-shard
+// running characterize.ACminColumns, and gather stitches the columns
+// back into per-variant sweep points — bit-identical to running
+// characterize.ACminSweep per variant — before handing them to finish.
+func acminSplit[T any](o Options, spec chipgen.ModuleSpec, variants []acminVariant,
+	taggons []dram.TimePS, finish func(perVariant [][]characterize.SweepPoint) (T, error)) split[T, [][]characterize.RowResult] {
+	cfg0 := o.charConfig()
+	locs := characterize.TestedLocations(cfg0.Geometry, cfg0.RowsToTest)
+	chunks := chunkRanges(len(locs), subShardTarget)
+	gap := len(locs) > 1
+
+	type subOf struct{ vi, ci int }
+	var keys []string
+	var subs []subOf
+	for vi, v := range variants {
+		for ci, ch := range chunks {
+			key := fmt.Sprintf("locs/%d-%d", locs[ch[0]], locs[ch[1]-1])
+			if v.key != "" {
+				key = v.key + "/" + key
+			}
+			keys = append(keys, key)
+			subs = append(subs, subOf{vi, ci})
+		}
+	}
+	return split[T, [][]characterize.RowResult]{
+		keys: keys,
+		work: func(j int) ([][]characterize.RowResult, error) {
+			v, ch := variants[subs[j].vi], chunks[subs[j].ci]
+			cfg := o.charConfig()
+			cfg.Sided = v.sided
+			cols, err := characterize.ACminColumns(spec, cfg, v.tempC, taggons, locs[ch[0]:ch[1]], gap)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s: %w", spec.ID, keys[j], err)
+			}
+			return cols, nil
+		},
+		gather: func(parts [][][]characterize.RowResult) (T, error) {
+			perVariant := make([][]characterize.SweepPoint, len(variants))
+			for vi := range variants {
+				cols := make([][]characterize.RowResult, 0, len(locs))
+				for j, part := range parts {
+					if subs[j].vi == vi {
+						cols = append(cols, part...)
+					}
+				}
+				perVariant[vi] = characterize.AssembleACminSweep(taggons, cols)
+			}
+			return finish(perVariant)
+		},
+	}
+}
+
+// oneACminSweep adapts a single-variant finish to acminSplit.
+func oneACminSweep[T any](o Options, spec chipgen.ModuleSpec, sided characterize.Sidedness, tempC float64,
+	taggons []dram.TimePS, finish func(pts []characterize.SweepPoint) (T, error)) split[T, [][]characterize.RowResult] {
+	return acminSplit(o, spec, []acminVariant{{"", sided, tempC}}, taggons,
+		func(perVariant [][]characterize.SweepPoint) (T, error) { return finish(perVariant[0]) })
+}
+
 // registerSweep renders mean/min/max ACmin per module per tAggON plus the
 // log-log slope of the ≥7.8 µs tail (the paper's −1 signature). Each
-// module's sweep is one shard.
+// module is one shard, split into per-row-site sub-shards.
 func registerSweep(id, title string, sided characterize.Sidedness, tempC float64) {
-	work := func(o Options, spec chipgen.ModuleSpec) ([]string, error) {
-		taggons := sweepTAggONs(o)
-		cfg := o.charConfig()
-		cfg.Sided = sided
-		pts, err := characterize.ACminSweep(spec, cfg, tempC, taggons)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", spec.ID, err)
-		}
-		row := []string{spec.ID, spec.Die.Name()}
-		var xs, ys []float64
-		for _, pt := range pts {
-			m := stats.Mean(pt.ACminValues())
-			row = append(row, report.Num(m))
-			if pt.TAggON >= 7800*dram.Nanosecond && !math.IsNaN(m) {
-				xs = append(xs, dram.Seconds(pt.TAggON))
-				ys = append(ys, m)
+	splitOf := func(o Options, spec chipgen.ModuleSpec) split[[]string, [][]characterize.RowResult] {
+		return oneACminSweep(o, spec, sided, tempC, sweepTAggONs(o), func(pts []characterize.SweepPoint) ([]string, error) {
+			row := []string{spec.ID, spec.Die.Name()}
+			var xs, ys []float64
+			for _, pt := range pts {
+				m := stats.Mean(pt.ACminValues())
+				row = append(row, report.Num(m))
+				if pt.TAggON >= 7800*dram.Nanosecond && !math.IsNaN(m) {
+					xs = append(xs, dram.Seconds(pt.TAggON))
+					ys = append(ys, m)
+				}
 			}
-		}
-		return append(row, report.Num(stats.FitLogLog(xs, ys).Slope)), nil
+			return append(row, report.Num(stats.FitLogLog(xs, ys).Slope)), nil
+		})
 	}
 	merge := func(o Options, specs []chipgen.ModuleSpec, parts [][]string) (*report.Doc, error) {
 		headers := append(taggonHeaders(sweepTAggONs(o)), "slope(log-log,≥7.8us)")
 		title2 := fmt.Sprintf("Mean ACmin per module (%s, %g°C)", sided, tempC)
 		return report.NewDoc(report.TableSection(title2, headers, parts)), nil
 	}
-	registerPerModule(id, title, work, merge)
+	registerPerModuleSplit(id, title, splitOf, merge)
 }
 
 // fig7Taggons is the linear-region lattice of Fig. 7.
 var fig7Taggons = []dram.TimePS{7800 * dram.Nanosecond, 15 * dram.Microsecond, 30 * dram.Microsecond, 70200 * dram.Nanosecond}
 
-func workFig7(o Options, spec chipgen.ModuleSpec) ([]string, error) {
-	cfg := o.charConfig()
-	cfg.Sided = characterize.SingleSided
-	pts, err := characterize.ACminSweep(spec, cfg, 50, fig7Taggons)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", spec.ID, err)
-	}
-	row := []string{spec.ID, spec.Die.Name()}
-	for _, pt := range pts {
-		row = append(row, report.Num(stats.Mean(pt.ACminValues())))
-	}
-	return row, nil
+func splitFig7(o Options, spec chipgen.ModuleSpec) split[[]string, [][]characterize.RowResult] {
+	return oneACminSweep(o, spec, characterize.SingleSided, 50, fig7Taggons, func(pts []characterize.SweepPoint) ([]string, error) {
+		row := []string{spec.ID, spec.Die.Name()}
+		for _, pt := range pts {
+			row = append(row, report.Num(stats.Mean(pt.ACminValues())))
+		}
+		return row, nil
+	})
 }
 
 func mergeFig7(o Options, specs []chipgen.ModuleSpec, parts [][]string) (*report.Doc, error) {
@@ -91,38 +153,30 @@ func mergeFig7(o Options, specs []chipgen.ModuleSpec, parts [][]string) (*report
 }
 
 func registerFraction(id, title string, tempC float64) {
-	work := func(o Options, spec chipgen.ModuleSpec) ([]string, error) {
-		cfg := o.charConfig()
-		cfg.Sided = characterize.SingleSided
-		pts, err := characterize.ACminSweep(spec, cfg, tempC, sweepTAggONs(o))
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", spec.ID, err)
-		}
-		row := []string{spec.ID, spec.Die.Name()}
-		for _, pt := range pts {
-			row = append(row, report.Pct(pt.FractionWithFlips()))
-		}
-		return row, nil
+	splitOf := func(o Options, spec chipgen.ModuleSpec) split[[]string, [][]characterize.RowResult] {
+		return oneACminSweep(o, spec, characterize.SingleSided, tempC, sweepTAggONs(o), func(pts []characterize.SweepPoint) ([]string, error) {
+			row := []string{spec.ID, spec.Die.Name()}
+			for _, pt := range pts {
+				row = append(row, report.Pct(pt.FractionWithFlips()))
+			}
+			return row, nil
+		})
 	}
 	merge := func(o Options, specs []chipgen.ModuleSpec, parts [][]string) (*report.Doc, error) {
 		title2 := fmt.Sprintf("Fraction of tested rows with ≥1 bitflip (%g°C)", tempC)
 		return report.NewDoc(report.TableSection(title2, taggonHeaders(sweepTAggONs(o)), parts)), nil
 	}
-	registerPerModule(id, title, work, merge)
+	registerPerModuleSplit(id, title, splitOf, merge)
 }
 
-func workFig12(o Options, spec chipgen.ModuleSpec) ([]string, error) {
-	cfg := o.charConfig()
-	cfg.Sided = characterize.SingleSided
-	pts, err := characterize.ACminSweep(spec, cfg, 50, sweepTAggONs(o))
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", spec.ID, err)
-	}
-	row := []string{spec.ID, spec.Die.Name()}
-	for _, pt := range pts {
-		row = append(row, report.Pct(pt.FractionOneToZero()))
-	}
-	return row, nil
+func splitFig12(o Options, spec chipgen.ModuleSpec) split[[]string, [][]characterize.RowResult] {
+	return oneACminSweep(o, spec, characterize.SingleSided, 50, sweepTAggONs(o), func(pts []characterize.SweepPoint) ([]string, error) {
+		row := []string{spec.ID, spec.Die.Name()}
+		for _, pt := range pts {
+			row = append(row, report.Pct(pt.FractionOneToZero()))
+		}
+		return row, nil
+	})
 }
 
 func mergeFig12(o Options, specs []chipgen.ModuleSpec, parts [][]string) (*report.Doc, error) {
@@ -130,27 +184,25 @@ func mergeFig12(o Options, specs []chipgen.ModuleSpec, parts [][]string) (*repor
 		taggonHeaders(sweepTAggONs(o)), parts)), nil
 }
 
-func workFig13(o Options, spec chipgen.ModuleSpec) ([]string, error) {
+func splitFig13(o Options, spec chipgen.ModuleSpec) split[[]string, [][]characterize.RowResult] {
 	taggons := sweepTAggONs(o)
-	cfg := o.charConfig()
-	p50, err := characterize.ACminSweep(spec, cfg, 50, taggons)
-	if err != nil {
-		return nil, err
+	variants := []acminVariant{
+		{"t50", characterize.SingleSided, 50},
+		{"t80", characterize.SingleSided, 80},
 	}
-	p80, err := characterize.ACminSweep(spec, cfg, 80, taggons)
-	if err != nil {
-		return nil, err
-	}
-	row := []string{spec.ID, spec.Die.Name()}
-	for i := range taggons {
-		a, b := stats.Mean(p80[i].ACminValues()), stats.Mean(p50[i].ACminValues())
-		if math.IsNaN(a) || math.IsNaN(b) || b == 0 {
-			row = append(row, "-")
-		} else {
-			row = append(row, report.Num(a/b))
+	return acminSplit(o, spec, variants, taggons, func(perVariant [][]characterize.SweepPoint) ([]string, error) {
+		p50, p80 := perVariant[0], perVariant[1]
+		row := []string{spec.ID, spec.Die.Name()}
+		for i := range taggons {
+			a, b := stats.Mean(p80[i].ACminValues()), stats.Mean(p50[i].ACminValues())
+			if math.IsNaN(a) || math.IsNaN(b) || b == 0 {
+				row = append(row, "-")
+			} else {
+				row = append(row, report.Num(a/b))
+			}
 		}
-	}
-	return row, nil
+		return row, nil
+	})
 }
 
 func mergeFig13(o Options, specs []chipgen.ModuleSpec, parts [][]string) (*report.Doc, error) {
@@ -166,22 +218,47 @@ func fig9ACs(o Options) []int {
 	return characterize.StandardACs
 }
 
-func workFig9(o Options, spec chipgen.ModuleSpec) ([]string, error) {
-	pts, err := characterize.TAggONminSweep(spec, o.charConfig(), 50, fig9ACs(o))
-	if err != nil {
-		return nil, err
+// splitFig9 is the tAggONmin counterpart of acminSplit: per-row-site
+// sub-shards over characterize.TAggONminColumns.
+func splitFig9(o Options, spec chipgen.ModuleSpec) split[[]string, [][]characterize.TAggONminResult] {
+	acs := fig9ACs(o)
+	cfg := o.charConfig()
+	locs := characterize.TestedLocations(cfg.Geometry, cfg.RowsToTest)
+	chunks := chunkRanges(len(locs), subShardTarget)
+	gap := len(locs) > 1
+	keys := make([]string, len(chunks))
+	for ci, ch := range chunks {
+		keys[ci] = fmt.Sprintf("locs/%d-%d", locs[ch[0]], locs[ch[1]-1])
 	}
-	row := []string{spec.ID, spec.Die.Name()}
-	var xs, ys []float64
-	for _, pt := range pts {
-		m := stats.Mean(pt.Values())
-		row = append(row, report.Num(m)+"us")
-		if !math.IsNaN(m) {
-			xs = append(xs, float64(pt.AC))
-			ys = append(ys, m)
-		}
+	return split[[]string, [][]characterize.TAggONminResult]{
+		keys: keys,
+		work: func(j int) ([][]characterize.TAggONminResult, error) {
+			ch := chunks[j]
+			cols, err := characterize.TAggONminColumns(spec, o.charConfig(), 50, acs, locs[ch[0]:ch[1]], gap)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s: %w", spec.ID, keys[j], err)
+			}
+			return cols, nil
+		},
+		gather: func(parts [][][]characterize.TAggONminResult) ([]string, error) {
+			cols := make([][]characterize.TAggONminResult, 0, len(locs))
+			for _, part := range parts {
+				cols = append(cols, part...)
+			}
+			pts := characterize.AssembleTAggONminSweep(acs, cols)
+			row := []string{spec.ID, spec.Die.Name()}
+			var xs, ys []float64
+			for _, pt := range pts {
+				m := stats.Mean(pt.Values())
+				row = append(row, report.Num(m)+"us")
+				if !math.IsNaN(m) {
+					xs = append(xs, float64(pt.AC))
+					ys = append(ys, m)
+				}
+			}
+			return append(row, report.Num(stats.FitLogLog(xs, ys).Slope)), nil
+		},
 	}
-	return append(row, report.Num(stats.FitLogLog(xs, ys).Slope)), nil
 }
 
 func mergeFig9(o Options, specs []chipgen.ModuleSpec, parts [][]string) (*report.Doc, error) {
@@ -203,6 +280,10 @@ func fig15Temps() []float64 {
 	return temps
 }
 
+// workFig15 stays a monolithic per-module shard: the temperature sweep
+// steps one heater rig through an absolute-time thermal schedule, so
+// its searches are not independent row-site slices and must not be
+// split.
 func workFig15(o Options, spec chipgen.ModuleSpec) ([]string, error) {
 	out, err := characterize.TAggONminTempSweep(spec, o.charConfig())
 	if err != nil {
@@ -229,38 +310,37 @@ func mergeFig15(o Options, specs []chipgen.ModuleSpec, parts [][]string) (*repor
 		headers, parts)), nil
 }
 
-// registerSingleMinusDouble shards Fig. 18 / Appendix F per module: each
-// shard computes the single-vs-double gap row for every temperature, and
-// the merge lays the rows out one section per temperature.
+// registerSingleMinusDouble shards Fig. 18 / Appendix F per module with
+// (temperature × sidedness × row-site chunk) sub-shards: each shard
+// computes the single-vs-double gap row for every temperature, and the
+// merge lays the rows out one section per temperature.
 func registerSingleMinusDouble(id, title string, temps []float64) {
-	work := func(o Options, spec chipgen.ModuleSpec) ([][]string, error) {
+	splitOf := func(o Options, spec chipgen.ModuleSpec) split[[][]string, [][]characterize.RowResult] {
 		taggons := sweepTAggONs(o)
-		perTemp := make([][]string, 0, len(temps))
+		var variants []acminVariant
 		for _, tempC := range temps {
-			cfgS := o.charConfig()
-			cfgS.Sided = characterize.SingleSided
-			single, err := characterize.ACminSweep(spec, cfgS, tempC, taggons)
-			if err != nil {
-				return nil, err
-			}
-			cfgD := o.charConfig()
-			cfgD.Sided = characterize.DoubleSided
-			double, err := characterize.ACminSweep(spec, cfgD, tempC, taggons)
-			if err != nil {
-				return nil, err
-			}
-			row := []string{spec.ID, spec.Die.Name()}
-			for i := range taggons {
-				s, d := stats.Mean(single[i].ACminValues()), stats.Mean(double[i].ACminValues())
-				if math.IsNaN(s) || math.IsNaN(d) {
-					row = append(row, "-")
-				} else {
-					row = append(row, report.Num(s-d))
-				}
-			}
-			perTemp = append(perTemp, row)
+			variants = append(variants,
+				acminVariant{fmt.Sprintf("t%g/single", tempC), characterize.SingleSided, tempC},
+				acminVariant{fmt.Sprintf("t%g/double", tempC), characterize.DoubleSided, tempC},
+			)
 		}
-		return perTemp, nil
+		return acminSplit(o, spec, variants, taggons, func(perVariant [][]characterize.SweepPoint) ([][]string, error) {
+			perTemp := make([][]string, 0, len(temps))
+			for ti := range temps {
+				single, double := perVariant[2*ti], perVariant[2*ti+1]
+				row := []string{spec.ID, spec.Die.Name()}
+				for i := range taggons {
+					s, d := stats.Mean(single[i].ACminValues()), stats.Mean(double[i].ACminValues())
+					if math.IsNaN(s) || math.IsNaN(d) {
+						row = append(row, "-")
+					} else {
+						row = append(row, report.Num(s-d))
+					}
+				}
+				perTemp = append(perTemp, row)
+			}
+			return perTemp, nil
+		})
 	}
 	merge := func(o Options, specs []chipgen.ModuleSpec, parts [][][]string) (*report.Doc, error) {
 		headers := taggonHeaders(sweepTAggONs(o))
@@ -276,7 +356,7 @@ func registerSingleMinusDouble(id, title string, temps []float64) {
 		}
 		return doc, nil
 	}
-	registerPerModule(id, title, work, merge)
+	registerPerModuleSplit(id, title, splitOf, merge)
 }
 
 // fig1Taggons are the four anchor points of Fig. 1.
@@ -285,19 +365,17 @@ var fig1Taggons = []dram.TimePS{36 * dram.Nanosecond, 7800 * dram.Nanosecond, 70
 // fig1Sides orders the two Fig. 1 panels.
 var fig1Sides = []characterize.Sidedness{characterize.SingleSided, characterize.DoubleSided}
 
-// workFig1 sweeps one module at 80°C for both sidedness panels.
-func workFig1(o Options, spec chipgen.ModuleSpec) ([][]characterize.SweepPoint, error) {
-	perSided := make([][]characterize.SweepPoint, 0, len(fig1Sides))
-	for _, sided := range fig1Sides {
-		cfg := o.charConfig()
-		cfg.Sided = sided
-		pts, err := characterize.ACminSweep(spec, cfg, 80, fig1Taggons)
-		if err != nil {
-			return nil, err
-		}
-		perSided = append(perSided, pts)
+// splitFig1 sweeps one module at 80°C for both sidedness panels, one
+// sub-shard per (panel, row-site chunk).
+func splitFig1(o Options, spec chipgen.ModuleSpec) split[[][]characterize.SweepPoint, [][]characterize.RowResult] {
+	variants := []acminVariant{
+		{"single", characterize.SingleSided, 80},
+		{"double", characterize.DoubleSided, 80},
 	}
-	return perSided, nil
+	return acminSplit(o, spec, variants, fig1Taggons,
+		func(perVariant [][]characterize.SweepPoint) ([][]characterize.SweepPoint, error) {
+			return perVariant, nil
+		})
 }
 
 // mergeFig1 pools the per-module sweeps per manufacturer and renders the

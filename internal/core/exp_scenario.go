@@ -21,12 +21,12 @@ import (
 // scenario runs flow through the worker pool, the shard cache, sweep
 // batching, and the HTTP layer exactly like every paper experiment.
 func init() {
-	registerKeyed("scenario-grid",
+	registerKeyedSplit("scenario-grid",
 		"Attack-scenario characterization: min exposure to flip per pattern (unmitigated)",
-		scenGridKeys, workScenGrid, mergeScenGrid)
-	registerKeyed("scenario-mitigation",
+		scenGridKeys, splitScenGrid, mergeScenGrid)
+	registerKeyedSplit("scenario-mitigation",
 		"Attack scenarios vs mitigations: bitflips and preventive-refresh overhead",
-		scenMitKeys, workScenMit, mergeScenMit)
+		scenMitKeys, splitScenMit, mergeScenMit)
 }
 
 // scenConfig derives the scenario playback methodology at this scale:
@@ -56,17 +56,59 @@ func scenGridKeys(o Options) ([]string, error) {
 	return ks, nil
 }
 
-// workScenGrid characterizes one (module, scenario) cell unmitigated,
-// including the doubling+bisection minimum-exposure search.
-func workScenGrid(o Options, i int, key string) (scenario.Result, error) {
+// scenSites declares the per-victim-site split of one (module, scenario,
+// mitigation) cell: sites play on fresh modules with independent
+// deterministic seeds, so each is its own cache-keyed sub-shard and
+// scenario.FoldSites reassembles the cell Result bit-identically to the
+// serial Characterize/Evaluate loop.
+func scenSites(mod chipgen.ModuleSpec, sc scenario.Spec, kind scenario.MitigationKind,
+	cfg scenario.Config, search bool) split[scenario.Result, scenario.SiteResult] {
+	n := scenario.SiteCount(sc, cfg)
+	if n == 0 {
+		return errScenSplit(fmt.Errorf("scenario: geometry with %d rows/bank cannot host a %d-sided site",
+			cfg.Geometry.RowsPerBank, sc.Sides))
+	}
+	keys := make([]string, n)
+	for j := range keys {
+		keys[j] = fmt.Sprintf("site/%d", j)
+	}
+	return split[scenario.Result, scenario.SiteResult]{
+		keys: keys,
+		work: func(j int) (scenario.SiteResult, error) {
+			if search {
+				return scenario.CharacterizeSite(mod, sc, kind, cfg, j)
+			}
+			return scenario.EvaluateSite(mod, sc, kind, cfg, j)
+		},
+		gather: func(parts []scenario.SiteResult) (scenario.Result, error) {
+			return scenario.FoldSites(mod, sc, kind, parts, search), nil
+		},
+	}
+}
+
+// errScenSplit surfaces a resolution error through a single sub-shard
+// (splitOf itself cannot fail; the key builders resolve the same state
+// first, so this is a defensive path).
+func errScenSplit(err error) split[scenario.Result, scenario.SiteResult] {
+	return split[scenario.Result, scenario.SiteResult]{
+		keys:   []string{"error"},
+		work:   func(int) (scenario.SiteResult, error) { return scenario.SiteResult{}, err },
+		gather: func([]scenario.SiteResult) (scenario.Result, error) { return scenario.Result{}, err },
+	}
+}
+
+// splitScenGrid characterizes one (module, scenario) cell unmitigated —
+// the doubling+bisection minimum-exposure search included — split one
+// sub-shard per victim site.
+func splitScenGrid(o Options, i int, key string) split[scenario.Result, scenario.SiteResult] {
 	specs, err := o.modules()
 	if err != nil {
-		return scenario.Result{}, err
+		return errScenSplit(err)
 	}
 	names := scenario.Names()
 	mod := specs[i/len(names)]
 	sc, _ := scenario.ByName(names[i%len(names)])
-	return scenario.Characterize(mod, sc, scenario.MitNone, scenConfig(o))
+	return scenSites(mod, sc, scenario.MitNone, scenConfig(o), true)
 }
 
 func mergeScenGrid(o Options, parts []scenario.Result) (*report.Doc, error) {
@@ -167,20 +209,21 @@ func scenMitKeys(o Options) ([]string, error) {
 	return ks, nil
 }
 
-// workScenMit evaluates one (module, scenario, mitigation) cell at the
+// splitScenMit evaluates one (module, scenario, mitigation) cell at the
 // full activation budget (no search — the comparison wants flip counts
-// and preventive-refresh overhead at equal exposure).
-func workScenMit(o Options, i int, key string) (scenario.Result, error) {
+// and preventive-refresh overhead at equal exposure), split one
+// sub-shard per victim site.
+func splitScenMit(o Options, i int, key string) split[scenario.Result, scenario.SiteResult] {
 	specs, err := o.modules()
 	if err != nil {
-		return scenario.Result{}, err
+		return errScenSplit(err)
 	}
 	names := scenario.Names()
 	mits := scenario.AllMitigations()
 	perModule := len(names) * len(mits)
 	mod := specs[i/perModule]
 	sc, _ := scenario.ByName(names[(i%perModule)/len(mits)])
-	return scenario.Evaluate(mod, sc, mits[i%len(mits)], scenConfig(o))
+	return scenSites(mod, sc, mits[i%len(mits)], scenConfig(o), false)
 }
 
 func mergeScenMit(o Options, parts []scenario.Result) (*report.Doc, error) {

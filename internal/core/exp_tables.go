@@ -68,19 +68,15 @@ func workTable6(o Options, spec chipgen.ModuleSpec) ([][]string, error) {
 	for _, sided := range []characterize.Sidedness{characterize.SingleSided, characterize.DoubleSided} {
 		cfg := o.charConfig()
 		cfg.Sided = sided
-		b, err := characterize.NewBench(spec, cfg, 50)
+		locs := characterize.TestedLocations(cfg.Geometry, min(cfg.RowsToTest, 8))
+		grid, err := characterize.BERGrid(spec, cfg, 50, taggons, locs)
 		if err != nil {
 			return nil, err
 		}
-		locs := characterize.TestedLocations(cfg.Geometry, min(cfg.RowsToTest, 8))
 		row := []string{spec.ID, spec.Die.Name(), sided.String()}
-		for _, tg := range taggons {
+		for ti := range taggons {
 			maxBER := math.Inf(-1)
-			for _, loc := range locs {
-				r, err := characterize.MeasureBERAt(b, loc, tg, 0, cfg)
-				if err != nil {
-					return nil, err
-				}
+			for _, r := range grid[ti] {
 				if r.MaxBER > maxBER {
 					maxBER = r.MaxBER
 				}

@@ -23,13 +23,16 @@ func goldenOptions() Options {
 }
 
 // TestGoldenReports asserts that every registered experiment reproduces
-// its checked-in pre-refactor report byte-for-byte, at one worker and at
-// eight. This is the acceptance gate for the closed-form accrual and
-// replay-free search rework: any numerical or ordering drift in the fast
-// paths shows up as a diff here.
+// its checked-in pre-refactor report byte-for-byte at one, two, and
+// eight workers. This is the acceptance gate for the closed-form accrual
+// and replay-free search rework, and — since the dominant shards now
+// declare sub-shard splits — for the two-level merge: any numerical or
+// ordering drift in the fast paths, and any completion-order dependence
+// in a Gather, shows up as a diff here.
 func TestGoldenReports(t *testing.T) {
 	o := goldenOptions()
 	serial := engine.New(1, 0)
+	two := engine.New(2, 0)
 	wide := engine.New(8, 0)
 	for _, e := range List() {
 		e := e
@@ -54,12 +57,17 @@ func TestGoldenReports(t *testing.T) {
 				t.Errorf("report differs from golden %s\n--- want ---\n%s\n--- got ---\n%s",
 					path, want, got)
 			}
-			wideDoc, err := RunWith(wide, e.ID, o)
-			if err != nil {
-				t.Fatalf("run (8 workers): %v", err)
-			}
-			if report.Text(wideDoc) != got {
-				t.Error("8-worker report differs from serial report")
+			for _, w := range []struct {
+				n   int
+				eng *engine.Engine
+			}{{2, two}, {8, wide}} {
+				wideDoc, err := RunWith(w.eng, e.ID, o)
+				if err != nil {
+					t.Fatalf("run (%d workers): %v", w.n, err)
+				}
+				if report.Text(wideDoc) != got {
+					t.Errorf("%d-worker report differs from serial report", w.n)
+				}
 			}
 		})
 	}

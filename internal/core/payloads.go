@@ -15,12 +15,15 @@ import (
 // that experiment silently degrades to memory-only caching (the disk
 // tier counts the skip in its stats).
 func init() {
-	engine.RegisterPayloadType([]string(nil))                    // one table row per module
-	engine.RegisterPayloadType([][]string(nil))                  // row blocks / per-temperature rows
-	engine.RegisterPayloadType([][]characterize.SweepPoint(nil)) // fig1/summary raw sweeps
-	engine.RegisterPayloadType([]float64(nil))                   // fig40/fig41 normalized series
-	engine.RegisterPayloadType(simperf.MinOpenRowRow{})          // fig38/fig39
-	engine.RegisterPayloadType(scenario.Result{})                // scenario grid and mitigation cells
-	engine.RegisterPayloadType(report.DocSection{})              // section-shard experiments (fig19/20/22, appC, table3)
-	engine.RegisterPayloadType(&report.Doc{})                    // monolithic experiments cache the whole doc
+	engine.RegisterPayloadType([]string(nil))                         // one table row per module
+	engine.RegisterPayloadType([][]string(nil))                       // row blocks / per-temperature rows
+	engine.RegisterPayloadType([][]characterize.SweepPoint(nil))      // fig1/summary raw sweeps
+	engine.RegisterPayloadType([][]characterize.RowResult(nil))       // ACmin sub-shard columns
+	engine.RegisterPayloadType([][]characterize.TAggONminResult(nil)) // tAggONmin sub-shard columns
+	engine.RegisterPayloadType([]float64(nil))                        // fig40/fig41 normalized series
+	engine.RegisterPayloadType(simperf.MinOpenRowRow{})               // fig38/fig39
+	engine.RegisterPayloadType(scenario.Result{})                     // scenario grid and mitigation cells
+	engine.RegisterPayloadType(scenario.SiteResult{})                 // scenario per-site sub-shards
+	engine.RegisterPayloadType(report.DocSection{})                   // section-shard experiments (fig19/20/22, appC, table3)
+	engine.RegisterPayloadType(&report.Doc{})                         // monolithic experiments cache the whole doc
 }

@@ -31,7 +31,28 @@ import (
 // equal (experiment, fingerprint, key) must produce an equal payload —
 // and the returned payload must never be mutated afterwards, because the
 // cache hands the same value to later runs.
+//
+// A shard may declare a second-level split instead of a Run: Subs lists
+// independently cache-keyed sub-shards and Gather folds their payloads
+// (index j holds the result of Subs[j], regardless of completion order)
+// into the shard's own payload, which is cached under the shard's key
+// exactly as if Run had produced it — warm runs hit at the unit level
+// and never touch the subs. Run is ignored when Subs is non-empty. The
+// split is one level deep: sub-shards cannot split further.
 type Shard struct {
+	Key string
+	Run func() (any, error)
+
+	Subs   []SubShard
+	Gather func(subs []any) (any, error)
+}
+
+// SubShard is one unit of a shard's declared split. Key must be unique
+// within the parent shard and stable across runs; the sub-shard's cache
+// address is derived from the parent's, so equal (experiment,
+// fingerprint, shard key, sub key) means an equal payload. Run carries
+// the same purity and immutability contract as Shard.Run.
+type SubShard struct {
 	Key string
 	Run func() (any, error)
 }
@@ -49,16 +70,20 @@ const (
 // ShardEvent describes one resolved shard of an Execute call: either a
 // cache hit (Cached, Wall 0, Tier naming the tier that answered) or a
 // completed execution (Worker is the pool slot that ran it, Queue the
-// dispatch→execution wait). Err is non-nil when the shard failed.
+// dispatch→execution wait). Err is non-nil when the shard failed. A
+// split shard is executed by many pool slots at once, so its Worker is
+// -1; Subs and SubsRun break out how much of its split ran.
 type ShardEvent struct {
-	Index  int           // shard index within the plan
-	Key    string        // the shard's plan-level key
-	Cached bool          // served from a cache tier or a joined in-flight run
-	Tier   string        // "mem", "disk", or "join" when Cached; "" when executed
-	Worker int           // worker slot that executed the shard; -1 when cached
-	Queue  time.Duration // time between dispatch and execution start
-	Wall   time.Duration // execution time when this call ran the shard
-	Err    error
+	Index   int           // shard index within the plan
+	Key     string        // the shard's plan-level key
+	Cached  bool          // served from a cache tier or a joined in-flight run
+	Tier    string        // "mem", "disk", or "join" when Cached; "" when executed
+	Worker  int           // worker slot that executed the shard; -1 when cached or split
+	Queue   time.Duration // time between dispatch and execution start (summed over subs)
+	Wall    time.Duration // execution time when this call ran the shard (summed over subs)
+	Subs    int           // sub-shards the shard declares (0 for a leaf shard)
+	SubsRun int           // sub-shards this call actually ran
+	Err     error
 }
 
 // Plan is a decomposed experiment run. Merge receives the shard payloads
@@ -75,13 +100,17 @@ type Plan struct {
 	OnShard     func(ShardEvent)
 }
 
-// RunStats describes one Execute call.
+// RunStats describes one Execute call. Shard counts are unit-level: a
+// split shard counts once in Shards/Executed/CacheHits; its declared
+// and actually-run sub-shards are broken out in SubShards/SubExecuted.
 type RunStats struct {
-	Shards    int           // shards in the plan
-	CacheHits int           // shards served from the cache or a concurrent in-flight execution
-	Executed  int           // shards this call actually ran
-	QueueWait time.Duration // summed dispatch→execution wait across executed shards
-	Wall      time.Duration // wall-clock time of the whole Execute, merge included
+	Shards      int           // shards in the plan
+	CacheHits   int           // shards served from the cache or a concurrent in-flight execution
+	Executed    int           // shards this call actually ran
+	SubShards   int           // sub-shards declared across the plan's split shards
+	SubExecuted int           // sub-shards this call actually ran
+	QueueWait   time.Duration // summed dispatch→execution wait across executed shards
+	Wall        time.Duration // wall-clock time of the whole Execute, merge included
 }
 
 // LatencyStats is an always-on (count, total) latency aggregate — the
@@ -131,16 +160,18 @@ func (l *latCounter) stats() LatencyStats {
 // view (a hit from either tier counts once); Mem and Disk break the
 // tiers out with their own entries/hits/misses/evictions.
 type Metrics struct {
-	Runs           uint64
-	ShardsPlanned  uint64
-	ShardsExecuted uint64
-	CacheHits      uint64
-	CacheMisses    uint64
-	Errors         uint64
-	TotalWall      time.Duration
-	TotalShardTime time.Duration
-	Mem            CacheStats     // in-memory tier snapshot
-	Disk           DiskCacheStats // disk tier snapshot (zero when none attached)
+	Runs              uint64
+	ShardsPlanned     uint64
+	ShardsExecuted    uint64
+	SubShardsPlanned  uint64 // sub-shards declared by split shards across all runs
+	SubShardsExecuted uint64 // sub-shards actually run (cached subs and warm units excluded)
+	CacheHits         uint64
+	CacheMisses       uint64
+	Errors            uint64
+	TotalWall         time.Duration
+	TotalShardTime    time.Duration
+	Mem               CacheStats     // in-memory tier snapshot
+	Disk              DiskCacheStats // disk tier snapshot (zero when none attached)
 
 	// Queue dynamics and tier-attributed lookup latency, maintained
 	// regardless of whether a span recorder is attached.
@@ -160,6 +191,8 @@ func (m Metrics) Sub(prev Metrics) Metrics {
 	out.Runs -= min(prev.Runs, m.Runs)
 	out.ShardsPlanned -= min(prev.ShardsPlanned, m.ShardsPlanned)
 	out.ShardsExecuted -= min(prev.ShardsExecuted, m.ShardsExecuted)
+	out.SubShardsPlanned -= min(prev.SubShardsPlanned, m.SubShardsPlanned)
+	out.SubShardsExecuted -= min(prev.SubShardsExecuted, m.SubShardsExecuted)
 	out.CacheHits -= min(prev.CacheHits, m.CacheHits)
 	out.CacheMisses -= min(prev.CacheMisses, m.CacheMisses)
 	out.Errors -= min(prev.Errors, m.Errors)
@@ -330,6 +363,7 @@ func (e *Engine) Execute(p Plan) (*report.Doc, RunStats, error) {
 	keys := make([]string, len(p.Shards))
 	for i, s := range p.Shards {
 		keys[i] = Key(p.Experiment, p.Fingerprint, s.Key)
+		stats.SubShards += len(s.Subs)
 		v, tier, lat, ok := e.tierGet(keys[i])
 		if e.rec != nil {
 			e.rec.Record(lookupKind(tier), -1, i, p.Experiment, s.Key, time.Now().Add(-lat), lat, 0)
@@ -338,7 +372,7 @@ func (e *Engine) Execute(p Plan) (*report.Doc, RunStats, error) {
 			parts[i] = v
 			stats.CacheHits++
 			if p.OnShard != nil {
-				p.OnShard(ShardEvent{Index: i, Key: s.Key, Cached: true, Tier: tier, Worker: -1})
+				p.OnShard(ShardEvent{Index: i, Key: s.Key, Cached: true, Tier: tier, Worker: -1, Subs: len(s.Subs)})
 			}
 		} else {
 			missing = append(missing, i)
@@ -356,9 +390,10 @@ func (e *Engine) Execute(p Plan) (*report.Doc, RunStats, error) {
 			enq := time.Now()
 			go func(i int) {
 				defer wg.Done()
-				v, ran, wid, qd, d, err := e.runOrJoin(keys[i], p.Shards[i], p.Experiment, i, enq)
+				v, ran, wid, qd, d, subsRun, err := e.resolveShard(keys[i], p.Shards[i], p.Experiment, i, enq)
 				if p.OnShard != nil {
-					ev := ShardEvent{Index: i, Key: p.Shards[i].Key, Cached: !ran, Worker: wid, Queue: qd, Wall: d, Err: err}
+					ev := ShardEvent{Index: i, Key: p.Shards[i].Key, Cached: !ran, Worker: wid,
+						Queue: qd, Wall: d, Subs: len(p.Shards[i].Subs), SubsRun: subsRun, Err: err}
 					if !ran {
 						ev.Tier = TierJoin
 					}
@@ -368,6 +403,7 @@ func (e *Engine) Execute(p Plan) (*report.Doc, RunStats, error) {
 				parts[i], errs[i] = v, err
 				shardTime += d
 				stats.QueueWait += qd
+				stats.SubExecuted += subsRun
 				if !ran {
 					joined++
 				}
@@ -411,6 +447,8 @@ func (e *Engine) Execute(p Plan) (*report.Doc, RunStats, error) {
 	e.metrics.Runs++
 	e.metrics.ShardsPlanned += uint64(stats.Shards)
 	e.metrics.ShardsExecuted += uint64(stats.Executed)
+	e.metrics.SubShardsPlanned += uint64(stats.SubShards)
+	e.metrics.SubShardsExecuted += uint64(stats.SubExecuted)
 	e.metrics.CacheHits += uint64(stats.CacheHits)
 	e.metrics.CacheMisses += uint64(stats.Executed)
 	e.metrics.TotalWall += stats.Wall
@@ -437,6 +475,7 @@ type BatchStats struct {
 	Deduplicated int // refs beyond the first occurrence of their key
 	CacheHits    int // unique shards served from the cache (or joined in-flight)
 	Executed     int // unique shards this call actually ran
+	SubExecuted  int // sub-shards this call actually ran, across all split shards
 	QueueWait    time.Duration
 	Wall         time.Duration
 }
@@ -450,6 +489,7 @@ type batchShard struct {
 	owner  int           // index of the first plan referencing this key
 	queue  time.Duration // dispatch→execution wait when this batch ran it
 	dur    time.Duration // execution time when this batch ran it
+	subs   int           // sub-shards run when this batch executed a split shard
 }
 
 // ExecuteBatch runs many plans as one deduplicated unit of work: the
@@ -483,6 +523,7 @@ func (e *Engine) ExecuteBatch(plans []Plan) (outs []*report.Doc, stats []RunStat
 		for si, s := range p.Shards {
 			k := Key(p.Experiment, p.Fingerprint, s.Key)
 			keys[pi][si] = k
+			stats[pi].SubShards += len(s.Subs)
 			if _, ok := slots[k]; ok {
 				bs.Deduplicated++
 				continue
@@ -519,11 +560,12 @@ func (e *Engine) ExecuteBatch(plans []Plan) (outs []*report.Doc, stats []RunStat
 			go func(k string) {
 				defer wg.Done()
 				sl := slots[k]
-				v, ran, _, qd, d, err := e.runOrJoin(k, sl.shard, plans[sl.owner].Experiment, -1, enq)
+				v, ran, _, qd, d, subsRun, err := e.resolveShard(k, sl.shard, plans[sl.owner].Experiment, -1, enq)
 				tmu.Lock()
-				sl.val, sl.err, sl.queue, sl.dur = v, err, qd, d
+				sl.val, sl.err, sl.queue, sl.dur, sl.subs = v, err, qd, d, subsRun
 				if ran {
 					bs.Executed++
+					bs.SubExecuted += subsRun
 					bs.QueueWait += qd
 				} else {
 					sl.cached = true // joined a concurrent execution
@@ -551,6 +593,7 @@ func (e *Engine) ExecuteBatch(plans []Plan) (outs []*report.Doc, stats []RunStat
 				stats[pi].CacheHits++
 			} else {
 				stats[pi].Executed++
+				stats[pi].SubExecuted += sl.subs
 				stats[pi].QueueWait += sl.queue
 				stats[pi].Wall += sl.dur
 			}
@@ -576,8 +619,10 @@ func (e *Engine) ExecuteBatch(plans []Plan) (outs []*report.Doc, stats []RunStat
 	e.metrics.Runs += uint64(len(plans))
 	e.metrics.ShardsPlanned += uint64(bs.ShardRefs)
 	e.metrics.ShardsExecuted += uint64(bs.Executed)
+	e.metrics.SubShardsExecuted += uint64(bs.SubExecuted)
 	e.metrics.CacheMisses += uint64(bs.Executed)
 	for pi := range plans {
+		e.metrics.SubShardsPlanned += uint64(stats[pi].SubShards)
 		e.metrics.CacheHits += uint64(stats[pi].CacheHits)
 		if errs[pi] != nil {
 			e.metrics.Errors++
@@ -599,6 +644,118 @@ func lookupKind(tier string) obs.Kind {
 	default:
 		return obs.CacheMiss
 	}
+}
+
+// resolveShard serves one missing plan shard: a leaf shard goes through
+// runOrJoin directly; a shard with a declared split fans its sub-shards
+// out on the pool and gathers. subsRun counts the sub-shards this call
+// executed (always 0 for a leaf).
+func (e *Engine) resolveShard(key string, s Shard, exp string, idx int, enq time.Time) (v any, ran bool, wid int, queue, d time.Duration, subsRun int, err error) {
+	if len(s.Subs) == 0 {
+		v, ran, wid, queue, d, err = e.runOrJoin(key, s, exp, idx, enq)
+		return v, ran, wid, queue, d, 0, err
+	}
+	v, ran, queue, d, subsRun, err = e.runSplit(key, s, exp, idx, enq)
+	return v, ran, -1, queue, d, subsRun, err
+}
+
+// SubKey derives a sub-shard's cache address from its parent shard's
+// address and the sub key — content-addressed like Key, so the disk
+// tier stores sub payloads under the same fixed-length names.
+func SubKey(shardKey, subKey string) string {
+	return Key(shardKey, "sub", subKey)
+}
+
+// runSplit resolves a split shard: concurrent requests for the unit key
+// join the in-flight gather exactly as runOrJoin joins a leaf, missing
+// sub-shards run through runOrJoin — so they deduplicate, cache, and
+// record spans individually — and Gather folds the payloads into the
+// unit payload, cached under the unit key. The calling goroutine holds
+// no worker slot while its sub-shards queue, so a split never deadlocks
+// the pool, even at one worker; only sub-shard executions occupy slots.
+// queue and d are summed over the sub-shards this call ran (d includes
+// the gather).
+func (e *Engine) runSplit(key string, s Shard, exp string, idx int, enq time.Time) (v any, ran bool, queue, d time.Duration, subsRun int, err error) {
+	e.ifmu.Lock()
+	if c, ok := e.inflight[key]; ok {
+		e.ifmu.Unlock()
+		<-c.done
+		return c.val, false, 0, 0, 0, c.err
+	}
+	// Same authoritative re-check as runOrJoin: a unit that completed
+	// after our caller's miss is served from the cache, not recomputed.
+	if v, ok := e.cache.peek(key); ok {
+		e.ifmu.Unlock()
+		return v, false, 0, 0, 0, nil
+	}
+	c := &inflightShard{done: make(chan struct{})}
+	e.inflight[key] = c
+	e.ifmu.Unlock()
+
+	parts := make([]any, len(s.Subs))
+	serrs := make([]error, len(s.Subs))
+	var wg sync.WaitGroup
+	var smu sync.Mutex
+	for si, sub := range s.Subs {
+		skey := SubKey(key, sub.Key)
+		label := s.Key + "/" + sub.Key
+		sv, tier, lat, ok := e.tierGet(skey)
+		if e.rec != nil {
+			e.rec.Record(lookupKind(tier), -1, idx, exp, label, time.Now().Add(-lat), lat, 0)
+		}
+		if ok {
+			parts[si] = sv
+			continue
+		}
+		wg.Add(1)
+		go func(si int, sub SubShard, skey, label string) {
+			defer wg.Done()
+			sv, sran, _, sq, sd, serr := e.runOrJoin(skey, Shard{Key: label, Run: sub.Run}, exp, idx, enq)
+			smu.Lock()
+			parts[si], serrs[si] = sv, serr
+			queue += sq
+			d += sd
+			if sran {
+				subsRun++
+			}
+			smu.Unlock()
+		}(si, sub, skey, label)
+	}
+	wg.Wait()
+	for si, serr := range serrs {
+		if serr != nil {
+			err = fmt.Errorf("sub-shard %q: %w", s.Subs[si].Key, serr)
+			break
+		}
+	}
+	if err == nil {
+		t0 := time.Now()
+		v, err = gatherShard(s, parts)
+		d += time.Since(t0)
+		if err == nil {
+			e.tierPut(key, v)
+		}
+	}
+	c.val, c.err = v, err
+
+	e.ifmu.Lock()
+	delete(e.inflight, key)
+	e.ifmu.Unlock()
+	close(c.done)
+	return v, true, queue, d, subsRun, err
+}
+
+// gatherShard isolates Gather panics the way runShard isolates Run's.
+func gatherShard(s Shard, parts []any) (v any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("gather panic: %v", r)
+		}
+	}()
+	if s.Gather == nil {
+		return nil, fmt.Errorf("shard declares %d sub-shards but no Gather", len(s.Subs))
+	}
+	return s.Gather(parts)
 }
 
 // runOrJoin executes the shard under the engine-wide worker bound,

@@ -1,0 +1,192 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/report"
+)
+
+// splitPlan builds a plan with one split shard of n sub-shards, each
+// returning its own key. Gather joins the payloads with "+", so
+// out-of-order assembly is visible in the merged line.
+func splitPlan(exp, fp string, n int, subRuns *atomic.Int64, wrap func(j int, run func() (any, error)) func() (any, error)) Plan {
+	subs := make([]SubShard, n)
+	for j := 0; j < n; j++ {
+		key := fmt.Sprintf("sub-%02d", j)
+		run := func() (any, error) {
+			if subRuns != nil {
+				subRuns.Add(1)
+			}
+			return key, nil
+		}
+		if wrap != nil {
+			run = wrap(j, run)
+		}
+		subs[j] = SubShard{Key: key, Run: run}
+	}
+	return Plan{
+		Experiment:  exp,
+		Fingerprint: fp,
+		Shards: []Shard{{
+			Key:  "unit",
+			Subs: subs,
+			Gather: func(parts []any) (any, error) {
+				ss := make([]string, len(parts))
+				for j, p := range parts {
+					ss[j] = p.(string)
+				}
+				return strings.Join(ss, "+"), nil
+			},
+		}},
+		Merge: func(parts []any) (*report.Doc, error) { return docOf(parts[0].(string)), nil },
+	}
+}
+
+// TestSplitShardShuffledSubCompletion forces the sub-shards to finish
+// in reverse order — sub j blocks until sub j+1 has completed — and
+// requires Gather to still receive payloads in declaration order. This
+// is the engine-level pin for the two-level merge contract: sub-shard
+// completion order is a scheduling accident and must never reach the
+// payload.
+func TestSplitShardShuffledSubCompletion(t *testing.T) {
+	const n = 4
+	done := make([]chan struct{}, n)
+	for j := range done {
+		done[j] = make(chan struct{})
+	}
+	var subRuns atomic.Int64
+	p := splitPlan("split", "v1", n, &subRuns, func(j int, run func() (any, error)) func() (any, error) {
+		return func() (any, error) {
+			if j < n-1 {
+				<-done[j+1] // wait for the next sub to complete first
+			}
+			v, err := run()
+			close(done[j])
+			return v, err
+		}
+	})
+	eng := New(n, 0) // every gated sub needs a slot at once
+	doc, st, err := eng.Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := docLine(doc); got != "sub-00+sub-01+sub-02+sub-03" {
+		t.Fatalf("reverse completion order reached the gather: %q", got)
+	}
+	if st.Shards != 1 || st.Executed != 1 || st.SubShards != n || st.SubExecuted != n {
+		t.Fatalf("stats=%+v", st)
+	}
+	if subRuns.Load() != n {
+		t.Fatalf("sub executions=%d", subRuns.Load())
+	}
+}
+
+// TestSplitShardWarmRunHitsUnitLevel pins the caching contract: the
+// gathered unit payload is cached under the shard's own key, so a warm
+// run is a single unit-level hit that never touches the sub-shards.
+func TestSplitShardWarmRunHitsUnitLevel(t *testing.T) {
+	var subRuns atomic.Int64
+	p := splitPlan("split", "warm", 3, &subRuns, nil)
+	eng := New(2, 0)
+	if _, _, err := eng.Execute(p); err != nil {
+		t.Fatal(err)
+	}
+	doc, st, err := eng.Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CacheHits != 1 || st.Executed != 0 || st.SubExecuted != 0 {
+		t.Fatalf("warm stats=%+v", st)
+	}
+	if subRuns.Load() != 3 {
+		t.Fatalf("warm run re-executed subs: %d total executions", subRuns.Load())
+	}
+	if docLine(doc) != "sub-00+sub-01+sub-02" {
+		t.Fatalf("warm doc %q", docLine(doc))
+	}
+}
+
+// TestSplitShardErrorAndSubCacheReuse drives a split whose middle
+// sub-shards fail once: the unit must report the first failing sub by
+// index, must not cache the failed unit, and a retry must reuse the
+// succeeded subs' cached payloads — only the failed sub re-executes.
+func TestSplitShardErrorAndSubCacheReuse(t *testing.T) {
+	var fail atomic.Bool
+	fail.Store(true)
+	boom := errors.New("boom")
+	var subRuns atomic.Int64
+	p := splitPlan("split", "err", 4, &subRuns, func(j int, run func() (any, error)) func() (any, error) {
+		if j != 1 && j != 2 {
+			return run
+		}
+		return func() (any, error) {
+			if fail.Load() {
+				return nil, fmt.Errorf("sub %d: %w", j, boom)
+			}
+			return run()
+		}
+	})
+	eng := New(4, 0)
+	_, st, err := eng.Execute(p)
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	// Both sub 1 and sub 2 failed; the unit reports the first by index.
+	if !strings.Contains(err.Error(), `sub-shard "sub-01"`) {
+		t.Fatalf("error does not name the first failing sub by index: %v", err)
+	}
+	if st.SubExecuted != 4 { // failed executions still count as run
+		t.Fatalf("cold stats=%+v", st)
+	}
+
+	fail.Store(false)
+	doc, st, err := eng.Execute(p)
+	if err != nil {
+		t.Fatalf("retry: %v", err)
+	}
+	if docLine(doc) != "sub-00+sub-01+sub-02+sub-03" {
+		t.Fatalf("retry doc %q", docLine(doc))
+	}
+	// The failed unit was not cached, but subs 0 and 3 were: the retry
+	// re-runs the unit yet executes only the two previously-failed subs.
+	if st.Executed != 1 || st.SubExecuted != 2 {
+		t.Fatalf("retry stats=%+v", st)
+	}
+	if subRuns.Load() != 4 {
+		t.Fatalf("total successful sub executions=%d, want 4", subRuns.Load())
+	}
+}
+
+// TestSplitShardNoDeadlockAtOneWorker pins the pool contract: the
+// parent of a split holds no worker slot while its subs queue, so a
+// split wider than the pool still completes on a single worker.
+func TestSplitShardNoDeadlockAtOneWorker(t *testing.T) {
+	p := splitPlan("split", "serial", 8, nil, nil)
+	eng := New(1, 0)
+	doc, st, err := eng.Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SubExecuted != 8 {
+		t.Fatalf("stats=%+v", st)
+	}
+	if !strings.HasPrefix(docLine(doc), "sub-00+") {
+		t.Fatalf("doc %q", docLine(doc))
+	}
+}
+
+// TestSplitShardMissingGather pins the declaration contract: a shard
+// that lists sub-shards without a Gather is a plan bug and must fail,
+// not silently drop payloads.
+func TestSplitShardMissingGather(t *testing.T) {
+	p := splitPlan("split", "nogather", 2, nil, nil)
+	p.Shards[0].Gather = nil
+	eng := New(2, 0)
+	if _, _, err := eng.Execute(p); err == nil || !strings.Contains(err.Error(), "no Gather") {
+		t.Fatalf("want missing-Gather error, got %v", err)
+	}
+}

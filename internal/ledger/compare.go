@@ -56,6 +56,8 @@ func HistoryDoc(records []Record, st Stats) *report.Doc {
 			r.CompletedAt.UTC().Format("2006-01-02T15:04:05Z"),
 			fmt.Sprintf("%.3f", r.WallMS),
 			strconv.Itoa(r.Shards),
+			strconv.Itoa(r.Workers),
+			strconv.Itoa(r.SubShards),
 			strconv.Itoa(r.Tiers.Mem),
 			strconv.Itoa(r.Tiers.Disk),
 			strconv.Itoa(r.Tiers.Miss),
@@ -67,7 +69,7 @@ func HistoryDoc(records []Record, st Stats) *report.Doc {
 	note := fmt.Sprintf("%d of %d ledger records shown  (%d bytes on disk, %d skipped, %d pruned)",
 		len(records), st.Records, st.Bytes, st.Skipped, st.Pruned)
 	doc := report.NewDoc(report.TableSection("run history",
-		[]string{"id", "kind", "experiment", "completed_at", "wall_ms", "shards", "mem", "disk", "miss", "hit_rate", "doc_hash", "error"},
+		[]string{"id", "kind", "experiment", "completed_at", "wall_ms", "shards", "workers", "subs", "mem", "disk", "miss", "hit_rate", "doc_hash", "error"},
 		rows, note))
 	doc.Title = "Run ledger history"
 	return doc
@@ -117,13 +119,15 @@ func Compare(a, b Record, opt CompareOptions) *Delta {
 			r.CompletedAt.UTC().Format("2006-01-02T15:04:05Z"),
 			fmt.Sprintf("%.3f", r.WallMS),
 			strconv.Itoa(r.Shards),
+			strconv.Itoa(r.Workers),
+			strconv.Itoa(r.SubShards),
 			fmt.Sprintf("%d/%d/%d/%d", r.Tiers.Mem, r.Tiers.Disk, r.Tiers.Join, r.Tiers.Miss),
 			shortHash(r.OptionsHash),
 			shortHash(r.DocHash),
 		})
 	}
 	runs := report.TableSection("runs",
-		[]string{"id", "kind", "experiment", "completed_at", "wall_ms", "shards", "mem/disk/join/miss", "options_hash", "doc_hash"},
+		[]string{"id", "kind", "experiment", "completed_at", "wall_ms", "shards", "workers", "subs", "mem/disk/join/miss", "options_hash", "doc_hash"},
 		runRows)
 
 	rows := [][]string{
@@ -133,6 +137,8 @@ func Compare(a, b Record, opt CompareOptions) *Delta {
 		deltaRow("disk_lookup_ms", a.DiskLookup.TotalMS, b.DiskLookup.TotalMS),
 		deltaRow("miss_lookup_ms", a.MissLookup.TotalMS, b.MissLookup.TotalMS),
 		deltaRow("shards_executed", float64(a.Tiers.Miss), float64(b.Tiers.Miss)),
+		deltaRow("sub_shards_executed", float64(a.SubShards), float64(b.SubShards)),
+		deltaRow("workers", float64(a.Workers), float64(b.Workers)),
 		deltaRow("cache_hits", float64(a.hits()), float64(b.hits())),
 		deltaRow("hit_rate", a.hitRate(), b.hitRate()),
 	}

@@ -135,8 +135,15 @@ type Record struct {
 	Error       string    `json:"error,omitempty"`
 	CompletedAt time.Time `json:"completed_at"`
 
-	WallMS     float64    `json:"wall_ms"`
-	Shards     int        `json:"shards"`
+	WallMS float64 `json:"wall_ms"`
+	Shards int     `json:"shards"`
+	// Workers is the engine pool size the run executed on; SubShards is
+	// the number of declared sub-shards that actually ran (zero when
+	// every split unit was answered from cache or the plan had no
+	// splits). Both are omitted from records written before the
+	// sub-shard planning layer existed.
+	Workers    int        `json:"workers,omitempty"`
+	SubShards  int        `json:"sub_shards,omitempty"`
 	Tiers      TierCounts `json:"tiers"`
 	QueueWait  Latency    `json:"queue_wait"`
 	MemLookup  Latency    `json:"mem_lookup"`

@@ -536,6 +536,118 @@ func measure(module chipgen.ModuleSpec, spec Spec, kind MitigationKind, cfg Conf
 	return res, nil
 }
 
+// SiteCount returns the number of victim sites measure tests for this
+// spec under cfg — the sub-shard count of the split scenario
+// experiments.
+func SiteCount(spec Spec, cfg Config) int { return len(cfg.sites(spec.Sides)) }
+
+// SiteResult is one site's share of a cell's Result — the sub-shard
+// payload of the split scenario experiments. FoldSites folds a full set
+// back into the cell Result.
+type SiteResult struct {
+	AggActs             int         `json:"agg_acts"`
+	BitFlips            int         `json:"bitflips"`
+	PreventiveRefreshes uint64      `json:"preventive_refreshes"`
+	TimeCapped          bool        `json:"time_capped"`
+	MinActs             int         `json:"min_acts,omitempty"`
+	MinTime             dram.TimePS `json:"min_time_ps,omitempty"`
+}
+
+// CharacterizeSite measures site siteIdx of the (module, scenario,
+// mitigation) cell, minimum-exposure search included. Sites are fully
+// independent — each plays on a fresh module with its own deterministic
+// per-site seed — so the per-site measurements compose through
+// FoldSites into exactly the Result Characterize returns, whatever
+// order they executed in.
+func CharacterizeSite(module chipgen.ModuleSpec, spec Spec, kind MitigationKind, cfg Config, siteIdx int) (SiteResult, error) {
+	return measureSite(module, spec, kind, cfg, siteIdx, true)
+}
+
+// EvaluateSite is CharacterizeSite without the minimum-exposure search.
+func EvaluateSite(module chipgen.ModuleSpec, spec Spec, kind MitigationKind, cfg Config, siteIdx int) (SiteResult, error) {
+	return measureSite(module, spec, kind, cfg, siteIdx, false)
+}
+
+// measureSite is one iteration of measure's site loop, addressable by
+// site index.
+func measureSite(module chipgen.ModuleSpec, spec Spec, kind MitigationKind, cfg Config, siteIdx int, search bool) (SiteResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return SiteResult{}, err
+	}
+	if err := spec.Validate(dram.DDR4()); err != nil {
+		return SiteResult{}, err
+	}
+	sites := cfg.sites(spec.Sides)
+	if siteIdx < 0 || siteIdx >= len(sites) {
+		return SiteResult{}, fmt.Errorf("scenario: site %d outside the %d tested sites", siteIdx, len(sites))
+	}
+	site := sites[siteIdx]
+	seed := cfg.siteSeed(spec, siteIdx)
+	mit, err := cfg.NewMitigation(kind, seed)
+	if err != nil {
+		return SiteResult{}, err
+	}
+	pl, err := cfg.newPlayer(module, spec, site, mit)
+	if err != nil {
+		return SiteResult{}, err
+	}
+	if err := pl.playTo(cfg.MaxActs); err != nil {
+		return SiteResult{}, err
+	}
+	full := pl.outcome()
+	if full.BitFlips, err = pl.flips(); err != nil {
+		return SiteResult{}, err
+	}
+	sr := SiteResult{
+		AggActs:             full.AggActs,
+		BitFlips:            full.BitFlips,
+		PreventiveRefreshes: full.PreventiveRefreshes,
+		TimeCapped:          full.TimeCapped,
+	}
+	if full.BitFlips == 0 || !search {
+		return sr, nil
+	}
+	if sr.MinActs, sr.MinTime, err = cfg.searchMinActs(module, spec, site, kind, seed, full); err != nil {
+		return SiteResult{}, err
+	}
+	return sr, nil
+}
+
+// FoldSites folds per-site results — indexed by site, covering every
+// site of SiteCount in order — into the cell Result, reproducing the
+// aggregation of Characterize (search true) or Evaluate (search false)
+// bit for bit: sums, the max per-site budget, the OR of time caps, and
+// the first-site-wins strict minimum of the exposure search.
+func FoldSites(module chipgen.ModuleSpec, spec Spec, kind MitigationKind, parts []SiteResult, search bool) Result {
+	res := Result{Module: module.ID, Scenario: spec.Name, Mitigation: kind}
+	totalAggActs := 0
+	for _, sr := range parts {
+		res.Sites++
+		res.BitFlips += sr.BitFlips
+		res.PreventiveRefreshes += sr.PreventiveRefreshes
+		res.TimeCapped = res.TimeCapped || sr.TimeCapped
+		totalAggActs += sr.AggActs
+		if sr.AggActs > res.BudgetActs {
+			res.BudgetActs = sr.AggActs
+		}
+		if sr.BitFlips == 0 {
+			continue
+		}
+		res.SitesWithFlips++
+		if !search {
+			res.FlipFound = true
+			continue
+		}
+		if !res.FlipFound || sr.MinActs < res.MinActs {
+			res.MinActs, res.MinTime, res.FlipFound = sr.MinActs, sr.MinTime, true
+		}
+	}
+	if totalAggActs > 0 {
+		res.RefreshOverhead = 1000 * float64(res.PreventiveRefreshes) / float64(totalAggActs)
+	}
+	return res
+}
+
 // searchMinActs finds the smallest aggressor-activation count at which
 // the play produces a bitflip, knowing the full-budget play (full) does.
 // Doubling bounds the bracket from below, bisection narrows it to the

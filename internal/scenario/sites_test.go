@@ -1,0 +1,75 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+// These tests pin the per-site decomposition (the sub-shard work of the
+// split scenario experiments) bit-identical to the serial measure loop:
+// CharacterizeSite/EvaluateSite over every site, folded in site order,
+// must reproduce Characterize/Evaluate exactly.
+
+func TestCharacterizeSitesFoldMatchesMeasure(t *testing.T) {
+	mod := testModule(t)
+	cfg := testConfig()
+	for _, name := range []string{"ds-hammer", "combined-b4-7.8us", "ss-press-70us", "ds-hammer-decoy"} {
+		sc, ok := ByName(name)
+		if !ok {
+			t.Fatalf("scenario %s missing", name)
+		}
+		want, err := Characterize(mod, sc, MitNone, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := SiteCount(sc, cfg)
+		if n < 2 {
+			t.Fatalf("%s: want ≥2 sites for a meaningful split, got %d", name, n)
+		}
+		parts := make([]SiteResult, n)
+		// Sites run out of order on the pool; measure them reversed here to
+		// pin order-independence of the per-site work itself.
+		for j := n - 1; j >= 0; j-- {
+			if parts[j], err = CharacterizeSite(mod, sc, MitNone, cfg, j); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := FoldSites(mod, sc, MitNone, parts, true); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: folded per-site results diverge from Characterize:\n got %+v\nwant %+v", name, got, want)
+		}
+	}
+}
+
+func TestEvaluateSitesFoldMatchesMeasure(t *testing.T) {
+	mod := testModule(t)
+	cfg := testConfig()
+	sc, _ := ByName("ds-hammer")
+	for _, kind := range AllMitigations() {
+		want, err := Evaluate(mod, sc, kind, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := SiteCount(sc, cfg)
+		parts := make([]SiteResult, n)
+		for j := 0; j < n; j++ {
+			if parts[j], err = EvaluateSite(mod, sc, kind, cfg, j); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := FoldSites(mod, sc, kind, parts, false); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s/%s: folded per-site results diverge from Evaluate:\n got %+v\nwant %+v", sc.Name, kind, got, want)
+		}
+	}
+}
+
+func TestMeasureSiteRange(t *testing.T) {
+	mod := testModule(t)
+	cfg := testConfig()
+	sc, _ := ByName("ds-hammer")
+	if _, err := CharacterizeSite(mod, sc, MitNone, cfg, SiteCount(sc, cfg)); err == nil {
+		t.Fatal("out-of-range site index accepted")
+	}
+	if _, err := CharacterizeSite(mod, sc, MitNone, cfg, -1); err == nil {
+		t.Fatal("negative site index accepted")
+	}
+}

@@ -237,6 +237,8 @@ func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("rowpress_runs_total", "Experiment runs executed by the engine.", float64(m.Runs))
 	counter("rowpress_shards_planned_total", "Shards planned across all runs.", float64(m.ShardsPlanned))
 	counter("rowpress_shards_executed_total", "Shards actually executed (cache misses).", float64(m.ShardsExecuted))
+	counter("rowpress_sub_shards_planned_total", "Sub-shards declared by split shards across all runs.", float64(m.SubShardsPlanned))
+	counter("rowpress_sub_shards_executed_total", "Sub-shards actually run (cached subs and warm units excluded).", float64(m.SubShardsExecuted))
 	counter("rowpress_cache_hits_total", "Run-level shard cache hits (any tier).", float64(m.CacheHits))
 	counter("rowpress_cache_misses_total", "Run-level shard cache misses.", float64(m.CacheMisses))
 	counter("rowpress_engine_errors_total", "Runs that ended in an error.", float64(m.Errors))

@@ -115,12 +115,14 @@ func TestPromMetricsExposition(t *testing.T) {
 	for _, want := range []string{
 		"# TYPE rowpress_runs_total counter",
 		"rowpress_runs_total 1",
-		"rowpress_shards_executed_total 2", // fig7 with 2 modules plans 2 shards
-		`rowpress_cache_lookups_total{tier="miss"} 2`,
+		"rowpress_shards_executed_total 2",    // fig7 with 2 modules plans 2 shards
+		"rowpress_sub_shards_planned_total 6", // each module shard splits into 3 row-site chunks
+		"rowpress_sub_shards_executed_total 6",
+		`rowpress_cache_lookups_total{tier="miss"} 8`, // 2 unit lookups + 6 sub lookups
 		`rowpress_cache_lookups_total{tier="mem_hit"} 0`,
-		"rowpress_queue_waits_total 2",
+		"rowpress_queue_waits_total 6", // only sub-shards occupy worker slots
 		"rowpress_queue_wait_seconds_total",
-		`rowpress_cache_entries{tier="mem"} 2`,
+		`rowpress_cache_entries{tier="mem"} 8`,        // 2 unit payloads + 6 sub payloads
 		`rowpress_http_in_flight{route="/metrics"} 1`, // this very request
 		`rowpress_http_responses_total{route="/v1/run",class="2xx"} 1`,
 		`rowpress_http_request_duration_seconds_bucket{route="/v1/run",le="+Inf"} 1`,
@@ -136,13 +138,18 @@ func TestPromMetricsExposition(t *testing.T) {
 // per-endpoint histogram summaries alongside the historical counters.
 func TestMetricsExtended(t *testing.T) {
 	_, ts := newTestServer(t)
-	getJSON(t, ts.URL+runQuery, nil) // cold: 2 miss lookups
-	getJSON(t, ts.URL+runQuery, nil) // warm: 2 mem lookups
+	getJSON(t, ts.URL+runQuery, nil) // cold: 2 unit + 6 sub miss lookups
+	getJSON(t, ts.URL+runQuery, nil) // warm: 2 mem lookups at the unit level
 
 	var m MetricsResponse
 	getJSON(t, ts.URL+"/v1/metrics", &m)
-	if m.QueueWaits != 2 || m.MissLookups != 2 || m.MemLookups != 2 {
+	if m.QueueWaits != 6 || m.MissLookups != 8 || m.MemLookups != 2 {
 		t.Fatalf("lookup aggregates: %+v", m)
+	}
+	// Both runs declare 6 sub-shards; only the cold run executes them
+	// (the warm rerun resolves at the unit level).
+	if m.SubsPlanned != 12 || m.SubsExecuted != 6 {
+		t.Fatalf("sub-shard aggregates: %+v", m)
 	}
 	if m.QueueWaitAvgMS < 0 || m.QueueWaitTotalMS < 0 {
 		t.Fatalf("queue wait negative: %+v", m)
@@ -163,10 +170,11 @@ func TestMetricsExtended(t *testing.T) {
 	}
 }
 
-// NDJSON shard events carry the tier/worker/queue fields: a cold run
-// executes on real workers (tier empty), a warm rerun is all memory
-// hits with no worker, and in both cases every shard index appears
-// exactly once before the done event.
+// NDJSON shard events carry the tier/worker/queue/subs fields: a cold
+// run executes on real workers (tier empty; split units report their
+// sub-shard counts instead of a worker id), a warm rerun is all memory
+// hits with no worker and no re-run subs, and in both cases every
+// shard index appears exactly once before the done event.
 func TestNDJSONShardEventObservability(t *testing.T) {
 	_, ts := newTestServer(t)
 	stream := func() []shardEvent {
@@ -215,8 +223,18 @@ func TestNDJSONShardEventObservability(t *testing.T) {
 			t.Fatalf("shard %d streamed twice", ev.Index)
 		}
 		seen[ev.Index] = true
-		if ev.Cached || ev.Tier != "" || ev.Worker < 0 || ev.QueueMS < 0 {
+		if ev.Cached || ev.Tier != "" || ev.QueueMS < 0 {
 			t.Fatalf("cold event inconsistent: %+v", ev)
+		}
+		// fig7's module shards are split units: the parent holds no
+		// worker slot (its sub-shards do), so Worker is -1 and the subs
+		// accounting must close. A leaf shard would report Worker >= 0.
+		if ev.Subs > 0 {
+			if ev.Worker != -1 || ev.SubsRun != ev.Subs {
+				t.Fatalf("cold split event inconsistent: %+v", ev)
+			}
+		} else if ev.Worker < 0 {
+			t.Fatalf("cold leaf event inconsistent: %+v", ev)
 		}
 	}
 	if len(cold) != 2 {
@@ -225,6 +243,9 @@ func TestNDJSONShardEventObservability(t *testing.T) {
 	for _, ev := range stream() {
 		if !ev.Cached || ev.Tier != engine.TierMem || ev.Worker != -1 {
 			t.Fatalf("warm event inconsistent: %+v", ev)
+		}
+		if ev.SubsRun != 0 {
+			t.Fatalf("warm event re-ran sub-shards: %+v", ev)
 		}
 	}
 }

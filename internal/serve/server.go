@@ -87,7 +87,8 @@ type RunStats struct {
 	Shards      int     `json:"shards"`
 	CacheHits   int     `json:"cache_hits"`
 	Executed    int     `json:"executed"`
-	QueueWaitMS float64 `json:"queue_wait_ms"` // summed dispatch→execution wait
+	SubExecuted int     `json:"sub_executed,omitempty"` // sub-shards run for split shards
+	QueueWaitMS float64 `json:"queue_wait_ms"`          // summed dispatch→execution wait
 	WallMS      float64 `json:"wall_ms"`
 	FromCache   bool    `json:"from_cache"` // true when no shard re-executed
 }
@@ -120,6 +121,8 @@ type MetricsResponse struct {
 	Runs           uint64  `json:"runs"`
 	ShardsPlanned  uint64  `json:"shards_planned"`
 	ShardsExecuted uint64  `json:"shards_executed"`
+	SubsPlanned    uint64  `json:"sub_shards_planned"`
+	SubsExecuted   uint64  `json:"sub_shards_executed"`
 	CacheHits      uint64  `json:"cache_hits"`
 	CacheMisses    uint64  `json:"cache_misses"`
 	CacheEntries   int     `json:"cache_entries"`
@@ -271,6 +274,7 @@ func resultFromLedger(r ledger.Record) ResultRecord {
 			Shards:      r.Shards,
 			CacheHits:   hits,
 			Executed:    r.Tiers.Miss,
+			SubExecuted: r.SubShards,
 			QueueWaitMS: r.QueueWait.TotalMS,
 			WallMS:      r.WallMS,
 			FromCache:   r.Shards > 0 && r.Tiers.Miss == 0 && r.Error == "",
@@ -401,8 +405,11 @@ func parseFormat(r *http.Request, allowed ...string) (string, error) {
 }
 
 // shardEvent is one NDJSON stream line emitted while a /v1/run executes.
-// Worker is -1 for cache hits (no worker slot was occupied); Tier names
-// where the shard was resolved: "mem", "disk", "join", or "" (executed).
+// Worker is -1 for cache hits and for split shards (their sub-shards
+// occupy worker slots; the parent never does); Tier names where the
+// shard was resolved: "mem", "disk", "join", or "" (executed). Subs is
+// the shard's declared sub-shard count (0 for a leaf shard) and
+// SubsRun how many of those this run actually executed.
 type shardEvent struct {
 	Event   string  `json:"event"` // "shard"
 	Index   int     `json:"index"`
@@ -410,6 +417,8 @@ type shardEvent struct {
 	Cached  bool    `json:"cached"`
 	Tier    string  `json:"tier,omitempty"`
 	Worker  int     `json:"worker"`
+	Subs    int     `json:"subs,omitempty"`
+	SubsRun int     `json:"subs_run,omitempty"`
 	QueueMS float64 `json:"queue_ms"`
 	WallMS  float64 `json:"wall_ms"`
 	Error   string  `json:"error,omitempty"`
@@ -468,7 +477,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			defer wmu.Unlock()
 			e := shardEvent{
 				Event: "shard", Index: ev.Index, Key: ev.Key, Cached: ev.Cached,
-				Tier: ev.Tier, Worker: ev.Worker,
+				Tier: ev.Tier, Worker: ev.Worker, Subs: ev.Subs, SubsRun: ev.SubsRun,
 				QueueMS: float64(ev.Queue) / float64(time.Millisecond),
 				WallMS:  float64(ev.Wall) / float64(time.Millisecond),
 			}
@@ -499,6 +508,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		Shards:      es.Shards,
 		CacheHits:   es.CacheHits,
 		Executed:    es.Executed,
+		SubExecuted: es.SubExecuted,
 		QueueWaitMS: float64(es.QueueWait) / float64(time.Millisecond),
 		WallMS:      float64(es.Wall) / float64(time.Millisecond),
 		FromCache:   es.Executed == 0 && err == nil,
@@ -519,6 +529,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			CompletedAt: rec.CompletedAt,
 			WallMS:      stats.WallMS,
 			Shards:      es.Shards,
+			Workers:     s.eng.Workers(),
+			SubShards:   es.SubExecuted,
 			Tiers:       tiers(),
 		}
 		lr.FillWindow(s.eng.Metrics().Sub(before))
@@ -609,6 +621,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			Shards:      a.ShardRefs,
 			CacheHits:   a.ShardRefs - a.Executed,
 			Executed:    a.Executed,
+			SubExecuted: a.SubExecuted,
 			QueueWaitMS: a.QueueWaitMS,
 			WallMS:      a.WallMS,
 			FromCache:   a.Executed == 0 && a.Failed == 0,
@@ -633,6 +646,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			CompletedAt: rec.CompletedAt,
 			WallMS:      a.WallMS,
 			Shards:      a.ShardRefs,
+			Workers:     s.eng.Workers(),
+			SubShards:   a.SubExecuted,
 			Tiers:       ledger.SweepTiers(w, a.Executed, a.ShardRefs),
 		}
 		lr.FillWindow(w)
@@ -818,6 +833,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Runs:           m.Runs,
 		ShardsPlanned:  m.ShardsPlanned,
 		ShardsExecuted: m.ShardsExecuted,
+		SubsPlanned:    m.SubShardsPlanned,
+		SubsExecuted:   m.SubShardsExecuted,
 		CacheHits:      m.CacheHits,
 		CacheMisses:    m.CacheMisses,
 		CacheEntries:   m.Mem.Entries,

@@ -152,7 +152,10 @@ func TestResultsAndMetrics(t *testing.T) {
 
 	var m MetricsResponse
 	getJSON(t, ts.URL+"/v1/metrics", &m)
-	if m.Runs != 2 || m.ShardsExecuted != 2 || m.CacheHits != 2 || m.CacheEntries != 2 {
+	// 2 unit shards executed once; the warm rerun hits at the unit
+	// level. The memory tier holds the 2 unit payloads plus the 6
+	// sub-shard payloads (3 row-site chunks per module).
+	if m.Runs != 2 || m.ShardsExecuted != 2 || m.CacheHits != 2 || m.CacheEntries != 8 {
 		t.Fatalf("metrics: %+v", m)
 	}
 	if m.CacheHitRate <= 0 || m.CacheHitRate >= 1 {
@@ -553,7 +556,8 @@ func TestConcurrentSweepAndRunConsistency(t *testing.T) {
 		t.Fatalf("planned=%d hits=%d, want planned=%d hits=%d",
 			m.ShardsPlanned, m.CacheHits, wantPlanned, wantPlanned-3)
 	}
-	if st := s.Engine().Cache().Stats(); st.Entries != 3 {
+	// 3 unit payloads plus 3 sub-shard payloads per unit.
+	if st := s.Engine().Cache().Stats(); st.Entries != 12 {
 		t.Fatalf("cache entries=%d", st.Entries)
 	}
 }

@@ -46,8 +46,8 @@ func (r *Result) Text() string {
 	fmt.Fprintf(&b, "## sweep aggregate: %s\n", r.Experiment)
 	fmt.Fprintf(&b, "points=%d failed=%d shard_refs=%d unique_shards=%d deduplicated=%d\n",
 		a.Points, a.Failed, a.ShardRefs, a.UniqueShards, a.Deduplicated)
-	fmt.Fprintf(&b, "cache_hits=%d executed=%d report_bytes=%d wall_ms=%.1f\n",
-		a.CacheHits, a.Executed, a.ReportBytes, a.WallMS)
+	fmt.Fprintf(&b, "cache_hits=%d executed=%d sub_executed=%d report_bytes=%d wall_ms=%.1f\n",
+		a.CacheHits, a.Executed, a.SubExecuted, a.ReportBytes, a.WallMS)
 	fmt.Fprintf(&b, "point_wall_ms min=%.1f mean=%.1f max=%.1f\n",
 		a.PointWallMS.Min, a.PointWallMS.Mean, a.PointWallMS.Max)
 	return b.String()

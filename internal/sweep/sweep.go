@@ -51,6 +51,7 @@ type PointStats struct {
 	Shards      int     `json:"shards"`
 	CacheHits   int     `json:"cache_hits"`
 	Executed    int     `json:"executed"`
+	SubExecuted int     `json:"sub_executed,omitempty"` // sub-shards run for this point's split shards
 	QueueWaitMS float64 `json:"queue_wait_ms"`
 	WallMS      float64 `json:"wall_ms"`
 }
@@ -77,6 +78,7 @@ type Aggregate struct {
 	Deduplicated int     `json:"deduplicated"`
 	CacheHits    int     `json:"cache_hits"`
 	Executed     int     `json:"executed"`
+	SubExecuted  int     `json:"sub_executed,omitempty"`
 	QueueWaitMS  float64 `json:"queue_wait_ms"`
 	WallMS       float64 `json:"wall_ms"`
 	ReportBytes  int     `json:"report_bytes"`
@@ -189,6 +191,7 @@ func Run(eng *engine.Engine, spec Spec) (*Result, error) {
 			Shards:      runStats[i].Shards,
 			CacheHits:   runStats[i].CacheHits,
 			Executed:    runStats[i].Executed,
+			SubExecuted: runStats[i].SubExecuted,
 			QueueWaitMS: ms(runStats[i].QueueWait),
 			WallMS:      ms(runStats[i].Wall),
 		}}
@@ -208,6 +211,7 @@ func Run(eng *engine.Engine, spec Spec) (*Result, error) {
 	res.Aggregate.Deduplicated = bs.Deduplicated
 	res.Aggregate.CacheHits = bs.CacheHits
 	res.Aggregate.Executed = bs.Executed
+	res.Aggregate.SubExecuted = bs.SubExecuted
 	res.Aggregate.QueueWaitMS = ms(bs.QueueWait)
 	res.Aggregate.WallMS = ms(bs.Wall)
 	res.Aggregate.PointWallMS = Wall{Min: sum.Min, Mean: sum.Mean, Max: sum.Max}
