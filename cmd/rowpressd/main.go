@@ -24,16 +24,31 @@
 // aggregates survive restarts, /v1/results warm-starts from the ledger
 // tail, and /v1/history + /v1/compare serve cross-run analytics over it.
 //
+// With -peers, the daemon becomes a fabric coordinator: shard keys are
+// consistent-hashed across the peer set (internal/fabric) and
+// non-locally-owned shards are dispatched to the owning peer over
+// /v1/shard, with that peer's mem/disk tiers acting as a shared remote
+// cache. Peers are plain rowpressd daemons — they need no flags of
+// their own, and a symmetric fleet lists every other member in each
+// daemon's -peers. Failure semantics: bounded retries with backoff
+// (-fabric-retries, -fabric-backoff), hedged requests against the next
+// ring member when the owner is slower than its own observed latency
+// quantile (-hedge-quantile, -hedge-min), a per-peer circuit breaker,
+// and graceful local-execute fallback — a degraded fleet is slower,
+// never wrong.
+//
 // Usage:
 //
 //	rowpressd [-addr :8271] [-workers N] [-cache ENTRIES] [-warm 0.05]
 //	          [-cache-dir DIR] [-cache-disk-bytes N] [-drain-timeout 10s]
 //	          [-ledger-dir DIR] [-ledger-bytes N]
+//	          [-peers URL,URL] [-fabric-retries N] [-fabric-backoff 25ms]
+//	          [-hedge-quantile 0.95] [-hedge-min 20ms]
 //	          [-log-level info] [-pprof]
 //
 // Endpoints: /healthz, /v1/healthz, /metrics, /v1/experiments,
-// /v1/scenarios, /v1/run/{exp}, /v1/sweep, /v1/results, /v1/metrics,
-// /v1/history, /v1/compare.
+// /v1/scenarios, /v1/run/{exp}, /v1/sweep, /v1/shard, /v1/results,
+// /v1/metrics, /v1/history, /v1/compare.
 // Examples:
 //
 //	curl 'localhost:8271/v1/run/fig6?scale=0.1&modules=S0,S3&format=text'
@@ -53,11 +68,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/fabric"
 	"repro/internal/ledger"
 	"repro/internal/serve"
 )
@@ -72,6 +89,11 @@ func main() {
 	ledgerDir := flag.String("ledger-dir", "", "persistent run-ledger directory (run history, /v1/history, /v1/compare)")
 	ledgerBytes := flag.Int64("ledger-bytes", 0, "run-ledger size bound in bytes (0 = default)")
 	warm := flag.Float64("warm", 0, "if > 0, pre-warm the cache by running every experiment at this scale before serving")
+	peers := flag.String("peers", "", "comma-separated peer URLs; enables fabric coordinator mode (consistent-hash shard dispatch)")
+	fabricRetries := flag.Int("fabric-retries", 1, "extra attempts per peer dispatch before falling back")
+	fabricBackoff := flag.Duration("fabric-backoff", 25*time.Millisecond, "base retry backoff (doubles per attempt)")
+	hedgeQuantile := flag.Float64("hedge-quantile", 0.95, "peer-latency quantile that arms a hedged request to the next ring member")
+	hedgeMin := flag.Duration("hedge-min", 20*time.Millisecond, "floor for the hedge delay")
 	logLevel := flag.String("log-level", "info", "structured request-log floor: debug|info|warn|error|off")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
@@ -107,6 +129,29 @@ func main() {
 	}
 
 	sopts := []serve.Option{serve.WithLogger(logger)}
+	if *peers != "" {
+		var urls []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				urls = append(urls, p)
+			}
+		}
+		fc, err := fabric.New(fabric.Config{
+			Peers:         urls,
+			Retries:       *fabricRetries,
+			RetryBackoff:  *fabricBackoff,
+			HedgeQuantile: *hedgeQuantile,
+			HedgeMin:      *hedgeMin,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rowpressd: -peers: %v\n", err)
+			os.Exit(1)
+		}
+		eng.AttachRemote(fc)
+		sopts = append(sopts, serve.WithFabric(fc))
+		log.Printf("fabric coordinator: %d peers, retries %d, hedge q%.2f (floor %s)",
+			len(fc.Peers()), *fabricRetries, *hedgeQuantile, *hedgeMin)
+	}
 	var led *ledger.Ledger
 	if *ledgerDir != "" {
 		led, err = ledger.Open(*ledgerDir, *ledgerBytes)

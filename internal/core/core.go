@@ -237,6 +237,10 @@ func PlanFor(id string, o Options) (engine.Plan, error) {
 	}
 	p.Experiment = id
 	p.Fingerprint = o.fingerprint()
+	// The normalized options are the plan's remote metadata: they are
+	// everything a fabric peer needs to rebuild this exact plan (and
+	// re-derive the same shard addresses) from its own registry.
+	p.Remote = o
 	// Stamp the document's identity and run parameters after the merge:
 	// merges only build sections, so every experiment's metadata is
 	// uniform and the text rendering (sections only) stays byte-stable.

@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -73,6 +74,23 @@ type diskPayload struct {
 // RegisterPayloadType registers a shard payload's concrete type with
 // the disk-cache codec. Call once per type at init time.
 func RegisterPayloadType(v any) { gob.Register(v) }
+
+// EncodePayload writes v in the payload wire format shared by the disk
+// tier and the shard fabric: the gob envelope that lets one decoder
+// recover any registered concrete type. Peers on the same build are
+// byte-compatible by construction.
+func EncodePayload(w io.Writer, v any) error {
+	return gob.NewEncoder(w).Encode(&diskPayload{V: v})
+}
+
+// DecodePayload reads one payload written by EncodePayload.
+func DecodePayload(r io.Reader) (any, error) {
+	var p diskPayload
+	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+		return nil, err
+	}
+	return p.V, nil
+}
 
 // OpenDiskCache opens (creating if needed) the store rooted at dir,
 // bounded to maxBytes of payload data (<= 0 selects

@@ -60,11 +60,13 @@ type SubShard struct {
 // Cache tiers as they appear in ShardEvent.Tier and the serving
 // layer's metrics. TierJoin marks a shard adopted from a concurrent
 // in-flight execution — cached from this call's point of view, though
-// no cache tier answered it.
+// no cache tier answered it. TierRemote marks a shard answered by a
+// fabric peer's tiers or pool over the wire (see RemoteTier).
 const (
-	TierMem  = "mem"
-	TierDisk = "disk"
-	TierJoin = "join"
+	TierMem    = "mem"
+	TierDisk   = "disk"
+	TierJoin   = "join"
+	TierRemote = "remote"
 )
 
 // ShardEvent describes one resolved shard of an Execute call: either a
@@ -77,7 +79,8 @@ type ShardEvent struct {
 	Index   int           // shard index within the plan
 	Key     string        // the shard's plan-level key
 	Cached  bool          // served from a cache tier or a joined in-flight run
-	Tier    string        // "mem", "disk", or "join" when Cached; "" when executed
+	Tier    string        // "mem", "disk", "join", or "remote" when Cached; "" when executed
+	Peer    string        // answering peer's URL when Tier is "remote"
 	Worker  int           // worker slot that executed the shard; -1 when cached or split
 	Queue   time.Duration // time between dispatch and execution start (summed over subs)
 	Wall    time.Duration // execution time when this call ran the shard (summed over subs)
@@ -98,6 +101,13 @@ type Plan struct {
 	Shards      []Shard
 	Merge       func(parts []any) (*report.Doc, error)
 	OnShard     func(ShardEvent)
+
+	// Remote is opaque plan metadata handed to an attached RemoteTier so
+	// a fabric peer can rebuild the same plan from first principles (the
+	// core package stamps the normalized run options here). A nil Remote
+	// keeps every shard local — ResolveLocal relies on this to guarantee
+	// a peer serving a dispatched shard can never re-dispatch it.
+	Remote any
 }
 
 // RunStats describes one Execute call. Shard counts are unit-level: a
@@ -175,10 +185,15 @@ type Metrics struct {
 
 	// Queue dynamics and tier-attributed lookup latency, maintained
 	// regardless of whether a span recorder is attached.
-	QueueWait  LatencyStats // dispatch→execution wait per executed shard
-	MemLookup  LatencyStats // lookups answered by the in-memory tier
-	DiskLookup LatencyStats // lookups answered by the persistent tier
-	MissLookup LatencyStats // lookups answered by neither tier
+	QueueWait    LatencyStats // dispatch→execution wait per executed shard
+	MemLookup    LatencyStats // lookups answered by the in-memory tier
+	DiskLookup   LatencyStats // lookups answered by the persistent tier
+	MissLookup   LatencyStats // lookups answered by neither tier
+	RemoteLookup LatencyStats // shards answered by a fabric peer (count = remote hits)
+
+	// RemoteErrors counts dispatches that exhausted the remote tier
+	// (every attempted peer failed) and fell back to local execution.
+	RemoteErrors uint64
 }
 
 // Sub returns the counter window accumulated between prev and m: the
@@ -210,7 +225,32 @@ func (m Metrics) Sub(prev Metrics) Metrics {
 	out.MemLookup = m.MemLookup.Sub(prev.MemLookup)
 	out.DiskLookup = m.DiskLookup.Sub(prev.DiskLookup)
 	out.MissLookup = m.MissLookup.Sub(prev.MissLookup)
+	out.RemoteLookup = m.RemoteLookup.Sub(prev.RemoteLookup)
+	out.RemoteErrors -= min(prev.RemoteErrors, m.RemoteErrors)
 	return out
+}
+
+// RemoteRequest carries everything a remote tier needs to address one
+// shard on a peer: the experiment id and the plan's Remote metadata
+// (enough to rebuild the plan), plus the plan-level shard key and —
+// when dispatching one unit of a declared split — the sub-shard key.
+type RemoteRequest struct {
+	Experiment string
+	Meta       any    // Plan.Remote, opaque to the engine
+	Shard      string // plan-level shard key
+	Sub        string // sub-shard key; "" for a leaf or unit dispatch
+}
+
+// RemoteTier answers shard addresses from a peer fleet. Resolve is
+// consulted in runOrJoin after the in-flight and cache re-checks and
+// before a worker slot is taken, so remote resolutions never occupy
+// the local pool. ok=false with a nil error means "execute locally"
+// (the key hashes to this process, or the owning peer's circuit is
+// open); a non-nil error means every attempted peer failed — the
+// engine counts it and executes locally, so a degraded fleet is
+// slower, never wrong. peer names the answering peer on success.
+type RemoteTier interface {
+	Resolve(key string, req RemoteRequest) (v any, peer string, ok bool, err error)
 }
 
 // Engine is a worker-pool scheduler with a shared result cache. Safe for
@@ -221,14 +261,17 @@ type Engine struct {
 	workers int
 	cache   *Cache
 	disk    *DiskCache // optional persistent tier under the LRU
+	remote  RemoteTier // optional fabric tier between disk and execute
 	sem     chan int   // engine-wide worker slots; the value is the slot id
 	rec     *obs.Recorder
 
 	// Always-on latency aggregates (see Metrics).
-	queueWait latCounter
-	memLat    latCounter
-	diskLat   latCounter
-	missLat   latCounter
+	queueWait  latCounter
+	memLat     latCounter
+	diskLat    latCounter
+	missLat    latCounter
+	remoteLat  latCounter
+	remoteErrs atomic.Uint64
 
 	ifmu     sync.Mutex
 	inflight map[string]*inflightShard
@@ -289,6 +332,16 @@ func (e *Engine) AttachDiskCache(dc *DiskCache) { e.disk = dc }
 // Disk returns the attached persistent tier, or nil.
 func (e *Engine) Disk() *DiskCache { return e.disk }
 
+// AttachRemote slots a fabric remote tier beneath the local cache
+// tiers and above local execution: a shard that misses mem and disk is
+// offered to the remote tier before it takes a worker slot. Only plans
+// carrying Remote metadata are dispatched. Attach before serving; the
+// engine does not synchronize the swap against in-flight Executes.
+func (e *Engine) AttachRemote(r RemoteTier) { e.remote = r }
+
+// Remote returns the attached remote tier, or nil.
+func (e *Engine) Remote() RemoteTier { return e.remote }
+
 // SetRecorder attaches a span recorder: every subsequent shard
 // lifecycle (queue wait, cache lookup, execute, merge, barrier) is
 // recorded into it. nil detaches — the engine then pays only a
@@ -313,6 +366,8 @@ func (e *Engine) Metrics() Metrics {
 	m.MemLookup = e.memLat.stats()
 	m.DiskLookup = e.diskLat.stats()
 	m.MissLookup = e.missLat.stats()
+	m.RemoteLookup = e.remoteLat.stats()
+	m.RemoteErrors = e.remoteErrs.Load()
 	return m
 }
 
@@ -390,12 +445,15 @@ func (e *Engine) Execute(p Plan) (*report.Doc, RunStats, error) {
 			enq := time.Now()
 			go func(i int) {
 				defer wg.Done()
-				v, ran, wid, qd, d, subsRun, err := e.resolveShard(keys[i], p.Shards[i], p.Experiment, i, enq)
+				v, ran, wid, qd, d, subsRun, peer, err := e.resolveShard(keys[i], p.Shards[i], p.Experiment, p.Remote, i, enq)
 				if p.OnShard != nil {
 					ev := ShardEvent{Index: i, Key: p.Shards[i].Key, Cached: !ran, Worker: wid,
 						Queue: qd, Wall: d, Subs: len(p.Shards[i].Subs), SubsRun: subsRun, Err: err}
 					if !ran {
 						ev.Tier = TierJoin
+						if peer != "" {
+							ev.Tier, ev.Peer = TierRemote, peer
+						}
 					}
 					p.OnShard(ev)
 				}
@@ -560,7 +618,7 @@ func (e *Engine) ExecuteBatch(plans []Plan) (outs []*report.Doc, stats []RunStat
 			go func(k string) {
 				defer wg.Done()
 				sl := slots[k]
-				v, ran, _, qd, d, subsRun, err := e.resolveShard(k, sl.shard, plans[sl.owner].Experiment, -1, enq)
+				v, ran, _, qd, d, subsRun, _, err := e.resolveShard(k, sl.shard, plans[sl.owner].Experiment, plans[sl.owner].Remote, -1, enq)
 				tmu.Lock()
 				sl.val, sl.err, sl.queue, sl.dur, sl.subs = v, err, qd, d, subsRun
 				if ran {
@@ -649,14 +707,15 @@ func lookupKind(tier string) obs.Kind {
 // resolveShard serves one missing plan shard: a leaf shard goes through
 // runOrJoin directly; a shard with a declared split fans its sub-shards
 // out on the pool and gathers. subsRun counts the sub-shards this call
-// executed (always 0 for a leaf).
-func (e *Engine) resolveShard(key string, s Shard, exp string, idx int, enq time.Time) (v any, ran bool, wid int, queue, d time.Duration, subsRun int, err error) {
+// executed (always 0 for a leaf). meta is the plan's Remote metadata;
+// peer names the fabric peer that answered a remotely resolved leaf.
+func (e *Engine) resolveShard(key string, s Shard, exp string, meta any, idx int, enq time.Time) (v any, ran bool, wid int, queue, d time.Duration, subsRun int, peer string, err error) {
 	if len(s.Subs) == 0 {
-		v, ran, wid, queue, d, err = e.runOrJoin(key, s, exp, idx, enq)
-		return v, ran, wid, queue, d, 0, err
+		v, ran, wid, queue, d, peer, err = e.runOrJoin(key, s, exp, meta, s.Key, "", idx, enq)
+		return v, ran, wid, queue, d, 0, peer, err
 	}
-	v, ran, queue, d, subsRun, err = e.runSplit(key, s, exp, idx, enq)
-	return v, ran, -1, queue, d, subsRun, err
+	v, ran, queue, d, subsRun, err = e.runSplit(key, s, exp, meta, idx, enq)
+	return v, ran, -1, queue, d, subsRun, "", err
 }
 
 // SubKey derives a sub-shard's cache address from its parent shard's
@@ -674,8 +733,9 @@ func SubKey(shardKey, subKey string) string {
 // no worker slot while its sub-shards queue, so a split never deadlocks
 // the pool, even at one worker; only sub-shard executions occupy slots.
 // queue and d are summed over the sub-shards this call ran (d includes
-// the gather).
-func (e *Engine) runSplit(key string, s Shard, exp string, idx int, enq time.Time) (v any, ran bool, queue, d time.Duration, subsRun int, err error) {
+// the gather). Sub-shards dispatch to the remote tier individually —
+// each carries its own sub key — while the gather always runs locally.
+func (e *Engine) runSplit(key string, s Shard, exp string, meta any, idx int, enq time.Time) (v any, ran bool, queue, d time.Duration, subsRun int, err error) {
 	e.ifmu.Lock()
 	if c, ok := e.inflight[key]; ok {
 		e.ifmu.Unlock()
@@ -710,7 +770,7 @@ func (e *Engine) runSplit(key string, s Shard, exp string, idx int, enq time.Tim
 		wg.Add(1)
 		go func(si int, sub SubShard, skey, label string) {
 			defer wg.Done()
-			sv, sran, _, sq, sd, serr := e.runOrJoin(skey, Shard{Key: label, Run: sub.Run}, exp, idx, enq)
+			sv, sran, _, sq, sd, _, serr := e.runOrJoin(skey, Shard{Key: label, Run: sub.Run}, exp, meta, s.Key, sub.Key, idx, enq)
 			smu.Lock()
 			parts[si], serrs[si] = sv, serr
 			queue += sq
@@ -764,12 +824,20 @@ func gatherShard(s Shard, parts []any) (v any, err error) {
 // reports whether this caller did the work; wid is the worker slot that
 // carried it (-1 when joined), queue the enq→execution wait, d the
 // execution time. exp and idx label the recorded spans.
-func (e *Engine) runOrJoin(key string, s Shard, exp string, idx int, enq time.Time) (v any, ran bool, wid int, queue, d time.Duration, err error) {
+//
+// When a remote tier is attached and the plan carries Remote metadata,
+// the shard is offered to the fabric after the in-flight registration
+// and before a worker slot is taken: a remote answer (ran=false, peer
+// set) fills the in-flight slot and both local cache tiers exactly as
+// a local execution would, so concurrent requesters join it and warm
+// runs stay local. Remote resolutions never hold a pool slot — a
+// coordinator at one worker still fans a whole plan out to its peers.
+func (e *Engine) runOrJoin(key string, s Shard, exp string, meta any, shardKey, subKey string, idx int, enq time.Time) (v any, ran bool, wid int, queue, d time.Duration, peer string, err error) {
 	e.ifmu.Lock()
 	if c, ok := e.inflight[key]; ok {
 		e.ifmu.Unlock()
 		<-c.done
-		return c.val, false, -1, 0, 0, c.err
+		return c.val, false, -1, 0, 0, "", c.err
 	}
 	// Re-check the cache under ifmu: a shard that completed after our
 	// caller's cache miss Put its result *before* deregistering from
@@ -778,11 +846,35 @@ func (e *Engine) runOrJoin(key string, s Shard, exp string, idx int, enq time.Ti
 	// counters honest (the caller already recorded this lookup as a miss).
 	if v, ok := e.cache.peek(key); ok {
 		e.ifmu.Unlock()
-		return v, false, -1, 0, 0, nil
+		return v, false, -1, 0, 0, "", nil
 	}
 	c := &inflightShard{done: make(chan struct{})}
 	e.inflight[key] = c
 	e.ifmu.Unlock()
+
+	if e.remote != nil && meta != nil {
+		t0 := time.Now()
+		rv, rpeer, ok, rerr := e.remote.Resolve(key, RemoteRequest{Experiment: exp, Meta: meta, Shard: shardKey, Sub: subKey})
+		if ok && rerr == nil {
+			rlat := time.Since(t0)
+			e.remoteLat.add(rlat)
+			e.tierPut(key, rv)
+			if e.rec != nil {
+				e.rec.Record(obs.RemoteDispatch, -1, idx, exp, s.Key, t0, rlat, payloadBytes(rv))
+			}
+			c.val = rv
+			e.ifmu.Lock()
+			delete(e.inflight, key)
+			e.ifmu.Unlock()
+			close(c.done)
+			return rv, false, -1, 0, 0, rpeer, nil
+		}
+		if rerr != nil {
+			// Every attempted peer failed: count it and execute locally —
+			// a degraded fleet is slower, never wrong.
+			e.remoteErrs.Add(1)
+		}
+	}
 
 	wid = <-e.sem
 	queue = time.Since(enq)
@@ -809,7 +901,57 @@ func (e *Engine) runOrJoin(key string, s Shard, exp string, idx int, enq time.Ti
 	delete(e.inflight, key)
 	e.ifmu.Unlock()
 	close(c.done)
-	return c.val, true, wid, queue, d, c.err
+	return c.val, true, wid, queue, d, "", c.err
+}
+
+// ResolveLocal serves one shard address on behalf of a fabric
+// coordinator: local cache tiers first, then execution on this
+// engine's pool, with full single-flight dedup against concurrent
+// local runs and other dispatches of the same key. The plan metadata
+// is never consulted — a peer answers purely from its own tiers and
+// workers and never re-dispatches, so fabric topologies cannot form
+// forwarding loops. tier names the answering tier ("" when this call
+// executed the shard); executions and hits land in the engine's
+// cumulative metrics so a warm fleet is checkable per daemon.
+func (e *Engine) ResolveLocal(key string, s Shard, exp string) (v any, tier string, err error) {
+	enq := time.Now()
+	v, tier, lat, ok := e.tierGet(key)
+	if e.rec != nil {
+		e.rec.Record(lookupKind(tier), -1, -1, exp, s.Key, time.Now().Add(-lat), lat, 0)
+	}
+	if ok {
+		e.mu.Lock()
+		e.metrics.CacheHits++
+		e.mu.Unlock()
+		return v, tier, nil
+	}
+
+	var ran bool
+	var d time.Duration
+	var subsRun int
+	if len(s.Subs) > 0 {
+		v, ran, _, d, subsRun, err = e.runSplit(key, s, exp, nil, -1, enq)
+	} else {
+		v, ran, _, _, d, _, err = e.runOrJoin(key, s, exp, nil, s.Key, "", -1, enq)
+	}
+	if !ran {
+		tier = TierJoin
+	}
+
+	e.mu.Lock()
+	if ran {
+		e.metrics.ShardsExecuted++
+		e.metrics.CacheMisses++
+		e.metrics.SubShardsExecuted += uint64(subsRun)
+		e.metrics.TotalShardTime += d
+	} else {
+		e.metrics.CacheHits++
+	}
+	if err != nil {
+		e.metrics.Errors++
+	}
+	e.mu.Unlock()
+	return v, tier, err
 }
 
 // countWriter counts bytes written through it.

@@ -228,10 +228,10 @@ func TestRunOrJoinRechecksCacheBeforeExecuting(t *testing.T) {
 	e := New(2, 0)
 	key := Key("exp", "fp", "late")
 	e.cache.Put(key, "already-done")
-	v, ran, _, _, _, err := e.runOrJoin(key, Shard{Key: "late", Run: func() (any, error) {
+	v, ran, _, _, _, _, err := e.runOrJoin(key, Shard{Key: "late", Run: func() (any, error) {
 		t.Fatal("shard must not re-execute")
 		return nil, nil
-	}}, "exp", 0, time.Now())
+	}}, "exp", nil, "late", "", 0, time.Now())
 	if err != nil || ran || v != "already-done" {
 		t.Fatalf("v=%v ran=%v err=%v", v, ran, err)
 	}
@@ -454,4 +454,121 @@ func TestExecuteBatchEmpty(t *testing.T) {
 	if len(outs) != 0 || len(stats) != 0 || len(errs) != 0 || bs.Plans != 0 {
 		t.Fatalf("empty batch: outs=%v bs=%+v", outs, bs)
 	}
+}
+
+// fakeRemote answers a fixed set of keys as a remote tier would.
+type fakeRemote struct {
+	answers map[string]any
+	calls   atomic.Int64
+}
+
+func (f *fakeRemote) Resolve(key string, req RemoteRequest) (any, string, bool, error) {
+	f.calls.Add(1)
+	if v, ok := f.answers[key]; ok {
+		return v, "http://peer-1", true, nil
+	}
+	return nil, "", false, nil
+}
+
+// TestRemoteTierAccounting pins the remote tier's contract: a shard
+// answered remotely counts as a cache hit (never an execution), its
+// event carries Tier "remote" and the answering peer, the answer lands
+// in the local mem tier so a re-run stays local, and the RemoteLookup
+// aggregate counts exactly the remote hits.
+func TestRemoteTierAccounting(t *testing.T) {
+	keyA := Key("exp", "fp", "a")
+	fr := &fakeRemote{answers: map[string]any{keyA: "from-peer"}}
+	e := New(2, 0)
+	e.AttachRemote(fr)
+
+	var mu sync.Mutex
+	events := map[string]ShardEvent{}
+	plan := func() Plan {
+		return Plan{Experiment: "exp", Fingerprint: "fp",
+			Remote: "meta", // non-nil: shards are eligible for remote dispatch
+			Shards: []Shard{
+				{Key: "a", Run: func() (any, error) { t.Error("shard a must resolve remotely"); return nil, nil }},
+				{Key: "b", Run: func() (any, error) { return "local", nil }},
+			},
+			OnShard: func(ev ShardEvent) {
+				mu.Lock()
+				events[ev.Key] = ev
+				mu.Unlock()
+			},
+			Merge: func(parts []any) (*report.Doc, error) {
+				return docOf(parts[0].(string) + "+" + parts[1].(string)), nil
+			}}
+	}
+	out, stats, err := e.Execute(plan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := docLine(out); got != "from-peer+local" {
+		t.Fatalf("merged %q", got)
+	}
+	if stats.Executed != 1 || stats.CacheHits != 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	mu.Lock()
+	evA, evB := events["a"], events["b"]
+	mu.Unlock()
+	if !evA.Cached || evA.Tier != TierRemote || evA.Peer != "http://peer-1" {
+		t.Fatalf("remote shard event: %+v", evA)
+	}
+	if evB.Cached || evB.Peer != "" {
+		t.Fatalf("local shard event: %+v", evB)
+	}
+	m := e.Metrics()
+	if m.RemoteLookup.Count != 1 || m.ShardsExecuted != 1 {
+		t.Fatalf("metrics: remote=%d executed=%d", m.RemoteLookup.Count, m.ShardsExecuted)
+	}
+
+	// Re-run: the remote answer was installed in the mem tier, so the
+	// fleet is not consulted again.
+	calls := fr.calls.Load()
+	if _, stats, err = e.Execute(plan()); err != nil || stats.CacheHits != 2 {
+		t.Fatalf("warm rerun: stats=%+v err=%v", stats, err)
+	}
+	if fr.calls.Load() != calls {
+		t.Fatal("warm rerun consulted the remote tier")
+	}
+
+	// A nil Plan.Remote keeps every shard local — the peer-side loop
+	// guard (ResolveLocal passes nil meta) relies on this.
+	e2 := New(2, 0)
+	fr2 := &fakeRemote{answers: map[string]any{keyA: "from-peer"}}
+	e2.AttachRemote(fr2)
+	p := plan()
+	p.Remote = nil
+	p.Shards[0] = Shard{Key: "a", Run: func() (any, error) { return "local-a", nil }}
+	if out, _, err := e2.Execute(p); err != nil || docLine(out) != "local-a+local" {
+		t.Fatalf("nil-meta run: %v %v", out, err)
+	}
+	if fr2.calls.Load() != 0 {
+		t.Fatal("nil Plan.Remote still consulted the remote tier")
+	}
+}
+
+// TestRemoteTierErrorFallsBackLocally pins the degraded path: a remote
+// tier that fails never fails the run — the shard executes locally and
+// the error is counted.
+func TestRemoteTierErrorFallsBackLocally(t *testing.T) {
+	e := New(1, 0)
+	e.AttachRemote(failingRemote{})
+	p := Plan{Experiment: "exp", Fingerprint: "fp", Remote: "meta",
+		Shards: []Shard{{Key: "a", Run: func() (any, error) { return "ok", nil }}},
+		Merge:  func(parts []any) (*report.Doc, error) { return docOf(parts[0].(string)), nil }}
+	out, stats, err := e.Execute(p)
+	if err != nil || docLine(out) != "ok" || stats.Executed != 1 {
+		t.Fatalf("out=%v stats=%+v err=%v", out, stats, err)
+	}
+	if m := e.Metrics(); m.RemoteErrors != 1 {
+		t.Fatalf("RemoteErrors = %d, want 1", m.RemoteErrors)
+	}
+}
+
+type failingRemote struct{}
+
+func (failingRemote) Resolve(string, RemoteRequest) (any, string, bool, error) {
+	return nil, "", false, errors.New("every peer failed")
 }

@@ -1,0 +1,69 @@
+package fabric
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+	return keys
+}
+
+// Equal configurations must build identical rings: ownership is a pure
+// function of (key, member set), which is what lets every fleet member
+// compute the same placement without coordination.
+func TestRingDeterministic(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r1 := newRing(peers, 64)
+	r2 := newRing(peers, 64)
+	for _, k := range ringKeys(1000) {
+		if r1.owner(k) != r2.owner(k) {
+			t.Fatalf("rings from equal configs disagree on %q: %d vs %d", k, r1.owner(k), r2.owner(k))
+		}
+	}
+}
+
+// With enough virtual nodes every member (the local process included)
+// owns a meaningful share of a uniform keyspace.
+func TestRingCoversAllMembers(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1"}
+	r := newRing(peers, 64)
+	counts := map[int]int{}
+	for _, k := range ringKeys(3000) {
+		counts[r.owner(k)]++
+	}
+	for _, m := range []int{localMember, 0, 1} {
+		if counts[m] < 300 { // a third of fair share (1000) is a generous floor
+			t.Fatalf("member %d owns %d of 3000 keys; ring is badly unbalanced: %v", m, counts[m], counts)
+		}
+	}
+}
+
+// Removing one peer must remap only the keys that peer owned —
+// every key owned by a surviving member keeps its owner. This is the
+// property that keeps the shared remote cache warm across topology
+// changes.
+func TestRingConsistencyOnMemberRemoval(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1", "http://c:1"}
+	full := newRing(peers, 64)
+	reduced := newRing(peers[:2], 64) // c removed
+	moved := 0
+	for _, k := range ringKeys(3000) {
+		before := full.owner(k)
+		after := reduced.owner(k)
+		if before == 2 {
+			moved++
+			continue // c's keys must land somewhere else
+		}
+		if before != after {
+			t.Fatalf("key %q moved from surviving member %d to %d when c left", k, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed member owned no keys; the removal case was not exercised")
+	}
+}

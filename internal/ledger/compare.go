@@ -32,7 +32,7 @@ func shortHash(h string) string {
 	return h
 }
 
-func (r Record) hits() int { return r.Tiers.Mem + r.Tiers.Disk + r.Tiers.Join }
+func (r Record) hits() int { return r.Tiers.Mem + r.Tiers.Disk + r.Tiers.Remote + r.Tiers.Join }
 
 func (r Record) hitRate() float64 {
 	if r.Shards == 0 {
@@ -60,6 +60,7 @@ func HistoryDoc(records []Record, st Stats) *report.Doc {
 			strconv.Itoa(r.SubShards),
 			strconv.Itoa(r.Tiers.Mem),
 			strconv.Itoa(r.Tiers.Disk),
+			strconv.Itoa(r.Tiers.Remote),
 			strconv.Itoa(r.Tiers.Miss),
 			report.Pct(r.hitRate()),
 			shortHash(r.DocHash),
@@ -69,7 +70,7 @@ func HistoryDoc(records []Record, st Stats) *report.Doc {
 	note := fmt.Sprintf("%d of %d ledger records shown  (%d bytes on disk, %d skipped, %d pruned)",
 		len(records), st.Records, st.Bytes, st.Skipped, st.Pruned)
 	doc := report.NewDoc(report.TableSection("run history",
-		[]string{"id", "kind", "experiment", "completed_at", "wall_ms", "shards", "workers", "subs", "mem", "disk", "miss", "hit_rate", "doc_hash", "error"},
+		[]string{"id", "kind", "experiment", "completed_at", "wall_ms", "shards", "workers", "subs", "mem", "disk", "remote", "miss", "hit_rate", "doc_hash", "error"},
 		rows, note))
 	doc.Title = "Run ledger history"
 	return doc
@@ -121,13 +122,13 @@ func Compare(a, b Record, opt CompareOptions) *Delta {
 			strconv.Itoa(r.Shards),
 			strconv.Itoa(r.Workers),
 			strconv.Itoa(r.SubShards),
-			fmt.Sprintf("%d/%d/%d/%d", r.Tiers.Mem, r.Tiers.Disk, r.Tiers.Join, r.Tiers.Miss),
+			fmt.Sprintf("%d/%d/%d/%d/%d", r.Tiers.Mem, r.Tiers.Disk, r.Tiers.Remote, r.Tiers.Join, r.Tiers.Miss),
 			shortHash(r.OptionsHash),
 			shortHash(r.DocHash),
 		})
 	}
 	runs := report.TableSection("runs",
-		[]string{"id", "kind", "experiment", "completed_at", "wall_ms", "shards", "workers", "subs", "mem/disk/join/miss", "options_hash", "doc_hash"},
+		[]string{"id", "kind", "experiment", "completed_at", "wall_ms", "shards", "workers", "subs", "mem/disk/remote/join/miss", "options_hash", "doc_hash"},
 		runRows)
 
 	rows := [][]string{
@@ -136,6 +137,9 @@ func Compare(a, b Record, opt CompareOptions) *Delta {
 		deltaRow("mem_lookup_ms", a.MemLookup.TotalMS, b.MemLookup.TotalMS),
 		deltaRow("disk_lookup_ms", a.DiskLookup.TotalMS, b.DiskLookup.TotalMS),
 		deltaRow("miss_lookup_ms", a.MissLookup.TotalMS, b.MissLookup.TotalMS),
+		deltaRow("remote_lookup_ms", a.RemoteLookup.TotalMS, b.RemoteLookup.TotalMS),
+		deltaRow("remote_hits", float64(a.Tiers.Remote), float64(b.Tiers.Remote)),
+		deltaRow("peers", float64(a.Peers), float64(b.Peers)),
 		deltaRow("shards_executed", float64(a.Tiers.Miss), float64(b.Tiers.Miss)),
 		deltaRow("sub_shards_executed", float64(a.SubShards), float64(b.SubShards)),
 		deltaRow("workers", float64(a.Workers), float64(b.Workers)),
@@ -157,6 +161,8 @@ func Compare(a, b Record, opt CompareOptions) *Delta {
 			deltaRow("throughput_rps", a.Load.ThroughputRPS, b.Load.ThroughputRPS),
 			deltaRow("server_p50_ms", a.Load.ServerP50MS, b.Load.ServerP50MS),
 			deltaRow("server_p99_ms", a.Load.ServerP99MS, b.Load.ServerP99MS),
+			deltaRow("remote_executed", float64(a.Load.RemoteExecuted), float64(b.Load.RemoteExecuted)),
+			deltaRow("local_executed", float64(a.Load.LocalExecuted), float64(b.Load.LocalExecuted)),
 		)
 	}
 	deltas := report.TableSection("deltas (b vs a)",
@@ -166,8 +172,9 @@ func Compare(a, b Record, opt CompareOptions) *Delta {
 	if a.Kind != b.Kind {
 		findings = append(findings, fmt.Sprintf("kind mismatch: comparing a %s against a %s", a.Kind, b.Kind))
 	}
-	findings = append(findings, fmt.Sprintf("tier shift: mem %d→%d  disk %d→%d  join %d→%d  miss %d→%d",
+	findings = append(findings, fmt.Sprintf("tier shift: mem %d→%d  disk %d→%d  remote %d→%d  join %d→%d  miss %d→%d",
 		a.Tiers.Mem, b.Tiers.Mem, a.Tiers.Disk, b.Tiers.Disk,
+		a.Tiers.Remote, b.Tiers.Remote,
 		a.Tiers.Join, b.Tiers.Join, a.Tiers.Miss, b.Tiers.Miss))
 
 	switch {

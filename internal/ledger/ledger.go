@@ -53,18 +53,19 @@ const (
 )
 
 // TierCounts splits a run's shard resolutions by answering tier: the
-// in-memory LRU, the persistent disk tier, a joined concurrent
-// execution, or a miss (the shard actually executed). Mem+Disk+Join+
-// Miss equals the plan's shard count.
+// in-memory LRU, the persistent disk tier, a fabric peer, a joined
+// concurrent execution, or a miss (the shard actually executed).
+// Mem+Disk+Remote+Join+Miss equals the plan's shard count.
 type TierCounts struct {
-	Mem  int `json:"mem"`
-	Disk int `json:"disk"`
-	Join int `json:"join,omitempty"`
-	Miss int `json:"miss"`
+	Mem    int `json:"mem"`
+	Disk   int `json:"disk"`
+	Remote int `json:"remote,omitempty"`
+	Join   int `json:"join,omitempty"`
+	Miss   int `json:"miss"`
 }
 
 // Total returns the shard count the split accounts for.
-func (t TierCounts) Total() int { return t.Mem + t.Disk + t.Join + t.Miss }
+func (t TierCounts) Total() int { return t.Mem + t.Disk + t.Remote + t.Join + t.Miss }
 
 // Latency is a (count, total) latency aggregate in milliseconds — the
 // wire form of engine.LatencyStats.
@@ -121,6 +122,15 @@ type LoadStats struct {
 	ServerP99MS  float64 `json:"server_p99_ms"`
 	SkewP50MS    float64 `json:"skew_p50_ms"`
 	SkewP99MS    float64 `json:"skew_p99_ms"`
+
+	// Fabric topology for the same window, from the target's server-view
+	// metrics delta: how many peers the daemon dispatched to, and how
+	// the test's shard work split between peer answers and local
+	// execution. All zero against a daemon without fabric metrics, so
+	// `rowpress compare` shows the 1-node vs N-node trajectory.
+	Peers          int    `json:"peers,omitempty"`
+	RemoteExecuted uint64 `json:"remote_executed,omitempty"`
+	LocalExecuted  uint64 `json:"local_executed,omitempty"`
 }
 
 // Record is one versioned ledger entry: the durable identity of a
@@ -142,13 +152,18 @@ type Record struct {
 	// every split unit was answered from cache or the plan had no
 	// splits). Both are omitted from records written before the
 	// sub-shard planning layer existed.
-	Workers    int        `json:"workers,omitempty"`
-	SubShards  int        `json:"sub_shards,omitempty"`
-	Tiers      TierCounts `json:"tiers"`
-	QueueWait  Latency    `json:"queue_wait"`
-	MemLookup  Latency    `json:"mem_lookup"`
-	DiskLookup Latency    `json:"disk_lookup"`
-	MissLookup Latency    `json:"miss_lookup"`
+	Workers   int `json:"workers,omitempty"`
+	SubShards int `json:"sub_shards,omitempty"`
+	// Peers is the configured fabric peer count on the serving daemon
+	// (0 for a single-process run); RemoteLookup is the dispatch
+	// latency window for shards answered by those peers.
+	Peers        int        `json:"peers,omitempty"`
+	Tiers        TierCounts `json:"tiers"`
+	QueueWait    Latency    `json:"queue_wait"`
+	MemLookup    Latency    `json:"mem_lookup"`
+	DiskLookup   Latency    `json:"disk_lookup"`
+	MissLookup   Latency    `json:"miss_lookup"`
+	RemoteLookup Latency    `json:"remote_lookup,omitzero"`
 
 	Profile *Profile   `json:"profile,omitempty"`
 	Load    *LoadStats `json:"load,omitempty"`

@@ -101,25 +101,39 @@ func (e endpointBuckets) snapshot() (obs.HistogramSnapshot, bool) {
 	return s, true
 }
 
-// fetchRunBuckets snapshots the /v1/run route histogram from the
-// target's /v1/metrics. ok is false when the endpoint is unreachable
-// or does not expose buckets.
-func fetchRunBuckets(c *LoadTestConfig) (obs.HistogramSnapshot, bool) {
+// metricsView is the slice of /v1/metrics the harness reads: the
+// /v1/run route histogram plus the engine/fabric counters that locate
+// the test's shard work (local execution vs fabric peers). Decoded
+// leniently — a daemon without these fields yields zeros.
+type metricsView struct {
+	ShardsExecuted uint64 `json:"shards_executed"`
+	RemoteHits     uint64 `json:"remote_hits"`
+	Fabric         *struct {
+		Peers int `json:"peers"`
+	} `json:"fabric"`
+	Endpoints map[string]endpointBuckets `json:"endpoints"`
+}
+
+func (m metricsView) runBuckets() (obs.HistogramSnapshot, bool) {
+	return m.Endpoints["/v1/run"].snapshot()
+}
+
+// fetchMetrics snapshots the target's /v1/metrics. ok is false when
+// the endpoint is unreachable or does not answer JSON.
+func fetchMetrics(c *LoadTestConfig) (metricsView, bool) {
 	resp, err := c.Client.Get(c.BaseURL + "/v1/metrics")
 	if err != nil {
-		return obs.HistogramSnapshot{}, false
+		return metricsView{}, false
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return obs.HistogramSnapshot{}, false
+		return metricsView{}, false
 	}
-	var m struct {
-		Endpoints map[string]endpointBuckets `json:"endpoints"`
-	}
+	var m metricsView
 	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
-		return obs.HistogramSnapshot{}, false
+		return metricsView{}, false
 	}
-	return m.Endpoints["/v1/run"].snapshot()
+	return m, true
 }
 
 // LoadTest runs the configured test and returns the ledger record
@@ -130,7 +144,11 @@ func LoadTest(cfg LoadTestConfig) (Record, *report.Doc, error) {
 	if err := cfg.normalize(); err != nil {
 		return Record{}, nil, err
 	}
-	before, beforeOK := fetchRunBuckets(&cfg)
+	beforeM, beforeOK := fetchMetrics(&cfg)
+	var before obs.HistogramSnapshot
+	if beforeOK {
+		before, beforeOK = beforeM.runBuckets()
+	}
 
 	hist := obs.NewLatencyHistogram()
 	var errs atomic.Int64
@@ -195,14 +213,21 @@ func LoadTest(cfg LoadTestConfig) (Record, *report.Doc, error) {
 		ClientMaxMS:   ms(snap.Max),
 	}
 	var window obs.HistogramSnapshot
-	if after, afterOK := fetchRunBuckets(&cfg); beforeOK && afterOK {
-		window = after.Sub(before)
-		if window.Count > 0 {
-			ls.ServerWindow = true
-			ls.ServerP50MS = ms(window.Quantile(0.50))
-			ls.ServerP99MS = ms(window.Quantile(0.99))
-			ls.SkewP50MS = ls.ClientP50MS - ls.ServerP50MS
-			ls.SkewP99MS = ls.ClientP99MS - ls.ServerP99MS
+	if afterM, afterOK := fetchMetrics(&cfg); afterOK {
+		if afterM.Fabric != nil {
+			ls.Peers = afterM.Fabric.Peers
+		}
+		ls.RemoteExecuted = afterM.RemoteHits - min(beforeM.RemoteHits, afterM.RemoteHits)
+		ls.LocalExecuted = afterM.ShardsExecuted - min(beforeM.ShardsExecuted, afterM.ShardsExecuted)
+		if after, ok := afterM.runBuckets(); beforeOK && ok {
+			window = after.Sub(before)
+			if window.Count > 0 {
+				ls.ServerWindow = true
+				ls.ServerP50MS = ms(window.Quantile(0.50))
+				ls.ServerP99MS = ms(window.Quantile(0.99))
+				ls.SkewP50MS = ls.ClientP50MS - ls.ServerP50MS
+				ls.SkewP99MS = ls.ClientP99MS - ls.ServerP99MS
+			}
 		}
 	}
 
@@ -214,6 +239,7 @@ func LoadTest(cfg LoadTestConfig) (Record, *report.Doc, error) {
 			"clients": cfg.Clients, "requests": cfg.Requests,
 		}),
 		WallMS: ms(wall),
+		Peers:  ls.Peers,
 		Load:   ls,
 	}
 	return rec, loadTestDoc(ls, window), nil
@@ -243,6 +269,11 @@ func loadTestDoc(ls *LoadStats, window obs.HistogramSnapshot) *report.Doc {
 		}
 	} else {
 		findings = append(findings, "server window unavailable: /v1/metrics exposed no /v1/run histogram buckets; skew not computed")
+	}
+	if ls.Peers > 0 {
+		findings = append(findings, fmt.Sprintf(
+			"fabric topology: %d peers  remote %d / local %d shards executed in the window",
+			ls.Peers, ls.RemoteExecuted, ls.LocalExecuted))
 	}
 	if ls.Errors > 0 {
 		findings = append(findings, fmt.Sprintf("%d/%d requests failed", ls.Errors, ls.Requests))

@@ -29,6 +29,8 @@ func ObserveShards() (func(engine.ShardEvent), func() TierCounts) {
 			tc.Mem++
 		case ev.Tier == engine.TierDisk:
 			tc.Disk++
+		case ev.Tier == engine.TierRemote:
+			tc.Remote++
 		default:
 			tc.Join++
 		}
@@ -64,8 +66,8 @@ func ObservePlan(p *engine.Plan) func() TierCounts {
 // lookups — an aggregate view, consistent with FillWindow's latency
 // fields.
 func SweepTiers(w engine.Metrics, executed, shardRefs int) TierCounts {
-	tc := TierCounts{Mem: int(w.MemLookup.Count), Disk: int(w.DiskLookup.Count), Miss: executed}
-	if j := shardRefs - tc.Mem - tc.Disk - tc.Miss; j > 0 {
+	tc := TierCounts{Mem: int(w.MemLookup.Count), Disk: int(w.DiskLookup.Count), Remote: int(w.RemoteLookup.Count), Miss: executed}
+	if j := shardRefs - tc.Mem - tc.Disk - tc.Remote - tc.Miss; j > 0 {
 		tc.Join = j
 	}
 	return tc
@@ -88,6 +90,7 @@ func (r *Record) FillWindow(w engine.Metrics) {
 	r.MemLookup = toLatency(w.MemLookup)
 	r.DiskLookup = toLatency(w.DiskLookup)
 	r.MissLookup = toLatency(w.MissLookup)
+	r.RemoteLookup = toLatency(w.RemoteLookup)
 }
 
 // ProfileFrom summarizes a traced run's obs.Analysis for the ledger.

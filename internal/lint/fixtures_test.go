@@ -41,12 +41,25 @@ func TestWallClockLedgerExemptFixture(t *testing.T) {
 	checkFixture(t, lint.FixtureDir("wallclock", "ledger"), lint.WallClock)
 }
 
+// The fabric path element is exempt too: hedge timers, retry backoff,
+// and circuit-breaker cooldowns measure real time by design.
+func TestWallClockFabricExemptFixture(t *testing.T) {
+	checkFixture(t, lint.FixtureDir("wallclock", "fabric"), lint.WallClock)
+}
+
 func TestRNGSourceFixture(t *testing.T) {
 	checkFixture(t, lint.FixtureDir("rngsource", "a"), lint.RNGSource)
 }
 
 func TestGobRegFixture(t *testing.T) {
 	checkFixture(t, lint.FixtureDir("gobreg", "bad"), lint.GobReg)
+}
+
+// The remote path: a peer gob-encodes shard payloads onto the wire, so
+// unregistered peer-side producers are findings, while the
+// coordinator-side rewrap returning DecodePayload's `any` stays silent.
+func TestGobRegRemoteFixture(t *testing.T) {
+	checkFixture(t, lint.FixtureDir("gobreg", "remote"), lint.GobReg)
 }
 
 // Without any RegisterPayloadType call in the loaded set the check has

@@ -1,0 +1,59 @@
+// Fixture for the gobreg analyzer's remote path: in a fabric topology
+// the peer gob-encodes the shard payload onto the wire and the
+// coordinator decodes it back into its own tiers, so an unregistered
+// payload type now breaks remote serving too, not just disk
+// warm-starts. The producer-site analysis must still land the finding
+// on the peer-side Run literal, and the coordinator-side rewrap — whose
+// Run literal returns the decoder's `any` — must not produce a
+// spurious second finding (interfaces are unauditable and skipped).
+package remote
+
+import "bytes"
+
+type Shard struct {
+	Key string
+	Run func() (any, error)
+}
+
+func RegisterPayloadType(v any) {}
+
+// Wire stand-ins for engine.EncodePayload / engine.DecodePayload.
+func EncodePayload(w *bytes.Buffer, v any) error { return nil }
+
+func DecodePayload(r *bytes.Buffer) (any, error) { return nil, nil }
+
+type WireRegistered struct{ N int }
+
+type WireOrphan struct{ S string }
+
+func init() {
+	RegisterPayloadType(WireRegistered{})
+}
+
+// Near miss: the peer-side producer's payload type is registered, so
+// its trip through EncodePayload is safe.
+func servedShard() Shard {
+	return Shard{Key: "ok", Run: func() (any, error) {
+		return WireRegistered{N: 1}, nil
+	}}
+}
+
+// Positive: a peer-side producer of an unregistered type — the gob
+// encode onto the wire would fail at dispatch time.
+func orphanServedShard() Shard {
+	return Shard{
+		Key: "bad",
+		Run: func() (any, error) { // want "shard payload type .*WireOrphan is not registered"
+			return WireOrphan{S: "x"}, nil
+		},
+	}
+}
+
+// Near miss: the coordinator-side rewrap resolves the shard over the
+// wire; its Run literal returns DecodePayload's `any`, which cannot be
+// audited statically and must not be flagged.
+func remoteShard(body *bytes.Buffer) Shard {
+	return Shard{Key: "remote", Run: func() (any, error) {
+		return DecodePayload(body)
+	}}
+}

@@ -29,6 +29,7 @@ var wallClockExempt = map[string]bool{
 	"cmd":      true, // CLI progress reporting
 	"examples": true, // demo output
 	"ledger":   true, // run ledger: completion timestamps and wall/latency measurement are the recorded data
+	"fabric":   true, // peer dispatch: hedge timers, retry backoff, and circuit-breaker cooldowns are real time
 }
 
 // wallClockFuncs are the time package's ambient-time entry points.

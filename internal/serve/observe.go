@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fabric"
 	"repro/internal/obs"
 )
 
@@ -125,18 +126,28 @@ func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 // HealthResponse is the JSON body of /v1/healthz. Live is process
 // liveness (always true when the handler answers); Ready gates
 // traffic: the worker pool accepts work and, when a persistent cache
-// is configured, its index is loaded.
+// is configured, its index is loaded. Degraded is set on a fabric
+// coordinator when a configured peer is unreachable or its circuit is
+// open — the daemon stays Ready because local-execute fallback keeps
+// every answer correct, but operators see the fleet is impaired and
+// the per-peer checks name the failing peers.
 type HealthResponse struct {
-	Live    bool              `json:"live"`
-	Ready   bool              `json:"ready"`
-	Checks  map[string]string `json:"checks"`
-	UptimeS float64           `json:"uptime_s"`
+	Live     bool              `json:"live"`
+	Ready    bool              `json:"ready"`
+	Degraded bool              `json:"degraded,omitempty"`
+	Checks   map[string]string `json:"checks"`
+	UptimeS  float64           `json:"uptime_s"`
 }
 
-// readiness evaluates the readiness checks.
-func (s *Server) readiness() (bool, map[string]string) {
-	checks := map[string]string{}
-	ready := true
+// peerProbeTimeout bounds the per-peer /healthz probe a coordinator's
+// readiness check performs.
+const peerProbeTimeout = time.Second
+
+// readiness evaluates the readiness checks. degraded reports a
+// coordinator with at least one unreachable or circuit-open peer.
+func (s *Server) readiness() (ready, degraded bool, checks map[string]string) {
+	checks = map[string]string{}
+	ready = true
 	if s.draining.Load() {
 		checks["pool"] = "draining"
 		ready = false
@@ -153,7 +164,29 @@ func (s *Server) readiness() (bool, map[string]string) {
 	} else {
 		checks["disk_cache"] = "disabled"
 	}
-	return ready, checks
+	if s.fabric != nil {
+		sts := s.fabric.Status(peerProbeTimeout)
+		up := 0
+		for _, st := range sts {
+			state := "ok"
+			switch {
+			case !st.Reachable:
+				state = "unreachable"
+				if st.Error != "" {
+					state += ": " + st.Error
+				}
+				degraded = true
+			case st.CircuitOpen:
+				state = "circuit open"
+				degraded = true
+			default:
+				up++
+			}
+			checks["peer "+st.URL] = state
+		}
+		checks["fabric"] = fmt.Sprintf("%d/%d peers up", up, len(sts))
+	}
+	return ready, degraded, checks
 }
 
 // handleHealthzV1 answers liveness/readiness in plain text (default,
@@ -165,14 +198,14 @@ func (s *Server) handleHealthzV1(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	ready, checks := s.readiness()
+	ready, degraded, checks := s.readiness()
 	status := http.StatusOK
 	if !ready {
 		status = http.StatusServiceUnavailable
 	}
 	if format == "json" {
 		writeJSON(w, status, HealthResponse{
-			Live: true, Ready: ready, Checks: checks,
+			Live: true, Ready: ready, Degraded: degraded, Checks: checks,
 			UptimeS: s.now().Sub(s.start).Seconds(),
 		})
 		return
@@ -180,6 +213,9 @@ func (s *Server) handleHealthzV1(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.WriteHeader(status)
 	fmt.Fprintf(w, "live: ok\nready: %v\n", ready)
+	if degraded {
+		fmt.Fprintf(w, "degraded: true\n")
+	}
 	names := make([]string, 0, len(checks))
 	for n := range checks {
 		names = append(names, n)
@@ -257,11 +293,47 @@ func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "# HELP rowpress_cache_lookups_total Shard cache lookups by answering tier.\n# TYPE rowpress_cache_lookups_total counter\n")
 	fmt.Fprintf(&b, "rowpress_cache_lookups_total{tier=\"mem_hit\"} %d\n", m.MemLookup.Count)
 	fmt.Fprintf(&b, "rowpress_cache_lookups_total{tier=\"disk_hit\"} %d\n", m.DiskLookup.Count)
+	fmt.Fprintf(&b, "rowpress_cache_lookups_total{tier=\"remote_hit\"} %d\n", m.RemoteLookup.Count)
 	fmt.Fprintf(&b, "rowpress_cache_lookups_total{tier=\"miss\"} %d\n", m.MissLookup.Count)
 	fmt.Fprintf(&b, "# HELP rowpress_cache_lookup_seconds_total Summed lookup latency by answering tier.\n# TYPE rowpress_cache_lookup_seconds_total counter\n")
 	fmt.Fprintf(&b, "rowpress_cache_lookup_seconds_total{tier=\"mem_hit\"} %g\n", m.MemLookup.Total.Seconds())
 	fmt.Fprintf(&b, "rowpress_cache_lookup_seconds_total{tier=\"disk_hit\"} %g\n", m.DiskLookup.Total.Seconds())
+	fmt.Fprintf(&b, "rowpress_cache_lookup_seconds_total{tier=\"remote_hit\"} %g\n", m.RemoteLookup.Total.Seconds())
 	fmt.Fprintf(&b, "rowpress_cache_lookup_seconds_total{tier=\"miss\"} %g\n", m.MissLookup.Total.Seconds())
+	counter("rowpress_remote_errors_total", "Shard dispatches that exhausted every fabric peer and fell back to local execution.", float64(m.RemoteErrors))
+
+	if s.fabric != nil {
+		fm := s.fabric.Metrics()
+		gauge("rowpress_fabric_peers", "Configured fabric peers.", float64(fm.Peers))
+		peerCounter := func(name, help string, val func(fabric.PeerMetrics) uint64) {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+			for _, pm := range fm.PerPeer {
+				fmt.Fprintf(&b, "%s{peer=\"%s\"} %d\n", name, promEscape(pm.URL), val(pm))
+			}
+		}
+		peerCounter("rowpress_fabric_dispatches_total", "Shard dispatch attempts per peer (retries included).",
+			func(pm fabric.PeerMetrics) uint64 { return pm.Dispatches })
+		peerCounter("rowpress_fabric_hits_total", "Successful shard answers per peer.",
+			func(pm fabric.PeerMetrics) uint64 { return pm.Hits })
+		peerCounter("rowpress_fabric_warm_hits_total", "Answers served from the peer's own cache tiers.",
+			func(pm fabric.PeerMetrics) uint64 { return pm.WarmHits })
+		peerCounter("rowpress_fabric_errors_total", "Failed dispatch attempts per peer.",
+			func(pm fabric.PeerMetrics) uint64 { return pm.Errors })
+		peerCounter("rowpress_fabric_retries_total", "Retry attempts per peer.",
+			func(pm fabric.PeerMetrics) uint64 { return pm.Retries })
+		peerCounter("rowpress_fabric_hedges_total", "Hedged dispatches fired because this peer was slow.",
+			func(pm fabric.PeerMetrics) uint64 { return pm.Hedges })
+		peerCounter("rowpress_fabric_hedge_wins_total", "Dispatches where the hedge answered first.",
+			func(pm fabric.PeerMetrics) uint64 { return pm.HedgeWins })
+		fmt.Fprintf(&b, "# HELP rowpress_fabric_circuit_open Whether the peer's circuit breaker is open.\n# TYPE rowpress_fabric_circuit_open gauge\n")
+		for _, pm := range fm.PerPeer {
+			open := 0
+			if pm.CircuitOpen {
+				open = 1
+			}
+			fmt.Fprintf(&b, "rowpress_fabric_circuit_open{peer=\"%s\"} %d\n", promEscape(pm.URL), open)
+		}
+	}
 
 	fmt.Fprintf(&b, "# HELP rowpress_http_in_flight Requests currently being served per route.\n# TYPE rowpress_http_in_flight gauge\n")
 	for _, rt := range s.routes {

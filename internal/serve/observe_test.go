@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"repro/internal/engine"
+	"repro/internal/fabric"
 )
 
 // syncWriter serializes concurrent handler log writes onto one buffer.
@@ -315,5 +316,60 @@ func TestWithPprofRegistersHandlers(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode == http.StatusOK {
 		t.Fatal("pprof served without WithPprof")
+	}
+}
+
+// A fabric coordinator with an unreachable peer stays Ready — local
+// fallback keeps every answer correct — but reports Degraded with the
+// failing peer named, so orchestration sees an impaired fleet without
+// pulling a correct daemon out of rotation.
+func TestHealthzFabricDegraded(t *testing.T) {
+	peerSrv := newHTTPServer(t, New(engine.New(1, 0)))
+	dead := "http://127.0.0.1:1" // nothing listens on port 1
+	fc, err := fabric.New(fabric.Config{Peers: []string{peerSrv.URL, dead}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newHTTPServer(t, New(engine.New(1, 0), WithFabric(fc)))
+
+	var h HealthResponse
+	resp := getJSON(t, ts.URL+"/v1/healthz?format=json", &h)
+	if resp.StatusCode != http.StatusOK || !h.Ready {
+		t.Fatalf("degraded coordinator must stay ready: status=%d body=%+v", resp.StatusCode, h)
+	}
+	if !h.Degraded {
+		t.Fatalf("unreachable peer not reported as degraded: %+v", h)
+	}
+	if h.Checks["peer "+peerSrv.URL] != "ok" {
+		t.Fatalf("live peer check = %q, want ok (checks %v)", h.Checks["peer "+peerSrv.URL], h.Checks)
+	}
+	if got := h.Checks["peer "+dead]; !strings.HasPrefix(got, "unreachable") {
+		t.Fatalf("dead peer check = %q, want unreachable", got)
+	}
+	if h.Checks["fabric"] != "1/2 peers up" {
+		t.Fatalf("fabric summary = %q", h.Checks["fabric"])
+	}
+
+	// Text form carries the degraded line for humans and grep.
+	respT, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(respT.Body)
+	respT.Body.Close()
+	if !strings.Contains(string(body), "degraded: true") {
+		t.Fatalf("healthz text missing degraded line:\n%s", body)
+	}
+
+	// A fully-live fleet is not degraded.
+	fc2, err := fabric.New(fabric.Config{Peers: []string{peerSrv.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := newHTTPServer(t, New(engine.New(1, 0), WithFabric(fc2)))
+	var h2 HealthResponse // fresh: degraded is omitempty, a reused struct would keep the stale true
+	resp = getJSON(t, ts2.URL+"/v1/healthz?format=json", &h2)
+	if resp.StatusCode != http.StatusOK || h2.Degraded || h2.Checks["fabric"] != "1/1 peers up" {
+		t.Fatalf("healthy fleet reported degraded: status=%d body=%+v", resp.StatusCode, h2)
 	}
 }

@@ -26,6 +26,9 @@
 //	                          cache stats; json carries the typed
 //	                          report.Doc, ndjson streams per-shard
 //	                          completion events before the final document
+//	POST /v1/shard            resolve one shard for a fabric coordinator
+//	                          (fabric.ShardRequest in, gob payload out,
+//	                          answering tier in X-Fabric-Tier)
 //	POST /v1/sweep            batched parameter sweep (sweep.Spec in the
 //	                          body, ?format=json|text|csv); per-point
 //	                          docs/stats plus the aggregate
@@ -58,6 +61,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/fabric"
 	"repro/internal/ledger"
 	"repro/internal/report"
 	"repro/internal/scenario"
@@ -153,6 +157,17 @@ type MetricsResponse struct {
 	MissLookups      uint64  `json:"miss_lookups"`
 	MissLookupAvgMS  float64 `json:"miss_lookup_avg_ms"`
 
+	// Remote-tier (fabric) view: shards answered by peers, dispatch
+	// latency, and dispatches that exhausted every peer. Zero on a
+	// daemon running without -peers.
+	RemoteHits        uint64  `json:"remote_hits"`
+	RemoteLookupAvgMS float64 `json:"remote_lookup_avg_ms"`
+	RemoteErrors      uint64  `json:"remote_errors"`
+
+	// Fabric is the coordinator's client-side per-peer view; nil on a
+	// daemon running without -peers.
+	Fabric *fabric.Metrics `json:"fabric,omitempty"`
+
 	// Endpoints is the per-route serving-path view: request volume,
 	// in-flight concurrency, and latency quantiles.
 	Endpoints map[string]EndpointMetrics `json:"endpoints"`
@@ -168,6 +183,7 @@ type Server struct {
 
 	log      *slog.Logger
 	ledger   *ledger.Ledger // optional persistent run ledger
+	fabric   *fabric.Client // optional coordinator-mode peer fabric
 	routes   []*route       // instrumented endpoints, registration order
 	reqID    atomic.Uint64
 	draining atomic.Bool
@@ -204,6 +220,14 @@ func WithLedger(l *ledger.Ledger) Option {
 	return func(s *Server) { s.ledger = l }
 }
 
+// WithFabric marks this daemon as a fabric coordinator: the client
+// (already attached to the engine as its remote tier) is surfaced in
+// /v1/healthz readiness (per-peer reachability, degraded state),
+// /v1/metrics, and the Prometheus exposition.
+func WithFabric(c *fabric.Client) Option {
+	return func(s *Server) { s.fabric = c }
+}
+
 // WithPprof exposes net/http/pprof under /debug/pprof/ on the server's
 // mux — profiling endpoints are opt-in (rowpressd -pprof) and bypass
 // the request-metrics middleware so profile downloads don't distort
@@ -235,6 +259,7 @@ func New(eng *engine.Engine, opts ...Option) *Server {
 	s.handle("GET /v1/experiments", s.handleExperiments)
 	s.handle("GET /v1/scenarios", s.handleScenarios)
 	s.handle("GET /v1/run/{exp}", s.handleRun)
+	s.handle("POST /v1/shard", s.handleShard)
 	s.handle("POST /v1/sweep", s.handleSweep)
 	s.handle("GET /v1/results", s.handleResults)
 	s.handle("GET /v1/metrics", s.handleMetrics)
@@ -416,6 +441,7 @@ type shardEvent struct {
 	Key     string  `json:"key"`
 	Cached  bool    `json:"cached"`
 	Tier    string  `json:"tier,omitempty"`
+	Peer    string  `json:"peer,omitempty"` // answering fabric peer when tier is "remote"
 	Worker  int     `json:"worker"`
 	Subs    int     `json:"subs,omitempty"`
 	SubsRun int     `json:"subs_run,omitempty"`
@@ -477,7 +503,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			defer wmu.Unlock()
 			e := shardEvent{
 				Event: "shard", Index: ev.Index, Key: ev.Key, Cached: ev.Cached,
-				Tier: ev.Tier, Worker: ev.Worker, Subs: ev.Subs, SubsRun: ev.SubsRun,
+				Tier: ev.Tier, Peer: ev.Peer, Worker: ev.Worker, Subs: ev.Subs, SubsRun: ev.SubsRun,
 				QueueMS: float64(ev.Queue) / float64(time.Millisecond),
 				WallMS:  float64(ev.Wall) / float64(time.Millisecond),
 			}
@@ -531,6 +557,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			Shards:      es.Shards,
 			Workers:     s.eng.Workers(),
 			SubShards:   es.SubExecuted,
+			Peers:       s.peerCount(),
 			Tiers:       tiers(),
 		}
 		lr.FillWindow(s.eng.Metrics().Sub(before))
@@ -577,6 +604,64 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeJSON(w, http.StatusOK, resp)
 	}
+}
+
+// handleShard answers one fabric coordinator's dispatch: the body is
+// a fabric.ShardRequest, the response the gob payload of the resolved
+// shard with the answering tier in the X-Fabric-Tier header. Any
+// daemon can serve shards — a peer needs no configuration beyond
+// being reachable — and resolution goes through engine.ResolveLocal,
+// which never re-dispatches, so a peer that is itself a coordinator
+// cannot forward the shard onward. Unknown experiments or shards are
+// 404; a key mismatch (the coordinator derived a different cache
+// address than this build does) is 409, so mixed-build fleets fail
+// loudly instead of caching wrong payloads.
+func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
+	var req fabric.ShardRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSweepBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad shard request: %v", err)
+		return
+	}
+	v, tier, err := fabric.ServeShard(s.eng, req)
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, core.ErrUnknownExperiment), errors.Is(err, fabric.ErrUnknownShard):
+			status = http.StatusNotFound
+		case errors.Is(err, fabric.ErrKeySkew):
+			status = http.StatusConflict
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	annotate(r.Context(), 1, boolToInt(tier == ""))
+	if tier == "" {
+		tier = "execute"
+	}
+	w.Header().Set("Content-Type", "application/x-gob")
+	w.Header().Set(fabric.TierHeader, tier)
+	if err := engine.EncodePayload(w, v); err != nil {
+		// Headers are gone; the coordinator sees a truncated gob stream,
+		// counts the decode failure, and falls back. Log it here.
+		s.log.LogAttrs(r.Context(), slog.LevelWarn, "shard_encode_failed", slog.String("error", err.Error()))
+	}
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// peerCount is the configured fabric peer count, 0 without a fabric.
+func (s *Server) peerCount() int {
+	if s.fabric == nil {
+		return 0
+	}
+	return len(s.fabric.Peers())
 }
 
 // maxSweepBody bounds the /v1/sweep request body (a spec is a few
@@ -648,6 +733,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			Shards:      a.ShardRefs,
 			Workers:     s.eng.Workers(),
 			SubShards:   a.SubExecuted,
+			Peers:       s.peerCount(),
 			Tiers:       ledger.SweepTiers(w, a.Executed, a.ShardRefs),
 		}
 		lr.FillWindow(w)
@@ -827,6 +913,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	failures := s.failures
 	s.mu.Unlock()
+	var fm *fabric.Metrics
+	if s.fabric != nil {
+		snap := s.fabric.Metrics()
+		fm = &snap
+	}
 	writeJSON(w, http.StatusOK, MetricsResponse{
 		UptimeS:        s.now().Sub(s.start).Seconds(),
 		Workers:        s.eng.Workers(),
@@ -862,6 +953,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		DiskLookupAvgMS:  msF(m.DiskLookup.Avg()),
 		MissLookups:      m.MissLookup.Count,
 		MissLookupAvgMS:  msF(m.MissLookup.Avg()),
+
+		RemoteHits:        m.RemoteLookup.Count,
+		RemoteLookupAvgMS: msF(m.RemoteLookup.Avg()),
+		RemoteErrors:      m.RemoteErrors,
+		Fabric:            fm,
 
 		Endpoints: s.endpointMetrics(),
 	})
